@@ -1,0 +1,118 @@
+package gentrius
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gentrius/internal/tree"
+)
+
+// StandSummary describes the topological diversity of an enumerated stand —
+// the post-analysis a stand is identified *for*: if the trees on the stand
+// are nearly identical the missing data hardly matter, while a diverse
+// stand means the inferred topology is poorly determined.
+type StandSummary struct {
+	// Size is the number of trees summarized.
+	Size int
+	// Taxa is the number of leaves per tree.
+	Taxa int
+	// RFMin/RFMean/RFMax summarize Robinson–Foulds distances over sampled
+	// tree pairs; MaxPossibleRF is 2(n-3), the diameter of binary tree
+	// space on n leaves.
+	RFMin, RFMean, RFMax float64
+	MaxPossibleRF        int
+	PairsSampled         int
+	// StrictSplits / MajoritySplits count the non-trivial splits common to
+	// all trees / to a majority; a binary tree has n-3 of them, so
+	// StrictSplits == n-3 iff the stand has a single topology.
+	StrictSplits   int
+	MajoritySplits int
+	// StrictConsensus / MajorityConsensus are Newick strings (possibly with
+	// polytomies) of the corresponding consensus trees.
+	StrictConsensus   string
+	MajorityConsensus string
+}
+
+// SummarizeStand analyzes a stand given as canonical Newick strings (as
+// produced with Options.CollectTrees). Pairwise RF distances are computed on
+// at most maxPairs deterministic pseudo-random pairs (0 selects 1000).
+func SummarizeStand(taxa *Taxa, newicks []string, maxPairs int) (*StandSummary, error) {
+	if len(newicks) == 0 {
+		return nil, fmt.Errorf("gentrius: empty stand")
+	}
+	if maxPairs <= 0 {
+		maxPairs = 1000
+	}
+	trees := make([]*tree.Tree, len(newicks))
+	for i, nw := range newicks {
+		t, err := tree.Parse(nw, taxa, false)
+		if err != nil {
+			return nil, fmt.Errorf("stand tree %d: %w", i, err)
+		}
+		trees[i] = t
+	}
+	n := trees[0].NumLeaves()
+	sum := &StandSummary{
+		Size:          len(trees),
+		Taxa:          n,
+		MaxPossibleRF: 2 * (n - 3),
+	}
+	// Pairwise RF over a deterministic sample.
+	rng := rand.New(rand.NewSource(1))
+	total := 0.0
+	sum.RFMin = float64(sum.MaxPossibleRF + 1)
+	pairs := 0
+	if len(trees) > 1 {
+		allPairs := len(trees) * (len(trees) - 1) / 2
+		if allPairs <= maxPairs {
+			for i := 0; i < len(trees); i++ {
+				for j := i + 1; j < len(trees); j++ {
+					d, err := tree.RobinsonFoulds(trees[i], trees[j])
+					if err != nil {
+						return nil, err
+					}
+					pairs++
+					total += float64(d)
+					sum.RFMin = min(sum.RFMin, float64(d))
+					sum.RFMax = max(sum.RFMax, float64(d))
+				}
+			}
+		} else {
+			for k := 0; k < maxPairs; k++ {
+				i := rng.Intn(len(trees))
+				j := rng.Intn(len(trees) - 1)
+				if j >= i {
+					j++
+				}
+				d, err := tree.RobinsonFoulds(trees[i], trees[j])
+				if err != nil {
+					return nil, err
+				}
+				pairs++
+				total += float64(d)
+				sum.RFMin = min(sum.RFMin, float64(d))
+				sum.RFMax = max(sum.RFMax, float64(d))
+			}
+		}
+		sum.RFMean = total / float64(pairs)
+	} else {
+		sum.RFMin = 0
+	}
+	sum.PairsSampled = pairs
+
+	strict, nStrict, err := tree.ConsensusNewick(trees, 1)
+	if err != nil {
+		return nil, err
+	}
+	maj, nMaj, err := tree.ConsensusNewick(trees, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	sum.StrictConsensus, sum.StrictSplits = strict, nStrict
+	sum.MajorityConsensus, sum.MajoritySplits = maj, nMaj
+	return sum, nil
+}
+
+// RFDistance returns the Robinson–Foulds distance between two trees on the
+// same leaf set.
+func RFDistance(a, b *Tree) (int, error) { return tree.RobinsonFoulds(a, b) }

@@ -1,0 +1,113 @@
+package gentrius
+
+import (
+	"strings"
+	"testing"
+)
+
+func enumerateForSummary(t *testing.T) (*Taxa, []string) {
+	t.Helper()
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E", "F", "G"})
+	// c1 fixes the topology on everything but G; c2 pins G near E, so the
+	// stand varies only within the {E,F} region and distant splits (like
+	// {A,B}) are common to every stand tree.
+	c1 := MustParseTree("((A,B),(C,(D,(E,F))));", taxa)
+	c2 := MustParseTree("((E,G),(D,(A,B)));", taxa)
+	res, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic, CollectTrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 3 {
+		t.Fatalf("stand too small for a useful summary: %d", res.StandTrees)
+	}
+	return taxa, res.Trees
+}
+
+func TestSummarizeStand(t *testing.T) {
+	taxa, trees := enumerateForSummary(t)
+	sum, err := SummarizeStand(taxa, trees, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Size != len(trees) || sum.Taxa != 7 {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+	if sum.MaxPossibleRF != 8 {
+		t.Fatalf("MaxPossibleRF = %d, want 8", sum.MaxPossibleRF)
+	}
+	if sum.RFMin < 0 || sum.RFMean < sum.RFMin || sum.RFMax < sum.RFMean ||
+		sum.RFMax > float64(sum.MaxPossibleRF) {
+		t.Fatalf("RF stats inconsistent: %+v", sum)
+	}
+	if sum.RFMax == 0 {
+		t.Fatal("a stand with >1 tree must have RFMax > 0")
+	}
+	// Both constraints' shared splits must survive in the strict consensus.
+	if sum.StrictSplits < 1 {
+		t.Fatal("strict consensus lost every split")
+	}
+	if sum.MajoritySplits < sum.StrictSplits {
+		t.Fatal("majority consensus cannot be less resolved than strict")
+	}
+	if !strings.HasSuffix(sum.StrictConsensus, ";") {
+		t.Fatalf("bad consensus newick %q", sum.StrictConsensus)
+	}
+}
+
+func TestSummarizeStandSingleton(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	tr := MustParseTree("((A,B),(C,(D,E)));", taxa)
+	sum, err := SummarizeStand(taxa, []string{tr.Newick()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RFMax != 0 || sum.RFMin != 0 || sum.PairsSampled != 0 {
+		t.Fatalf("singleton summary wrong: %+v", sum)
+	}
+	if sum.StrictSplits != 2 { // n-3 = 2: fully resolved
+		t.Fatalf("singleton strict splits = %d, want 2", sum.StrictSplits)
+	}
+}
+
+func TestSummarizeStandSampling(t *testing.T) {
+	taxa, trees := enumerateForSummary(t)
+	full, err := SummarizeStand(taxa, trees, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := SummarizeStand(taxa, trees, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.PairsSampled != 3 && sampled.PairsSampled != full.PairsSampled {
+		t.Fatalf("sampling did not bound pairs: %d", sampled.PairsSampled)
+	}
+	if sampled.StrictSplits != full.StrictSplits {
+		t.Fatal("consensus must not depend on RF sampling")
+	}
+}
+
+func TestSummarizeStandErrors(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	if _, err := SummarizeStand(taxa, nil, 0); err == nil {
+		t.Fatal("expected error for empty stand")
+	}
+	if _, err := SummarizeStand(taxa, []string{"not a tree"}, 0); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRFDistanceFacade(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParseTree("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParseTree("((A,C),(B,(D,E)));", taxa)
+	d, err := RFDistance(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("RF = %d", d)
+	}
+}

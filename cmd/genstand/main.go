@@ -1,0 +1,94 @@
+// Command genstand generates reproducible benchmark corpora in the style of
+// the paper's simulated datasets and of its RAxML-Grove empirical extracts
+// (see DESIGN.md for the substitution). For each dataset it writes
+//
+//	<name>.truth.nwk    the underlying species tree
+//	<name>.pam          the presence-absence matrix
+//	<name>.trees        the induced constraint trees (Gentrius input)
+//
+// into the output directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gentrius"
+	"gentrius/internal/gen"
+)
+
+func main() {
+	var (
+		regime  = flag.String("regime", "sim", `corpus regime: "sim" or "emp"`)
+		count   = flag.Int("count", 10, "number of datasets")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		outDir  = flag.String("out", "datasets", "output directory")
+		minTaxa = flag.Int("min-taxa", 0, "override minimum taxon count")
+		maxTaxa = flag.Int("max-taxa", 0, "override maximum taxon count")
+		yule    = flag.Bool("yule", false, "Yule-shaped species trees")
+	)
+	flag.Parse()
+
+	var r gen.Regime
+	switch *regime {
+	case "sim":
+		r = gen.RegimeSimulated
+	case "emp":
+		r = gen.RegimeEmpirical
+	default:
+		fatal(fmt.Errorf("unknown regime %q", *regime))
+	}
+	cfg := gen.Default(r)
+	cfg.Seed = *seed
+	cfg.Yule = *yule
+	if *minTaxa > 0 {
+		cfg.MinTaxa = *minTaxa
+	}
+	if *maxTaxa > 0 {
+		cfg.MaxTaxa = *maxTaxa
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for idx := 0; idx < *count; idx++ {
+		ds := gen.Generate(cfg, idx)
+		if err := writeDataset(*outDir, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d taxa, %d loci, %.1f%% missing, %d constraints\n",
+			ds.Name, ds.Taxa.Len(), ds.PAM.NumLoci(),
+			100*ds.PAM.MissingFraction(), len(ds.Constraints))
+	}
+}
+
+func writeDataset(dir string, ds *gen.Dataset) error {
+	tf, err := os.Create(filepath.Join(dir, ds.Name+".truth.nwk"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := gentrius.WriteTrees(tf, []*gentrius.Tree{ds.Truth}); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, ds.Name+".pam"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := ds.PAM.Write(pf); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, ds.Name+".trees"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	return gentrius.WriteTrees(cf, ds.Constraints)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genstand:", err)
+	os.Exit(1)
+}

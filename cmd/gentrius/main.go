@@ -1,0 +1,139 @@
+// Command gentrius enumerates a phylogenetic stand from either a file of
+// incomplete Newick constraint trees (one per line) or a complete species
+// tree plus a presence–absence matrix.
+//
+// Usage:
+//
+//	gentrius -trees constraints.nwk [flags]
+//	gentrius -species tree.nwk -pam matrix.pam [flags]
+//
+// Flags mirror the paper's run configuration: -threads selects the parallel
+// work-stealing engine, and -max-trees / -max-states / -max-time are the
+// three stopping rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gentrius"
+)
+
+func main() {
+	var (
+		treesPath   = flag.String("trees", "", "constraint trees: one Newick per line, or a NEXUS file")
+		speciesPath = flag.String("species", "", "file with a complete species tree (Newick)")
+		pamPath     = flag.String("pam", "", "presence-absence matrix file (use with -species)")
+		threads     = flag.Int("threads", 1, "worker count (>1 enables the parallel engine)")
+		maxTrees    = flag.Int64("max-trees", 0, "stopping rule 1: max stand trees (0 = default 1e6, <0 = unlimited)")
+		maxStates   = flag.Int64("max-states", 0, "stopping rule 2: max intermediate states (0 = default 1e7, <0 = unlimited)")
+		maxTime     = flag.Duration("max-time", 0, "stopping rule 3: max wall time (0 = default 168h)")
+		initial     = flag.Int("initial", gentrius.UseInitialTreeHeuristic, "initial tree index (-1 = heuristic)")
+		outPath     = flag.String("out", "", "write the stand trees (Newick, one per line) to this file")
+		quiet       = flag.Bool("q", false, "print only the stand size")
+		summary     = flag.Bool("summary", false, "after enumeration, print a stand diversity summary (RF distances, consensus trees); requires the stand to fit in memory")
+	)
+	flag.Parse()
+
+	cons, err := loadConstraints(*treesPath, *speciesPath, *pamPath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := gentrius.Options{
+		Threads:      *threads,
+		MaxTrees:     *maxTrees,
+		MaxStates:    *maxStates,
+		MaxTime:      *maxTime,
+		InitialTree:  *initial,
+		CollectTrees: *summary,
+	}
+	var outFile *os.File
+	if *outPath != "" {
+		outFile, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer outFile.Close()
+		opt.OnTree = func(nw string) { fmt.Fprintln(outFile, nw) }
+	}
+	start := time.Now()
+	res, err := gentrius.EnumerateStand(cons, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *quiet {
+		fmt.Println(res.StandTrees)
+		return
+	}
+	fmt.Printf("constraint trees:    %d\n", len(cons))
+	fmt.Printf("initial tree index:  %d\n", res.InitialIndex)
+	fmt.Printf("threads:             %d\n", res.Threads)
+	fmt.Printf("stand trees:         %d\n", res.StandTrees)
+	fmt.Printf("intermediate states: %d\n", res.IntermediateStates)
+	fmt.Printf("dead ends:           %d\n", res.DeadEnds)
+	fmt.Printf("stop reason:         %v\n", res.Stop)
+	fmt.Printf("elapsed:             %v\n", time.Since(start).Round(time.Millisecond))
+	if !res.Complete() {
+		fmt.Println("note: a stopping rule fired; the stand size is a lower bound")
+	}
+	if *summary && len(res.Trees) > 0 {
+		taxa := cons[0].Taxa()
+		sum, err := gentrius.SummarizeStand(taxa, res.Trees, 2000)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Printf("stand diversity (RF over %d pairs): min %.0f  mean %.1f  max %.0f  (diameter %d)\n",
+			sum.PairsSampled, sum.RFMin, sum.RFMean, sum.RFMax, sum.MaxPossibleRF)
+		fmt.Printf("strict consensus   (%d/%d splits): %s\n", sum.StrictSplits, sum.Taxa-3, sum.StrictConsensus)
+		fmt.Printf("majority consensus (%d/%d splits): %s\n", sum.MajoritySplits, sum.Taxa-3, sum.MajorityConsensus)
+	}
+}
+
+func loadConstraints(treesPath, speciesPath, pamPath string) ([]*gentrius.Tree, error) {
+	switch {
+	case treesPath != "" && speciesPath == "" && pamPath == "":
+		f, err := os.Open(treesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cons, _, err := gentrius.ReadTreesAuto(f)
+		return cons, err
+	case speciesPath != "" && pamPath != "" && treesPath == "":
+		sf, err := os.Open(speciesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer sf.Close()
+		trees, taxa, err := gentrius.ReadTrees(sf, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(trees) != 1 {
+			return nil, fmt.Errorf("species tree file must contain exactly one tree, found %d", len(trees))
+		}
+		pf, err := os.Open(pamPath)
+		if err != nil {
+			return nil, err
+		}
+		defer pf.Close()
+		m, err := gentrius.ReadPAM(pf, taxa)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m.InducedConstraints(trees[0], 4)
+	default:
+		return nil, fmt.Errorf("provide either -trees, or -species together with -pam (run with -h for help)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentrius:", err)
+	os.Exit(1)
+}

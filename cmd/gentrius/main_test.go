@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gentrius"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadConstraintsFromTrees(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "c.nwk", "((A,B),(C,D));\n((A,B),(C,E));\n")
+	cons, err := loadConstraints(p, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("loaded %d constraints", len(cons))
+	}
+	res, err := gentrius.EnumerateStand(cons, gentrius.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 1 {
+		t.Fatal("empty stand from valid input")
+	}
+}
+
+func TestLoadConstraintsFromSpeciesAndPAM(t *testing.T) {
+	dir := t.TempDir()
+	sp := write(t, dir, "sp.nwk", "((A,(B,C)),(D,(E,F)));\n")
+	pam := write(t, dir, "m.pam",
+		"6 2\nA 1 1\nB 1 0\nC 1 0\nD 1 1\nE 1 1\nF 1 1\n")
+	cons, err := loadConstraints("", sp, pam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("loaded %d induced constraints, want 2", len(cons))
+	}
+}
+
+func TestLoadConstraintsErrors(t *testing.T) {
+	dir := t.TempDir()
+	sp := write(t, dir, "sp.nwk", "((A,B),(C,D));\n")
+	two := write(t, dir, "two.nwk", "((A,B),(C,D));\n((A,C),(B,D));\n")
+	pam := write(t, dir, "m.pam", "4 1\nA 1\nB 1\nC 1\nD 1\n")
+	cases := [][3]string{
+		{"", "", ""},                         // nothing given
+		{sp, sp, pam},                        // both modes
+		{filepath.Join(dir, "nope"), "", ""}, // missing file
+		{"", two, pam},                       // species file with two trees
+		{"", sp, filepath.Join(dir, "no")},   // missing pam
+	}
+	for _, c := range cases {
+		if _, err := loadConstraints(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("expected error for %v", c)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: enumerate the stand of a small set of incomplete constraint
+// trees — the scenario of the paper's Figure 1a, where two taxa (X and Y)
+// are missing from the initial tree and each has a small set of admissible
+// insertion branches; the stand is the set of all combinations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gentrius"
+)
+
+func main() {
+	taxa := gentrius.MustTaxa([]string{"A", "B", "C", "D", "E", "F", "X", "Y"})
+
+	// The initial (agile) tree plus one constraint per missing taxon,
+	// restricting where it may be inserted (X near the {A,B} cherry, Y near
+	// the {E,F} cherry), like taxa a and b in Fig. 1a.
+	constraints := []*gentrius.Tree{
+		gentrius.MustParseTree("((A,B),((C,D),(E,F)));", taxa),
+		gentrius.MustParseTree("((A,X),(C,(E,F)));", taxa), // X near {A,B}
+		gentrius.MustParseTree("((E,Y),(C,(A,B)));", taxa), // Y near {E,F}
+	}
+
+	opt := gentrius.DefaultOptions()
+	opt.CollectTrees = true
+	res, err := gentrius.EnumerateStand(constraints, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stand size:          %d\n", res.StandTrees)
+	fmt.Printf("intermediate states: %d\n", res.IntermediateStates)
+	fmt.Printf("dead ends:           %d\n", res.DeadEnds)
+	fmt.Printf("complete:            %v\n\n", res.Complete())
+	fmt.Println("stand trees:")
+	for _, nw := range res.Trees {
+		fmt.Println(" ", nw)
+	}
+}

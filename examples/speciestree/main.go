@@ -1,0 +1,77 @@
+// Species-tree mode: Gentrius' second input option (paper Sec. II-A).
+// Given a complete species tree inferred by any phylogenetic method and the
+// dataset's presence–absence matrix, the per-locus induced subtrees become
+// the constraint set, and the stand tells you how many other trees explain
+// the data exactly as well — if the stand (terrace) has more than one tree,
+// the inferred topology is not uniquely supported.
+//
+// The example also cross-checks the stand size with the SUPERB baseline
+// (possible here because taxon "Human" has data for every locus — a
+// comprehensive taxon, which SUPERB requires and Gentrius does not).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gentrius"
+	"gentrius/internal/superb"
+)
+
+func main() {
+	taxa := gentrius.MustTaxa([]string{
+		"Human", "Chimp", "Gorilla", "Orangutan", "Gibbon",
+		"Macaque", "Marmoset", "Tarsier",
+	})
+	species := gentrius.MustParseTree(
+		"((((((Human,Chimp),Gorilla),Orangutan),Gibbon),(Macaque,Marmoset)),Tarsier);",
+		taxa)
+
+	// A PAM with patchy sampling: three loci, each missing some species.
+	m := gentrius.NewPAM(taxa, 3)
+	present := [][]string{
+		{"Human", "Chimp", "Gorilla", "Orangutan", "Gibbon", "Macaque"},
+		{"Human", "Chimp", "Macaque", "Marmoset", "Tarsier"},
+		{"Human", "Gorilla", "Orangutan", "Gibbon", "Tarsier"},
+	}
+	for j, col := range present {
+		for _, name := range col {
+			id, ok := taxa.ID(name)
+			if !ok {
+				log.Fatalf("unknown taxon %s", name)
+			}
+			m.Set(id, j)
+		}
+	}
+	fmt.Printf("PAM: %d species x %d loci, %.0f%% missing\n",
+		m.NumTaxa(), m.NumLoci(), 100*m.MissingFraction())
+
+	opt := gentrius.DefaultOptions()
+	opt.CollectTrees = true
+	res, err := gentrius.EnumerateFromSpeciesTree(species, m, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stand size: %d (the inferred tree is one of %d equally supported topologies)\n",
+		res.StandTrees, res.StandTrees)
+
+	// Independent check with the rooted SUPERB baseline.
+	cons, err := m.InducedConstraints(species, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := superb.Count(cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SUPERB (rooted baseline) agrees: %s trees\n", count)
+
+	fmt.Println("\nfirst few stand trees:")
+	for i, nw := range res.Trees {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Trees)-5)
+			break
+		}
+		fmt.Println(" ", nw)
+	}
+}

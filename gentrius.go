@@ -1,0 +1,214 @@
+// Package gentrius enumerates phylogenetic stands: the sets of binary
+// unrooted trees on a full taxon set that display every tree in a collection
+// of incomplete, unrooted constraint trees. It is a from-scratch Go
+// implementation of the Gentrius branch-and-bound algorithm (Chernomor et
+// al.) and of its shared-memory parallelization with thread pooling and work
+// stealing (Togkousidis, Chernomor & Stamatakis, IPPS 2023).
+//
+// Typical use:
+//
+//	taxa := gentrius.MustTaxa([]string{"A", "B", "C", "D", "E"})
+//	c1 := gentrius.MustParseTree("((A,B),(C,D));", taxa)
+//	c2 := gentrius.MustParseTree("((A,B),(C,E));", taxa)
+//	res, err := gentrius.EnumerateStand([]*gentrius.Tree{c1, c2},
+//	    gentrius.DefaultOptions())
+//
+// Or, starting from a complete species tree and a presence–absence matrix:
+//
+//	res, err := gentrius.EnumerateFromSpeciesTree(species, pam, opt)
+//
+// Setting Options.Threads above 1 runs the parallel engine; the three
+// stopping rules (stand trees, intermediate states, wall time) bound runs on
+// stands of intractable size.
+package gentrius
+
+import (
+	"fmt"
+	"time"
+
+	"gentrius/internal/pam"
+	"gentrius/internal/parallel"
+	"gentrius/internal/search"
+	"gentrius/internal/tree"
+)
+
+// Tree is an unrooted binary phylogenetic tree over a shared Taxa universe.
+type Tree = tree.Tree
+
+// Taxa is the taxon-label universe all trees and matrices of one analysis
+// refer to.
+type Taxa = tree.Taxa
+
+// PAM is a presence–absence species × locus matrix.
+type PAM = pam.Matrix
+
+// StopReason reports why an enumeration ended.
+type StopReason = search.StopReason
+
+// Stop reasons (re-exported from the search engine).
+const (
+	StopExhausted  = search.StopExhausted
+	StopTreeLimit  = search.StopTreeLimit
+	StopStateLimit = search.StopStateLimit
+	StopTimeLimit  = search.StopTimeLimit
+)
+
+// UseInitialTreeHeuristic selects the initial agile tree by the paper's
+// heuristic (the constraint sharing the most taxa with all others).
+const UseInitialTreeHeuristic = -1
+
+// OrderHeuristic selects the dynamic taxon-insertion heuristic; see the
+// re-exported values below. The zero value is the paper's rule.
+type OrderHeuristic = search.OrderHeuristic
+
+// Insertion-order heuristics (the alternatives implement the paper's
+// future-work direction of exploring different insertion orders).
+const (
+	OrderMinBranches          = search.OrderMinBranches
+	OrderMinBranchesTieDegree = search.OrderMinBranchesTieDegree
+	OrderMaxBranches          = search.OrderMaxBranches
+)
+
+// Options configures an enumeration.
+type Options struct {
+	// Threads is the worker count; values above 1 select the parallel
+	// work-stealing engine.
+	Threads int
+
+	// The three stopping rules (Sec. II-B of the paper). Zero values select
+	// the paper defaults (10^6 trees, 10^7 intermediate states, 168 h);
+	// negative values disable a rule.
+	MaxTrees  int64
+	MaxStates int64
+	MaxTime   time.Duration
+
+	// InitialTree is the index of the constraint tree used as the initial
+	// agile tree, or UseInitialTreeHeuristic (-1).
+	InitialTree int
+
+	// Heuristic refines the dynamic taxon-insertion order (zero value: the
+	// paper's min-branches rule). Any heuristic yields the same stand; only
+	// the amount of search work differs.
+	Heuristic OrderHeuristic
+
+	// CollectTrees stores each stand tree's canonical Newick string in
+	// Result.Trees. Stands can be enormous; prefer OnTree for streaming.
+	CollectTrees bool
+
+	// OnTree, if non-nil, receives every stand tree found. With Threads == 1
+	// trees are streamed as they are found; with Threads > 1 they are
+	// delivered (in no particular order) once enumeration finishes.
+	OnTree func(newick string)
+}
+
+// DefaultOptions returns serial enumeration with the paper's default
+// stopping rules and the initial-tree heuristic.
+func DefaultOptions() Options {
+	return Options{Threads: 1, InitialTree: UseInitialTreeHeuristic}
+}
+
+// Result summarizes an enumeration.
+type Result struct {
+	// StandTrees is the number of stand trees counted (the full stand size
+	// when Stop == StopExhausted, a lower bound otherwise).
+	StandTrees int64
+	// IntermediateStates and DeadEnds describe the branch-and-bound work.
+	IntermediateStates int64
+	DeadEnds           int64
+	// Stop reports which stopping rule ended the run, if any.
+	Stop StopReason
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Trees holds the stand (canonical Newick) when CollectTrees was set.
+	Trees []string
+	// InitialIndex is the constraint index used as the initial agile tree.
+	InitialIndex int
+	// Threads is the worker count actually used.
+	Threads int
+}
+
+// Complete reports whether the whole stand was enumerated.
+func (r *Result) Complete() bool { return r.Stop == StopExhausted }
+
+// EnumerateStand counts (and optionally collects) all trees compatible with
+// the given constraint trees. Every taxon of the universe must occur in at
+// least one constraint tree, and every constraint tree needs at least four
+// taxa. Pairwise-incompatible constraints yield an empty stand.
+func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("gentrius: no constraint trees")
+	}
+	limits := search.Limits{
+		MaxTrees:  opt.MaxTrees,
+		MaxStates: opt.MaxStates,
+		MaxTime:   opt.MaxTime,
+	}
+	if opt.Threads > 1 {
+		pres, err := parallel.Run(constraints, parallel.Options{
+			Threads:      opt.Threads,
+			Limits:       limits,
+			InitialTree:  opt.InitialTree,
+			Heuristic:    opt.Heuristic,
+			CollectTrees: opt.CollectTrees || opt.OnTree != nil,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			StandTrees:         pres.StandTrees,
+			IntermediateStates: pres.IntermediateStates,
+			DeadEnds:           pres.DeadEnds,
+			Stop:               pres.Stop,
+			Elapsed:            pres.Elapsed,
+			InitialIndex:       pres.InitialIndex,
+			Threads:            opt.Threads,
+		}
+		if opt.OnTree != nil {
+			for _, nw := range pres.Trees {
+				opt.OnTree(nw)
+			}
+		}
+		if opt.CollectTrees {
+			res.Trees = pres.Trees
+		}
+		return res, nil
+	}
+	sres, err := search.Run(constraints, search.Options{
+		Limits:       limits,
+		InitialTree:  opt.InitialTree,
+		Heuristic:    opt.Heuristic,
+		CollectTrees: opt.CollectTrees,
+		OnTree:       opt.OnTree,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		StandTrees:         sres.StandTrees,
+		IntermediateStates: sres.IntermediateStates,
+		DeadEnds:           sres.DeadEnds,
+		Stop:               sres.Stop,
+		Elapsed:            sres.Elapsed,
+		Trees:              sres.Trees,
+		InitialIndex:       sres.InitialIndex,
+		Threads:            1,
+	}, nil
+}
+
+// EnumerateFromSpeciesTree is Gentrius' second input mode: a complete
+// species tree plus a PAM. The per-locus constraint trees are the species
+// tree's induced subtrees on each locus' presence set (loci covering fewer
+// than four taxa are skipped, as they constrain nothing).
+func EnumerateFromSpeciesTree(species *Tree, m *PAM, opt Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cons, err := m.InducedConstraints(species, 4)
+	if err != nil {
+		return nil, err
+	}
+	if len(cons) == 0 {
+		return nil, fmt.Errorf("gentrius: no locus covers four or more taxa")
+	}
+	return EnumerateStand(cons, opt)
+}

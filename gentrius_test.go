@@ -1,0 +1,241 @@
+package gentrius
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEnumerateStandQuickstart(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	c1 := MustParseTree("((A,B),(C,D));", taxa)
+	c2 := MustParseTree("((A,B),(C,E));", taxa)
+	res, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic, CollectTrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if res.StandTrees < 1 || int(res.StandTrees) != len(res.Trees) {
+		t.Fatalf("trees %d, collected %d", res.StandTrees, len(res.Trees))
+	}
+	// Parallel agrees.
+	par, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 4, InitialTree: UseInitialTreeHeuristic, CollectTrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.StandTrees != res.StandTrees {
+		t.Fatalf("parallel %d vs serial %d", par.StandTrees, res.StandTrees)
+	}
+	if par.Threads != 4 || res.Threads != 1 {
+		t.Fatal("Threads field wrong")
+	}
+}
+
+func TestEnumerateFromSpeciesTree(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E", "F"})
+	sp := MustParseTree("((A,(B,C)),(D,(E,F)));", taxa)
+	m := NewPAM(taxa, 2)
+	for _, i := range []int{0, 1, 2, 3} {
+		m.Set(i, 0)
+	}
+	for _, i := range []int{2, 3, 4, 5} {
+		m.Set(i, 1)
+	}
+	res, err := EnumerateFromSpeciesTree(sp, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 1 {
+		t.Fatal("species tree not in its own stand")
+	}
+	// The species tree must be a member.
+	found := false
+	res2, err := EnumerateFromSpeciesTree(sp, m, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic, CollectTrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nw := range res2.Trees {
+		if nw == sp.Newick() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("species tree missing from its stand")
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	if _, err := EnumerateStand(nil, DefaultOptions()); err == nil {
+		t.Fatal("expected error for empty constraints")
+	}
+	sp := MustParseTree("((A,B),(C,(D,E)));", taxa)
+	m := NewPAM(taxa, 1) // empty locus: invalid
+	if _, err := EnumerateFromSpeciesTree(sp, m, DefaultOptions()); err == nil {
+		t.Fatal("expected PAM validation error")
+	}
+	m2 := NewPAM(taxa, 1)
+	for i := 0; i < 5; i++ {
+		m2.Set(i, 0)
+	}
+	res, err := EnumerateFromSpeciesTree(sp, m2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees != 1 {
+		t.Fatalf("full PAM should pin the species tree; got %d", res.StandTrees)
+	}
+}
+
+func TestOnTreeStreaming(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	c1 := MustParseTree("((A,B),(C,D));", taxa)
+	c2 := MustParseTree("((A,B),(C,E));", taxa)
+	var got []string
+	_, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic,
+		OnTree: func(nw string) { got = append(got, nw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("OnTree never called")
+	}
+	var gotPar []string
+	_, err = EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 2, InitialTree: UseInitialTreeHeuristic,
+		OnTree: func(nw string) { gotPar = append(gotPar, nw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPar) != len(got) {
+		t.Fatalf("parallel OnTree delivered %d, serial %d", len(gotPar), len(got))
+	}
+}
+
+func TestStoppingRulesSurface(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J"})
+	// One loose quartet over 10 taxa: a big stand, certain to hit a 3-tree cap.
+	c1 := MustParseTree("((A,B),(C,D));", taxa)
+	c2 := MustParseTree("((G,H),(I,(J,(E,(F,A)))));", taxa)
+	res, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic, MaxTrees: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != StopTreeLimit {
+		t.Fatalf("stop = %v, want tree-limit", res.Stop)
+	}
+	if res.Complete() {
+		t.Fatal("Complete() should be false")
+	}
+	res2, err := EnumerateStand([]*Tree{c1, c2}, Options{
+		Threads: 1, InitialTree: UseInitialTreeHeuristic, MaxTime: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stop != StopTimeLimit {
+		t.Fatalf("stop = %v, want time-limit", res2.Stop)
+	}
+}
+
+func TestReadWriteTrees(t *testing.T) {
+	in := "((A,B),(C,D));\n# comment\n\n((A,C),(B,D));\n"
+	trees, taxa, err := ReadTrees(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 || taxa.Len() != 4 {
+		t.Fatalf("read %d trees over %d taxa", len(trees), taxa.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteTrees(&buf, trees); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadTrees(strings.NewReader(buf.String()), taxa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trees {
+		if !back[i].SameTopology(trees[i]) {
+			t.Fatal("round trip changed topology")
+		}
+	}
+	if _, _, err := ReadTrees(strings.NewReader("\n#x\n"), nil); err == nil {
+		t.Fatal("expected error for empty tree file")
+	}
+}
+
+func TestReadPAMFacade(t *testing.T) {
+	in := "3 2\nA 1 0\nB 1 1\nC 0 1\n"
+	m, err := ReadPAM(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTaxa() != 3 || m.NumLoci() != 2 || !m.Has(1, 1) {
+		t.Fatal("PAM read wrong")
+	}
+}
+
+func TestReadTreesThenEnumerate(t *testing.T) {
+	// Regression: taxa that first appear in later trees must not leave
+	// earlier trees with undersized internal arrays (two-pass parse).
+	in := "((A,B),(C,D));\n((A,B),(C,E));\n((D,E),(A,F));\n"
+	cons, _, err := ReadTrees(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumerateStand(cons, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 1 {
+		t.Fatalf("stand = %d", res.StandTrees)
+	}
+}
+
+func TestReadTreesAutoNexus(t *testing.T) {
+	nex := "#NEXUS\nBEGIN TREES;\n TREE a = ((A,B),(C,D));\n TREE b = ((A,B),(C,E));\nEND;\n"
+	cons, taxa, err := ReadTreesAuto(strings.NewReader(nex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 || taxa.Len() != 5 {
+		t.Fatalf("NEXUS auto-read: %d trees, %d taxa", len(cons), taxa.Len())
+	}
+	res, err := EnumerateStand(cons, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StandTrees < 1 {
+		t.Fatal("empty stand")
+	}
+	// Plain Newick path still works through the same entry point.
+	plain := "((A,B),(C,D));\n"
+	cons2, _, err := ReadTreesAuto(strings.NewReader(plain))
+	if err != nil || len(cons2) != 1 {
+		t.Fatalf("plain auto-read failed: %v", err)
+	}
+	// NEXUS writer round-trips.
+	var buf bytes.Buffer
+	if err := WriteNexus(&buf, taxa, cons); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadTreesAuto(&buf)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("nexus round trip: %v", err)
+	}
+}

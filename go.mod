@@ -1,0 +1,3 @@
+module gentrius
+
+go 1.22

@@ -1,0 +1,216 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 65, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) after Remove")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := s.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+	s.Remove(0)
+	if got := s.Min(); got != 63 {
+		t.Fatalf("Min = %d, want 63", got)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	want := 0
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 && i%3 == 0 {
+			want++
+			if !inter.Has(i) {
+				t.Fatalf("intersection missing %d", i)
+			}
+		} else if inter.Has(i) {
+			t.Fatalf("intersection has %d", i)
+		}
+	}
+	if got := a.IntersectionCount(b); got != want {
+		t.Fatalf("IntersectionCount = %d, want %d", got, want)
+	}
+	if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	un := a.Clone()
+	un.UnionWith(b)
+	if !a.SubsetOf(un) || !b.SubsetOf(un) {
+		t.Fatal("operands not subset of union")
+	}
+	diff := a.Clone()
+	diff.SubtractWith(b)
+	if diff.Intersects(inter) {
+		t.Fatal("a\\b intersects a∩b")
+	}
+}
+
+func TestComplementWithin(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 127, 128, 200} {
+		s := New(n)
+		s.Add(0)
+		if n > 3 {
+			s.Add(3)
+		}
+		c := s.Clone()
+		c.ComplementWithin()
+		if got := c.Count() + s.Count(); got != n {
+			t.Fatalf("n=%d: |s|+|~s| = %d", n, got)
+		}
+		if c.Intersects(s) {
+			t.Fatalf("n=%d: complement intersects original", n)
+		}
+		c.ComplementWithin()
+		if !c.Equal(s) {
+			t.Fatalf("n=%d: double complement != original", n)
+		}
+	}
+}
+
+func TestNormalizedKey(t *testing.T) {
+	s := New(70)
+	s.Add(1)
+	s.Add(42)
+	c := s.Clone()
+	c.ComplementWithin()
+	if s.NormalizedKey() != c.NormalizedKey() {
+		t.Fatal("split key differs from complement's key")
+	}
+	o := New(70)
+	o.Add(2)
+	if s.NormalizedKey() == o.NormalizedKey() {
+		t.Fatal("distinct splits share a key")
+	}
+}
+
+func TestElementsAndForEach(t *testing.T) {
+	s := New(300)
+	want := []int{0, 17, 64, 128, 255, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	// Property: Key equality iff Equal.
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// Property: ~(a ∪ b) == ~a ∩ ~b within the universe.
+	f := func(xs, ys []uint8, nRaw uint8) bool {
+		n := int(nRaw)%200 + 56
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		lhs := a.Clone()
+		lhs.UnionWith(b)
+		lhs.ComplementWithin()
+		ca, cb := a.Clone(), b.Clone()
+		ca.ComplementWithin()
+		cb.ComplementWithin()
+		ca.IntersectWith(cb)
+		return lhs.Equal(ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetTransitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for it := 0; it < 200; it++ {
+		n := 64 + rng.Intn(100)
+		a := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				a.Add(i)
+			}
+		}
+		b := a.Clone()
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				b.Add(i)
+			}
+		}
+		c := b.Clone()
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				c.Add(i)
+			}
+		}
+		if !a.SubsetOf(b) || !b.SubsetOf(c) || !a.SubsetOf(c) {
+			t.Fatal("subset chain violated")
+		}
+	}
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	a, c := New(1024), New(1024)
+	for i := 0; i < 1024; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 1024; i += 5 {
+		c.Add(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.IntersectionCount(c)
+	}
+}

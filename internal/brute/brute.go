@@ -1,0 +1,108 @@
+// Package brute provides ground-truth stand enumeration by exhaustive
+// search: it generates every binary unrooted tree on the full taxon set
+// ((2n-5)!! of them) and keeps those that display all constraint trees.
+// It is only feasible for small universes (n <= 10 or so) and exists as the
+// test oracle that Gentrius and SUPERB are validated against.
+package brute
+
+import (
+	"fmt"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/tree"
+)
+
+// MaxTaxa is the largest universe EnumerateStand accepts: (2n-5)!! grows as
+// 2,027,025 already at n=11.
+const MaxTaxa = 10
+
+// ForEachTree calls f with every binary unrooted tree topology on all taxa
+// of the universe, exactly once each. The tree passed to f is reused; f must
+// not retain or modify it.
+func ForEachTree(taxa *tree.Taxa, f func(t *tree.Tree)) error {
+	n := taxa.Len()
+	if n > MaxTaxa {
+		return fmt.Errorf("brute: %d taxa exceeds limit %d", n, MaxTaxa)
+	}
+	if n < 3 {
+		t := tree.New(taxa)
+		if n >= 1 {
+			t.AddFirstLeaf(0)
+		}
+		if n >= 2 {
+			t.AddSecondLeaf(1)
+		}
+		f(t)
+		return nil
+	}
+	t := tree.New(taxa)
+	t.AddFirstLeaf(0)
+	t.AddSecondLeaf(1)
+	var rec func(x int)
+	rec = func(x int) {
+		if x == n {
+			f(t)
+			return
+		}
+		// Stepwise addition generates each topology exactly once.
+		for e := int32(0); e < int32(t.NumEdges()); e++ {
+			t.AttachLeaf(x, e)
+			rec(x + 1)
+			t.DetachLeaf(x)
+		}
+	}
+	rec(2)
+	return nil
+}
+
+// Displays reports whether t displays c: t's restriction to c's leaf set has
+// the same topology as c. t must contain all of c's taxa.
+func Displays(t, c *tree.Tree) bool {
+	return t.Restrict(c.LeafSet()).SameTopology(c)
+}
+
+// CompatibleWith reports whether t and c agree on their common taxa (the
+// pairwise-compatibility test for trees with overlapping leaf sets).
+func CompatibleWith(t, c *tree.Tree) bool {
+	common := t.LeafSet().Clone()
+	common.IntersectWith(c.LeafSet())
+	if common.Count() < 4 {
+		return true
+	}
+	return t.Restrict(common).SameTopology(c.Restrict(common))
+}
+
+// EnumerateStand returns the canonical Newick strings of every tree on the
+// full taxon set that displays all constraints, sorted by generation order.
+func EnumerateStand(taxa *tree.Taxa, constraints []*tree.Tree) ([]string, error) {
+	missing := bitset.New(taxa.Len())
+	for _, c := range constraints {
+		missing.UnionWith(c.LeafSet())
+	}
+	if missing.Count() != taxa.Len() {
+		return nil, fmt.Errorf("brute: some taxa occur in no constraint")
+	}
+	var out []string
+	err := ForEachTree(taxa, func(t *tree.Tree) {
+		for _, c := range constraints {
+			if !Displays(t, c) {
+				return
+			}
+		}
+		out = append(out, t.Newick())
+	})
+	return out, err
+}
+
+// CountTrees returns (2n-5)!!, the number of binary unrooted topologies on
+// n >= 3 labelled leaves (1 for n < 3).
+func CountTrees(n int) int64 {
+	if n < 3 {
+		return 1
+	}
+	c := int64(1)
+	for k := int64(3); k <= int64(n); k++ {
+		c *= 2*k - 5
+	}
+	return c
+}

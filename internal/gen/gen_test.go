@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gentrius/internal/search"
+	"gentrius/internal/tree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default(RegimeSimulated)
+	a := Generate(cfg, 7)
+	b := Generate(cfg, 7)
+	if a.Truth.Newick() != b.Truth.Newick() {
+		t.Fatal("truth tree not deterministic")
+	}
+	if len(a.Constraints) != len(b.Constraints) {
+		t.Fatal("constraint count not deterministic")
+	}
+	for i := range a.Constraints {
+		if a.Constraints[i].Newick() != b.Constraints[i].Newick() {
+			t.Fatal("constraints not deterministic")
+		}
+	}
+	c := Generate(cfg, 8)
+	if a.Truth.Newick() == c.Truth.Newick() {
+		t.Fatal("different indices produced identical truth trees")
+	}
+}
+
+func TestGenerateValidAndNonEmptyStand(t *testing.T) {
+	for _, regime := range []Regime{RegimeSimulated, RegimeEmpirical} {
+		cfg := Default(regime)
+		cfg.MinTaxa, cfg.MaxTaxa = 12, 20
+		cfg.MinLoci, cfg.MaxLoci = 4, 7
+		for idx := 0; idx < 8; idx++ {
+			ds := Generate(cfg, idx)
+			if err := ds.PAM.Validate(); err != nil {
+				t.Fatalf("%s: %v", ds.Name, err)
+			}
+			for _, c := range ds.Constraints {
+				if c.NumLeaves() < 4 {
+					t.Fatalf("%s: constraint with %d leaves", ds.Name, c.NumLeaves())
+				}
+				// Each constraint is displayed by the truth tree.
+				if !ds.Truth.Restrict(c.LeafSet()).SameTopology(c) {
+					t.Fatalf("%s: constraint not induced from truth", ds.Name)
+				}
+			}
+			// The stand contains at least the truth tree.
+			res, err := search.Run(ds.Constraints, search.Options{
+				InitialTree: -1,
+				Limits:      search.Limits{MaxTrees: 1000, MaxStates: 200000},
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", ds.Name, err)
+			}
+			if res.StandTrees < 1 {
+				t.Fatalf("%s: empty stand", ds.Name)
+			}
+		}
+	}
+}
+
+func TestMissingFractionInRange(t *testing.T) {
+	for _, regime := range []Regime{RegimeSimulated, RegimeEmpirical} {
+		cfg := Default(regime)
+		cfg.MinTaxa, cfg.MaxTaxa = 30, 50
+		total := 0.0
+		k := 12
+		for idx := 0; idx < k; idx++ {
+			ds := Generate(cfg, idx)
+			total += ds.PAM.MissingFraction()
+		}
+		mean := total / float64(k)
+		// The repair step and empirical heterogeneity shift the fraction;
+		// demand the corpus mean lies broadly in the configured band.
+		if mean < cfg.MinMissing-0.15 || mean > cfg.MaxMissing+0.15 {
+			t.Fatalf("%v: corpus mean missing fraction %.3f outside [%.2f,%.2f]±0.15",
+				regime, mean, cfg.MinMissing, cfg.MaxMissing)
+		}
+	}
+}
+
+func TestEmpiricalIsMoreHeterogeneous(t *testing.T) {
+	// Variance of per-locus coverage should be clearly higher for the
+	// empirical regime: that is the property the substitution preserves.
+	// Average *within-dataset* variance of per-locus coverage, so that
+	// dataset-to-dataset missingness differences do not contribute.
+	covVar := func(r Regime) float64 {
+		cfg := Default(r)
+		cfg.MinTaxa, cfg.MaxTaxa = 40, 40
+		cfg.MinLoci, cfg.MaxLoci = 10, 10
+		total := 0.0
+		for idx := 0; idx < 10; idx++ {
+			ds := Generate(cfg, idx)
+			var vals []float64
+			for j := 0; j < ds.PAM.NumLoci(); j++ {
+				vals = append(vals, float64(ds.PAM.Column(j).Count())/float64(ds.PAM.NumTaxa()))
+			}
+			mean := 0.0
+			for _, v := range vals {
+				mean += v
+			}
+			mean /= float64(len(vals))
+			va := 0.0
+			for _, v := range vals {
+				va += (v - mean) * (v - mean)
+			}
+			total += va / float64(len(vals))
+		}
+		return total / 10
+	}
+	sim, emp := covVar(RegimeSimulated), covVar(RegimeEmpirical)
+	if !(emp > 2*sim) {
+		t.Fatalf("empirical coverage variance %.4f not clearly above simulated %.4f", emp, sim)
+	}
+}
+
+func TestYuleTreeBalance(t *testing.T) {
+	// Yule trees should on average be more balanced (smaller max pendant
+	// path depth) than uniform trees at the same size.
+	taxa := tree.MustTaxa(TaxonNames(64))
+	depthOf := func(tr *tree.Tree) int {
+		ix := tree.NewStaticIndex(tr)
+		max := int32(0)
+		for x := 0; x < 64; x++ {
+			if d := ix.Depth(tr.LeafNode(x)); d > max {
+				max = d
+			}
+		}
+		return int(max)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sumY, sumU := 0, 0
+	for i := 0; i < 20; i++ {
+		sumY += depthOf(YuleTree(taxa, rng))
+		sumU += depthOf(RandomTree(taxa, rng))
+	}
+	if !(float64(sumY) < float64(sumU)*0.95) {
+		t.Fatalf("Yule trees not more balanced: %d vs %d", sumY, sumU)
+	}
+}
+
+func TestRandomCladeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	taxa := tree.MustTaxa(TaxonNames(30))
+	tr := RandomTree(taxa, rng)
+	for i := 0; i < 50; i++ {
+		c := randomClade(rng, tr, 7)
+		if c.Count() < 1 || c.Count() > int(math.Max(7, 1)) {
+			t.Fatalf("clade size %d outside [1,7]", c.Count())
+		}
+	}
+}

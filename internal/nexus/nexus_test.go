@@ -1,0 +1,145 @@
+package nexus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gentrius/internal/tree"
+)
+
+const sample = `#NEXUS
+[ a comment ]
+BEGIN TAXA;
+  DIMENSIONS NTAX=5;
+  TAXLABELS A B C D 'sp. five';
+END;
+
+BEGIN TREES;
+  TREE one = [&U] ((A,B),(C,D));
+  TREE two = ((A,B),(C,'sp. five'));
+END;
+`
+
+func TestReadBasic(t *testing.T) {
+	f, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Taxa.Len() != 5 {
+		t.Fatalf("taxa = %d, want 5", f.Taxa.Len())
+	}
+	if len(f.Trees) != 2 || f.Trees[0].Name != "one" || f.Trees[1].Name != "two" {
+		t.Fatalf("trees parsed wrong: %+v", f.Trees)
+	}
+	if f.Trees[0].Tree.NumLeaves() != 4 || f.Trees[1].Tree.NumLeaves() != 4 {
+		t.Fatal("leaf counts wrong")
+	}
+	if id, ok := f.Taxa.ID("sp. five"); !ok || !f.Trees[1].Tree.HasTaxon(id) {
+		t.Fatal("quoted taxon lost")
+	}
+	// All trees must cover the full universe internally (the ReadTrees
+	// regression property).
+	for _, nt := range f.Trees {
+		if nt.Tree.LeafSet().Len() != f.Taxa.Len() {
+			t.Fatal("tree built before universe completed")
+		}
+	}
+}
+
+func TestReadTranslate(t *testing.T) {
+	in := `#NEXUS
+BEGIN TREES;
+  TRANSLATE 1 Alpha, 2 Beta, 3 Gamma, 4 Delta;
+  TREE t = ((1,2),(3,4));
+END;
+`
+	f, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Alpha", "Beta", "Gamma", "Delta"} {
+		if _, ok := f.Taxa.ID(name); !ok {
+			t.Fatalf("translated taxon %s missing", name)
+		}
+	}
+	if _, ok := f.Taxa.ID("1"); ok {
+		t.Fatal("numeric key leaked into universe")
+	}
+}
+
+func TestReadWithBranchLengthsAndComments(t *testing.T) {
+	in := `#NEXUS
+BEGIN TREES;
+  TREE a = [&U] ((A:0.1,B:0.2):0.05,(C:1e-3,D:2));  [ trailing comment ]
+END;
+`
+	f, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trees[0].Tree.NumLeaves() != 4 {
+		t.Fatal("tree lost leaves")
+	}
+}
+
+func TestReadUnknownBlocksSkipped(t *testing.T) {
+	in := `#NEXUS
+BEGIN CHARACTERS;
+  DIMENSIONS NCHAR=3;
+  MATRIX A 010 B 110;
+END;
+BEGIN TREES;
+  TREE t = ((A,B),(C,D));
+END;
+`
+	f, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 1 || f.Taxa.Len() != 4 {
+		t.Fatalf("unexpected parse: %d trees, %d taxa", len(f.Trees), f.Taxa.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not nexus",
+		"#NEXUS\nBEGIN TREES;\nEND;\n",           // no trees
+		"#NEXUS\nBEGIN TAXA;\nTAXLABELS A",       // unterminated
+		"#NEXUS\nBEGIN TREES;\nTREE t ((A,B));",  // missing '='
+		"#NEXUS\n[unterminated comment",          // comment
+		"#NEXUS\nBEGIN TREES;\nTREE t = 'x;END;", // unterminated quote
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("%q: expected error", c)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "sp. five"})
+	t1 := tree.MustParse("((A,B),(C,'sp. five'));", taxa)
+	t2 := tree.MustParse("((A,C),(B,'sp. five'));", taxa)
+	var buf bytes.Buffer
+	err := Write(&buf, taxa, []NamedTree{{Name: "x", Tree: t1}, {Tree: t2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if len(f.Trees) != 2 {
+		t.Fatalf("round trip lost trees:\n%s", buf.String())
+	}
+	want1 := t1.Newick()
+	if got := f.Trees[0].Tree.Newick(); got != want1 {
+		t.Fatalf("round trip changed topology: %s vs %s", got, want1)
+	}
+	if f.Trees[1].Name != "tree_2" {
+		t.Fatalf("default name = %q", f.Trees[1].Name)
+	}
+}

@@ -1,0 +1,223 @@
+// Package pam implements presence–absence matrices (PAMs): the binary
+// species × locus matrices that summarize data availability in multi-locus
+// phylogenetic datasets. A PAM together with a complete species tree induces
+// the set of per-locus constraint trees that Gentrius enumerates stands from.
+package pam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/tree"
+)
+
+// Matrix is a presence–absence matrix over a taxon universe. Column j holds
+// the set of taxa with data for locus j.
+type Matrix struct {
+	taxa *tree.Taxa
+	cols []*bitset.Set
+}
+
+// New returns a PAM with the given number of loci, all entries absent.
+func New(taxa *tree.Taxa, loci int) *Matrix {
+	cols := make([]*bitset.Set, loci)
+	for j := range cols {
+		cols[j] = bitset.New(taxa.Len())
+	}
+	return &Matrix{taxa: taxa, cols: cols}
+}
+
+// Taxa returns the taxon universe.
+func (m *Matrix) Taxa() *tree.Taxa { return m.taxa }
+
+// NumLoci returns the number of loci (columns).
+func (m *Matrix) NumLoci() int { return len(m.cols) }
+
+// NumTaxa returns the number of taxa (rows).
+func (m *Matrix) NumTaxa() int { return m.taxa.Len() }
+
+// Set marks taxon i as present for locus j.
+func (m *Matrix) Set(i, j int) { m.cols[j].Add(i) }
+
+// Unset marks taxon i as absent for locus j.
+func (m *Matrix) Unset(i, j int) { m.cols[j].Remove(i) }
+
+// Has reports whether taxon i has data for locus j.
+func (m *Matrix) Has(i, j int) bool { return m.cols[j].Has(i) }
+
+// Column returns the presence set of locus j. The caller must not modify it.
+func (m *Matrix) Column(j int) *bitset.Set { return m.cols[j] }
+
+// CoveredTaxa returns the set of taxa present in at least one locus.
+func (m *Matrix) CoveredTaxa() *bitset.Set {
+	s := bitset.New(m.taxa.Len())
+	for _, c := range m.cols {
+		s.UnionWith(c)
+	}
+	return s
+}
+
+// MissingFraction returns the proportion of 0 entries.
+func (m *Matrix) MissingFraction() float64 {
+	if m.NumTaxa() == 0 || m.NumLoci() == 0 {
+		return 0
+	}
+	present := 0
+	for _, c := range m.cols {
+		present += c.Count()
+	}
+	return 1 - float64(present)/float64(m.NumTaxa()*m.NumLoci())
+}
+
+// ComprehensiveTaxa returns the taxa that have data for every locus — the
+// taxa SUPERB-style rooted algorithms require at least one of.
+func (m *Matrix) ComprehensiveTaxa() *bitset.Set {
+	s := bitset.New(m.taxa.Len())
+	if len(m.cols) == 0 {
+		return s
+	}
+	s.CopyFrom(m.cols[0])
+	for _, c := range m.cols[1:] {
+		s.IntersectWith(c)
+	}
+	return s
+}
+
+// Validate checks that the PAM is usable for stand enumeration: every taxon
+// occurs in at least one locus and every locus covers at least one taxon.
+func (m *Matrix) Validate() error {
+	cov := m.CoveredTaxa()
+	if got := cov.Count(); got != m.NumTaxa() {
+		return fmt.Errorf("pam: %d of %d taxa have no data in any locus", m.NumTaxa()-got, m.NumTaxa())
+	}
+	for j, c := range m.cols {
+		if c.Empty() {
+			return fmt.Errorf("pam: locus %d covers no taxa", j)
+		}
+	}
+	return nil
+}
+
+// InducedConstraints restricts the complete species tree to each locus'
+// presence set, returning the per-locus constraint trees (loci with fewer
+// than minTaxa present taxa are skipped; Gentrius conventionally uses
+// minTaxa=4 since smaller induced trees are topologically vacuous).
+func (m *Matrix) InducedConstraints(species *tree.Tree, minTaxa int) ([]*tree.Tree, error) {
+	if species.NumLeaves() != m.NumTaxa() {
+		return nil, fmt.Errorf("pam: species tree has %d leaves, PAM has %d taxa", species.NumLeaves(), m.NumTaxa())
+	}
+	var out []*tree.Tree
+	for j, c := range m.cols {
+		if c.Count() < minTaxa {
+			continue
+		}
+		if !c.SubsetOf(species.LeafSet()) {
+			return nil, fmt.Errorf("pam: locus %d references taxa absent from the species tree", j)
+		}
+		out = append(out, species.Restrict(c))
+	}
+	return out, nil
+}
+
+// Write serializes the PAM in the simple text format used by this module
+// (and by terrace-aware tools): a header line "<taxa> <loci>", then one line
+// per taxon: "name 0 1 0 ...".
+func (m *Matrix) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", m.NumTaxa(), m.NumLoci())
+	for i := 0; i < m.NumTaxa(); i++ {
+		fmt.Fprint(bw, m.taxa.Name(i))
+		for j := 0; j < m.NumLoci(); j++ {
+			if m.Has(i, j) {
+				fmt.Fprint(bw, " 1")
+			} else {
+				fmt.Fprint(bw, " 0")
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write. If taxa is nil a fresh universe
+// is created from the row names; otherwise the row names must match ids in
+// the given universe.
+func Read(r io.Reader, taxa *tree.Taxa) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("pam: empty input")
+	}
+	var nt, nl int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d %d", &nt, &nl); err != nil {
+		return nil, fmt.Errorf("pam: bad header: %w", err)
+	}
+	fresh := taxa == nil
+	if fresh {
+		taxa = tree.MustTaxa(nil)
+	}
+	rows := make([][]bool, 0, nt)
+	ids := make([]int, 0, nt)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != nl+1 {
+			return nil, fmt.Errorf("pam: row %q has %d fields, want %d", fields[0], len(fields), nl+1)
+		}
+		var id int
+		if fresh {
+			var err error
+			if id, err = taxa.Add(fields[0]); err != nil {
+				return nil, err
+			}
+		} else {
+			var ok bool
+			if id, ok = taxa.ID(fields[0]); !ok {
+				return nil, fmt.Errorf("pam: unknown taxon %q", fields[0])
+			}
+		}
+		row := make([]bool, nl)
+		for j, f := range fields[1:] {
+			switch f {
+			case "1":
+				row[j] = true
+			case "0":
+			default:
+				return nil, fmt.Errorf("pam: bad entry %q in row %q", f, fields[0])
+			}
+		}
+		rows = append(rows, row)
+		ids = append(ids, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) != nt {
+		return nil, fmt.Errorf("pam: got %d rows, header says %d", len(rows), nt)
+	}
+	m := New(taxa, nl)
+	for k, row := range rows {
+		for j, p := range row {
+			if p {
+				m.Set(ids[k], j)
+			}
+		}
+	}
+	return m, nil
+}
+
+// FromConstraints derives the PAM implied by a set of constraint trees: one
+// locus per tree, presence = the tree's leaf set.
+func FromConstraints(taxa *tree.Taxa, constraints []*tree.Tree) *Matrix {
+	m := New(taxa, len(constraints))
+	for j, c := range constraints {
+		c.LeafSet().ForEach(func(i int) { m.Set(i, j) })
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package pam
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gentrius/internal/tree"
+)
+
+func mkTaxa(n int) *tree.Taxa {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "t" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	return tree.MustTaxa(names)
+}
+
+func TestBasicAccessors(t *testing.T) {
+	taxa := mkTaxa(5)
+	m := New(taxa, 3)
+	m.Set(0, 0)
+	m.Set(1, 0)
+	m.Set(2, 1)
+	if !m.Has(0, 0) || m.Has(0, 1) {
+		t.Fatal("Has wrong")
+	}
+	if m.NumLoci() != 3 || m.NumTaxa() != 5 {
+		t.Fatal("dims wrong")
+	}
+	m.Unset(0, 0)
+	if m.Has(0, 0) {
+		t.Fatal("Unset failed")
+	}
+}
+
+func TestMissingFraction(t *testing.T) {
+	taxa := mkTaxa(4)
+	m := New(taxa, 2)
+	if got := m.MissingFraction(); got != 1 {
+		t.Fatalf("empty PAM missing fraction = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(i, j)
+		}
+	}
+	if got := m.MissingFraction(); got != 0 {
+		t.Fatalf("full PAM missing fraction = %v", got)
+	}
+	m.Unset(0, 0)
+	m.Unset(1, 1)
+	if got := m.MissingFraction(); got != 0.25 {
+		t.Fatalf("missing fraction = %v, want 0.25", got)
+	}
+}
+
+func TestComprehensiveTaxa(t *testing.T) {
+	taxa := mkTaxa(3)
+	m := New(taxa, 2)
+	m.Set(0, 0)
+	m.Set(0, 1)
+	m.Set(1, 0)
+	m.Set(2, 1)
+	ct := m.ComprehensiveTaxa()
+	if ct.Count() != 1 || !ct.Has(0) {
+		t.Fatalf("comprehensive taxa = %v", ct)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	taxa := mkTaxa(3)
+	m := New(taxa, 2)
+	m.Set(0, 0)
+	m.Set(1, 0)
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error: taxon 2 uncovered, locus 1 empty")
+	}
+	m.Set(2, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedConstraints(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E", "F"})
+	sp := tree.MustParse("((A,(B,C)),(D,(E,F)));", taxa)
+	m := New(taxa, 3)
+	// Locus 0: all; locus 1: A B D E; locus 2: only A B C (3 taxa, skipped
+	// at minTaxa=4).
+	for i := 0; i < 6; i++ {
+		m.Set(i, 0)
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		m.Set(i, 1)
+	}
+	for _, i := range []int{0, 1, 2} {
+		m.Set(i, 2)
+	}
+	cs, err := m.InducedConstraints(sp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("%d constraints, want 2", len(cs))
+	}
+	if !cs[0].SameTopology(sp) {
+		t.Fatal("full locus should induce the species tree itself")
+	}
+	want := tree.MustParse("((A,B),(D,E));", taxa)
+	if !cs[1].SameTopology(want) {
+		t.Fatalf("induced constraint = %s, want %s", cs[1].Newick(), want.Newick())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	taxa := mkTaxa(12)
+	m := New(taxa, 7)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 7; j++ {
+			if rng.Intn(3) > 0 {
+				m.Set(i, j)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), taxa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 7; j++ {
+			if m.Has(i, j) != back.Has(i, j) {
+				t.Fatalf("entry (%d,%d) changed", i, j)
+			}
+		}
+	}
+	// Fresh-universe read.
+	back2, err := Read(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.NumTaxa() != 12 || back2.NumLoci() != 7 {
+		t.Fatal("fresh read dims wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x y\n",
+		"2 2\nA 1 0\n",    // missing row
+		"1 2\nA 1\n",      // short row
+		"1 2\nA 1 2\n",    // bad entry
+		"1 1\nZZZ 1\n",    // unknown taxon (with fixed universe)
+		"2 1\nA 1\nA 1\n", // duplicate with nil universe? caught by Add
+	}
+	taxa := tree.MustTaxa([]string{"A", "B"})
+	for _, c := range cases {
+		// Each case must fail with a fixed universe, a fresh universe, or
+		// both (the duplicate-row case only errors with a fresh universe).
+		if _, err := Read(strings.NewReader(c), taxa); err == nil {
+			if _, err2 := Read(strings.NewReader(c), nil); err2 == nil {
+				t.Fatalf("%q: expected error", c)
+			}
+		}
+	}
+}
+
+func TestFromConstraints(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E"})
+	c1 := tree.MustParse("((A,B),(C,D));", taxa)
+	c2 := tree.MustParse("((B,C),(D,E));", taxa)
+	m := FromConstraints(taxa, []*tree.Tree{c1, c2})
+	if m.NumLoci() != 2 {
+		t.Fatal("wrong loci")
+	}
+	if !m.Has(0, 0) || m.Has(4, 0) || !m.Has(4, 1) || m.Has(0, 1) {
+		t.Fatal("presence wrong")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

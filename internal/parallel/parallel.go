@@ -1,0 +1,407 @@
+// Package parallel implements the paper's shared-memory parallel Gentrius:
+// a pool of workers (goroutines standing in for OpenMP threads), each with a
+// fully private copy of the search state, cooperating through a bounded task
+// queue guarded by a mutex and condition variable (the Go equivalents of the
+// paper's OpenMP locks and std::condition_variable).
+//
+// Execution proceeds exactly as in Sec. III of the paper:
+//
+//  1. every worker independently builds its own Terrace from the input and
+//     replays the deterministic prefix to the initial-split state I_0;
+//  2. the initial split's admissible branches are partitioned evenly across
+//     workers; extra workers start in the stealing pool;
+//  3. while exploring, a worker that pushes a branch-and-bound frame with
+//     two or more admissible branches — and has three or more remaining taxa
+//     and sees space in the queue — submits half of the branches as a task,
+//     together with the path from I_0 to its current state;
+//  4. an idle worker dequeues the task, replays the path onto its own agile
+//     tree, and resumes the search from the precomputed frame, skipping the
+//     getAllowedBranches call (Algorithm 1, line 2);
+//  5. global stand-tree / intermediate-state / dead-end counters are shared
+//     atomics, updated in batches (2^10 / 2^13 / 2^10 by default) to avoid
+//     contention; each flush re-evaluates the stopping rules and, when one
+//     fires, raises a stop flag that all workers poll — so, like the paper's
+//     implementation, the limits can be overshot slightly.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gentrius/internal/search"
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// Default flush batch sizes (paper Sec. III-B).
+const (
+	DefaultTreeBatch    = 1 << 10
+	DefaultStateBatch   = 1 << 13
+	DefaultDeadEndBatch = 1 << 10
+)
+
+// DefaultQueueCap is the paper's task-queue capacity rule: N_t+1 below 8
+// threads, N_t/2 from 8 up.
+func DefaultQueueCap(threads int) int {
+	if threads < 8 {
+		return threads + 1
+	}
+	return threads / 2
+}
+
+// MinRemainingToSubmit is the paper's depth restriction: workers with fewer
+// than this many remaining taxa do not submit tasks.
+const MinRemainingToSubmit = 3
+
+// Options configures a parallel run.
+type Options struct {
+	Threads int
+	Limits  search.Limits
+
+	// InitialTree: constraint index, or negative for the paper's heuristic.
+	InitialTree int
+
+	// CollectTrees gathers every stand tree's canonical Newick (merged
+	// across workers, unordered).
+	CollectTrees bool
+
+	// Batch sizes for global counter flushes; zero selects the defaults.
+	// Setting a batch to 1 reproduces the unbatched ablation.
+	TreeBatch, StateBatch, DeadEndBatch int64
+
+	// QueueCap overrides the task queue capacity (zero: paper rule).
+	QueueCap int
+
+	// MinRemaining overrides the task-submission depth restriction
+	// (zero: paper value of 3).
+	MinRemaining int
+
+	// Heuristic refines the dynamic taxon selection used by every worker
+	// (zero value: the paper's min-branches rule).
+	Heuristic search.OrderHeuristic
+}
+
+// Result of a parallel run.
+type Result struct {
+	search.Counters
+	Stop         search.StopReason
+	Elapsed      time.Duration
+	Trees        []string
+	InitialIndex int
+	PrefixLen    int
+	TasksStolen  int64
+	PerWorker    []search.Counters
+}
+
+// task is a unit of stealable work (paper Sec. III-A).
+type task struct {
+	path     []search.PathStep
+	taxon    int
+	branches []int32
+}
+
+// queue is the bounded task queue plus the pool's termination accounting.
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   []task
+	cap     int
+	idle    int
+	workers int
+	done    bool
+	stolen  int64
+}
+
+func newQueue(cap, workers int) *queue {
+	q := &queue{cap: cap, workers: workers}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// trySubmit enqueues t if there is capacity, waking one idle worker.
+func (q *queue) trySubmit(t task) bool {
+	q.mu.Lock()
+	if q.done || len(q.tasks) >= q.cap {
+		q.mu.Unlock()
+		return false
+	}
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// steal blocks until a task is available or the pool terminates. The second
+// return is false on termination.
+func (q *queue) steal() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.idle++
+	for {
+		if q.done {
+			return task{}, false
+		}
+		if len(q.tasks) > 0 {
+			t := q.tasks[0]
+			q.tasks = q.tasks[1:]
+			q.idle--
+			q.stolen++
+			return t, true
+		}
+		if q.idle == q.workers {
+			// Everyone is waiting and the queue is empty: no work remains.
+			q.done = true
+			q.cond.Broadcast()
+			return task{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// shutdown wakes all waiters and marks the pool finished (stop-rule path).
+func (q *queue) shutdown() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// globals holds the shared atomic counters and the stop flag.
+type globals struct {
+	trees   atomic.Int64
+	states  atomic.Int64
+	dead    atomic.Int64
+	stop    atomic.Bool
+	reason  atomic.Int32
+	limits  search.Limits
+	started time.Time
+}
+
+func (g *globals) snapshot() search.Counters {
+	return search.Counters{
+		StandTrees:         g.trees.Load(),
+		IntermediateStates: g.states.Load(),
+		DeadEnds:           g.dead.Load(),
+	}
+}
+
+// raise sets the stop flag once with the given reason.
+func (g *globals) raise(r search.StopReason) {
+	if g.stop.CompareAndSwap(false, true) {
+		g.reason.Store(int32(r))
+	}
+}
+
+// checkLimits evaluates the stopping rules against the global counters.
+func (g *globals) checkLimits() {
+	if r, hit := g.limits.Exceeded(g.snapshot(), time.Since(g.started)); hit {
+		g.raise(r)
+	}
+}
+
+// Run enumerates the stand with opt.Threads workers. With Threads <= 1 it
+// still exercises the full pool machinery with a single worker.
+func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
+	if opt.Threads <= 0 {
+		opt.Threads = 1
+	}
+	opt.Limits = opt.Limits.Normalize()
+	if opt.TreeBatch <= 0 {
+		opt.TreeBatch = DefaultTreeBatch
+	}
+	if opt.StateBatch <= 0 {
+		opt.StateBatch = DefaultStateBatch
+	}
+	if opt.DeadEndBatch <= 0 {
+		opt.DeadEndBatch = DefaultDeadEndBatch
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = DefaultQueueCap(opt.Threads)
+	}
+	if opt.MinRemaining <= 0 {
+		opt.MinRemaining = MinRemainingToSubmit
+	}
+
+	res := &Result{Stop: search.StopExhausted}
+	g := &globals{limits: opt.Limits, started: time.Now()}
+
+	idx := opt.InitialTree
+	if idx < 0 {
+		idx = search.ChooseInitialTree(constraints)
+	}
+	if idx >= len(constraints) {
+		return nil, fmt.Errorf("parallel: initial tree index %d out of range", idx)
+	}
+	res.InitialIndex = idx
+
+	// Coordinator: build one terrace, walk the deterministic prefix.
+	t0, err := terrace.New(constraints, idx)
+	if err != nil {
+		if errors.Is(err, terrace.ErrIncompatible) {
+			res.Elapsed = time.Since(g.started)
+			return res, nil
+		}
+		return nil, err
+	}
+	prefix := search.PrefixWalkH(t0, opt.Heuristic)
+	res.PrefixLen = len(prefix.Path)
+	res.Counters.Add(prefix.Counters)
+	if prefix.Terminal {
+		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
+			res.Trees = append(res.Trees, t0.Agile().Newick())
+		}
+		res.Elapsed = time.Since(g.started)
+		return res, nil
+	}
+	g.states.Store(prefix.Counters.IntermediateStates)
+	g.dead.Store(prefix.Counters.DeadEnds)
+
+	parts := search.PartitionBranches(prefix.SplitBranches, opt.Threads)
+	q := newQueue(opt.QueueCap, opt.Threads)
+
+	perWorker := make([]search.Counters, opt.Threads)
+	treeSets := make([][]string, opt.Threads)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(w, constraints, idx, prefix, parts[w], q, g, opt,
+				&perWorker[w], &treeSets[w])
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range perWorker {
+		res.Counters.Add(perWorker[w])
+		res.Trees = append(res.Trees, treeSets[w]...)
+	}
+	res.PerWorker = perWorker
+	res.TasksStolen = q.stolen
+	if g.stop.Load() {
+		res.Stop = search.StopReason(g.reason.Load())
+	}
+	res.Elapsed = time.Since(g.started)
+	return res, nil
+}
+
+// runWorker is the body of one pool worker.
+func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixResult,
+	myBranches []int32, q *queue, g *globals, opt Options,
+	total *search.Counters, trees *[]string) {
+
+	t, err := terrace.New(constraints, idx)
+	if err != nil {
+		// The coordinator already built the same input successfully; a
+		// failure here is a programming error.
+		panic(fmt.Sprintf("parallel: worker %d terrace build failed: %v", w, err))
+	}
+	for _, s := range prefix.Path {
+		t.ExtendTaxon(s.Taxon, s.Edge)
+	}
+	baseDepth := t.Depth() // I_0
+
+	var local search.Counters // since last flush
+	flush := func() {
+		if local.StandTrees != 0 {
+			g.trees.Add(local.StandTrees)
+		}
+		if local.IntermediateStates != 0 {
+			g.states.Add(local.IntermediateStates)
+		}
+		if local.DeadEnds != 0 {
+			g.dead.Add(local.DeadEnds)
+		}
+		total.Add(local)
+		local = search.Counters{}
+		g.checkLimits()
+		if g.stop.Load() {
+			q.shutdown()
+		}
+	}
+
+	var basePath []search.PathStep // path of the current task from I_0
+
+	runEngine := func(eng *search.Engine) {
+		eng.Heuristic = opt.Heuristic
+		var prev search.Counters
+		eng.OnFramePushed = func(f *search.Frame) int {
+			if eng.RemainingTaxa() < opt.MinRemaining {
+				return 0
+			}
+			n := len(f.Branches) / 2
+			if n == 0 {
+				return 0
+			}
+			path := append([]search.PathStep(nil), basePath...)
+			path = eng.Path(path)
+			tk := task{path: path, taxon: f.Taxon,
+				branches: append([]int32(nil), f.Branches[len(f.Branches)-n:]...)}
+			if !q.trySubmit(tk) {
+				return 0
+			}
+			return n
+		}
+		if opt.CollectTrees {
+			eng.OnTree = func(nw string) { *trees = append(*trees, nw) }
+		}
+		steps := 0
+		for {
+			if eng.Step() == search.EvDone {
+				break
+			}
+			c := eng.Counters()
+			local.StandTrees += c.StandTrees - prev.StandTrees
+			local.IntermediateStates += c.IntermediateStates - prev.IntermediateStates
+			local.DeadEnds += c.DeadEnds - prev.DeadEnds
+			prev = c
+			if local.StandTrees >= opt.TreeBatch ||
+				local.IntermediateStates >= opt.StateBatch ||
+				local.DeadEnds >= opt.DeadEndBatch {
+				flush()
+			}
+			steps++
+			if steps&1023 == 0 {
+				g.checkLimits()
+			}
+			if g.stop.Load() {
+				break
+			}
+		}
+		flush()
+		// Rewind to the engine's base state (mid-flight stop leaves
+		// insertions applied).
+		for t.Depth() > baseDepth+len(basePath) {
+			t.RemoveTaxon()
+		}
+	}
+
+	// Phase 1: the initial-split share.
+	if len(myBranches) > 0 && !g.stop.Load() {
+		runEngine(search.NewEngineWithFrame(t, prefix.SplitTaxon, myBranches))
+	}
+
+	// Phase 2: stealing pool.
+	for !g.stop.Load() {
+		tk, ok := q.steal()
+		if !ok {
+			break
+		}
+		basePath = tk.path
+		for _, s := range tk.path {
+			t.ExtendTaxon(s.Taxon, s.Edge)
+		}
+		runEngine(search.NewEngineWithFrame(t, tk.taxon, tk.branches))
+		for range tk.path {
+			t.RemoveTaxon()
+		}
+		basePath = nil
+	}
+	if g.stop.Load() {
+		q.shutdown()
+	}
+	flush()
+}

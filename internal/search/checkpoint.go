@@ -1,0 +1,142 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// Checkpoint is a serializable snapshot of a running enumeration. The
+// paper's third stopping rule defaults to 168 hours; runs of that length
+// need to survive restarts. A checkpoint captures the branch-and-bound
+// stack (each frame's taxon, branch list and position) plus the counters;
+// together with the original input it restores the engine to the exact
+// state, and the resumed run produces exactly the remaining work.
+//
+// The constraint trees themselves are NOT stored: the caller re-supplies
+// the same input (same trees, same order) on restore, and a fingerprint
+// guards against mismatches.
+type Checkpoint struct {
+	Version      int             `json:"version"`
+	Fingerprint  string          `json:"fingerprint"`
+	InitialIndex int             `json:"initial_index"`
+	Heuristic    OrderHeuristic  `json:"heuristic"`
+	Frames       []frameSnapshot `json:"frames"`
+	Counters     Counters        `json:"counters"`
+	Done         bool            `json:"done"`
+	Started      bool            `json:"started"`
+}
+
+type frameSnapshot struct {
+	Taxon    int     `json:"taxon"`
+	Branches []int32 `json:"branches"`
+	Idx      int     `json:"idx"`
+	Inserted bool    `json:"inserted"`
+}
+
+// checkpointVersion guards the serialization format.
+const checkpointVersion = 1
+
+// fingerprint identifies a constraint-tree input (order-sensitive).
+func fingerprint(constraints []*tree.Tree) string {
+	h := uint64(1469598103934665603) // FNV-1a
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	for _, c := range constraints {
+		mix(c.Newick())
+		mix("|")
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Snapshot captures the engine's current state. It must not be called on an
+// engine created with NewEngineWithFrame (worker task engines are transient;
+// checkpointing applies to whole serial runs).
+func (e *Engine) Snapshot(constraints []*tree.Tree, initialIndex int) *Checkpoint {
+	cp := &Checkpoint{
+		Version:      checkpointVersion,
+		Fingerprint:  fingerprint(constraints),
+		InitialIndex: initialIndex,
+		Heuristic:    e.Heuristic,
+		Counters:     e.counters,
+		Done:         e.done,
+		Started:      e.started,
+	}
+	for i := range e.frames {
+		f := &e.frames[i]
+		cp.Frames = append(cp.Frames, frameSnapshot{
+			Taxon:    f.Taxon,
+			Branches: append([]int32(nil), f.Branches...),
+			Idx:      f.idx,
+			Inserted: f.inserted,
+		})
+	}
+	return cp
+}
+
+// Restore rebuilds an engine from a checkpoint and the original input.
+func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("search: checkpoint version %d not supported", cp.Version)
+	}
+	if got := fingerprint(constraints); got != cp.Fingerprint {
+		return nil, fmt.Errorf("search: checkpoint was taken on different input (fingerprint %s, input %s)",
+			cp.Fingerprint, got)
+	}
+	if cp.InitialIndex < 0 || cp.InitialIndex >= len(constraints) {
+		return nil, fmt.Errorf("search: checkpoint initial index %d out of range", cp.InitialIndex)
+	}
+	t, err := terrace.New(constraints, cp.InitialIndex)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngine(t)
+	e.Heuristic = cp.Heuristic
+	e.started = true
+	e.counters = cp.Counters
+	for _, fs := range cp.Frames {
+		f := Frame{
+			Taxon:    fs.Taxon,
+			Branches: append([]int32(nil), fs.Branches...),
+			idx:      fs.Idx,
+			inserted: fs.Inserted,
+		}
+		if fs.Idx < 0 || fs.Idx > len(fs.Branches) {
+			return nil, fmt.Errorf("search: corrupt checkpoint frame (idx %d of %d branches)",
+				fs.Idx, len(fs.Branches))
+		}
+		if f.inserted {
+			if f.idx == 0 {
+				return nil, fmt.Errorf("search: corrupt checkpoint frame (inserted with idx 0)")
+			}
+			t.ExtendTaxon(f.Taxon, f.Branches[f.idx-1])
+		}
+		e.frames = append(e.frames, f)
+	}
+	e.done = cp.Done
+	e.started = cp.Started
+	return e, nil
+}
+
+// Write serializes the checkpoint as JSON.
+func (cp *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint parses a JSON checkpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("search: reading checkpoint: %w", err)
+	}
+	return &cp, nil
+}

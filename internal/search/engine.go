@@ -1,0 +1,353 @@
+// Package search implements the Gentrius branch-and-bound search (the
+// paper's Algorithm 1) as an iterative, steppable engine plus a serial
+// runner with the paper's two heuristics and three stopping rules.
+//
+// The engine performs exactly one state transition per Step call — a taxon
+// insertion (possibly completing a stand tree), or a taxon removal — so the
+// same engine drives the serial runner, the goroutine-based parallel engine,
+// and the deterministic virtual-time multicore simulator (where one Step is
+// one unit of virtual work).
+package search
+
+import (
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// Event is the kind of state transition a Step performed.
+type Event int8
+
+// Step outcomes.
+const (
+	EvInserted  Event = iota // a taxon was inserted; the state is intermediate
+	EvTreeFound              // a taxon was inserted and completed a stand tree
+	EvDeadEnd                // a taxon was inserted, and the resulting state is a dead end
+	EvRemoved                // a taxon was removed (backtrack)
+	EvDone                   // the search space is exhausted
+)
+
+// Step is one element of a branch-and-bound path: taxon inserted at an agile
+// tree edge. Edge ids are Terrace-instance independent (see terrace docs),
+// so paths replay across workers.
+type PathStep struct {
+	Taxon int
+	Edge  int32
+}
+
+// Counters aggregates the three quantities Gentrius reports and bounds.
+type Counters struct {
+	StandTrees         int64
+	IntermediateStates int64
+	DeadEnds           int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.StandTrees += o.StandTrees
+	c.IntermediateStates += o.IntermediateStates
+	c.DeadEnds += o.DeadEnds
+}
+
+// Frame is one level of the explicit branch-and-bound stack: a taxon and the
+// admissible branches remaining to try for it.
+type Frame struct {
+	Taxon    int
+	Branches []int32
+	idx      int
+	inserted bool
+}
+
+// Remaining returns the branches not yet tried (including the current one if
+// the taxon is inserted).
+func (f *Frame) Remaining() int { return len(f.Branches) - f.idx }
+
+// OrderHeuristic selects how the next taxon to insert is chosen. The paper
+// uses OrderMinBranches ("dynamic taxon insertion"); the alternatives
+// implement its future-work direction of exploring different insertion-order
+// heuristics (Sec. V).
+type OrderHeuristic int8
+
+// Insertion-order heuristics.
+const (
+	// OrderMinBranches picks the remaining taxon with the fewest admissible
+	// branches, ties by taxon id — the paper's heuristic.
+	OrderMinBranches OrderHeuristic = iota
+	// OrderMinBranchesTieDegree is OrderMinBranches with ties broken by the
+	// number of constraint trees containing the taxon (most-constrained
+	// first), then by id.
+	OrderMinBranchesTieDegree
+	// OrderMaxBranches picks the taxon with the *most* admissible branches
+	// (an anti-heuristic, useful as a diagnostic and in the order-heuristic
+	// experiment); dead-end taxa still win immediately.
+	OrderMaxBranches
+)
+
+func (h OrderHeuristic) String() string {
+	switch h {
+	case OrderMinBranchesTieDegree:
+		return "min-branches/tie-degree"
+	case OrderMaxBranches:
+		return "max-branches"
+	default:
+		return "min-branches"
+	}
+}
+
+// Engine is the iterative Gentrius search over one Terrace instance.
+type Engine struct {
+	T        *terrace.Terrace
+	frames   []Frame
+	counters Counters
+	done     bool
+	started  bool
+
+	// DynamicOrder selects the remaining taxon with the fewest admissible
+	// branches at each step (the paper's dynamic taxon insertion heuristic).
+	// When false, taxa are inserted in the fixed order given by Order.
+	DynamicOrder bool
+	// Heuristic refines the dynamic selection (see OrderHeuristic); the
+	// zero value is the paper's min-branches rule.
+	Heuristic OrderHeuristic
+	// Order is the static insertion order used when DynamicOrder is false;
+	// it must be a permutation of T.MissingTaxa().
+	Order []int
+
+	degree []int16 // per-taxon constraint count (OrderMinBranchesTieDegree)
+
+	// OnFramePushed, if set, is called after each new frame with two or more
+	// branches is pushed (excluding task-seeded root frames). The callee may
+	// steal a suffix of f.Branches by returning n > 0: the last n branches
+	// are handed off and removed from the frame. Used for work stealing.
+	OnFramePushed func(f *Frame) int
+
+	// OnTree, if set, is called with the canonical Newick string of every
+	// stand tree found.
+	OnTree func(newick string)
+
+	baseDepth int // terrace depth at engine start (task replay offset)
+}
+
+// NewEngine returns an engine exploring the full search space below the
+// terrace's current state, selecting taxa with the dynamic heuristic.
+func NewEngine(t *terrace.Terrace) *Engine {
+	return &Engine{T: t, DynamicOrder: true, baseDepth: t.Depth()}
+}
+
+// NewEngineWithFrame returns an engine that explores exactly the given
+// pre-computed frame (taxon plus a subset of its admissible branches) below
+// the terrace's current state — how a worker resumes a stolen task, skipping
+// the getAllowedBranches call (paper: "skips line 2 in Algorithm 1").
+func NewEngineWithFrame(t *terrace.Terrace, taxon int, branches []int32) *Engine {
+	e := &Engine{T: t, DynamicOrder: true, baseDepth: t.Depth(), started: true}
+	e.frames = append(e.frames, Frame{Taxon: taxon, Branches: branches})
+	if len(branches) == 0 {
+		e.done = true
+	}
+	return e
+}
+
+// Counters returns the transitions tallied so far by this engine.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// Done reports whether the engine's search space is exhausted.
+func (e *Engine) Done() bool { return e.done }
+
+// Depth returns the engine's current depth below its base state.
+func (e *Engine) Depth() int { return e.T.Depth() - e.baseDepth }
+
+// RemainingTaxa returns how many taxa are still missing from the agile tree.
+func (e *Engine) RemainingTaxa() int {
+	return e.T.Taxa().Len() - e.T.Agile().NumLeaves()
+}
+
+// Path returns the insertion path from the engine's base state to the
+// current state, appended to buf.
+func (e *Engine) Path(buf []PathStep) []PathStep {
+	for i := range e.frames {
+		f := &e.frames[i]
+		if f.inserted {
+			buf = append(buf, PathStep{Taxon: f.Taxon, Edge: f.Branches[f.idx-1]})
+		}
+	}
+	return buf
+}
+
+// Step performs exactly one state transition and returns its kind. After
+// EvDone the terrace is back at the engine's base state.
+func (e *Engine) Step() Event {
+	if e.done {
+		return EvDone
+	}
+	if !e.started {
+		e.started = true
+		if e.RemainingTaxa() == 0 {
+			// The input trees admit exactly the (already complete) tree.
+			e.counters.StandTrees++
+			e.emit()
+			e.done = true
+			return EvTreeFound
+		}
+		e.pushFrame()
+	}
+	for {
+		if len(e.frames) == 0 {
+			e.done = true
+			return EvDone
+		}
+		f := &e.frames[len(e.frames)-1]
+		if f.idx < len(f.Branches) {
+			if f.inserted {
+				e.T.RemoveTaxon()
+				f.inserted = false
+				return EvRemoved
+			}
+			edge := f.Branches[f.idx]
+			f.idx++
+			e.T.ExtendTaxon(f.Taxon, edge)
+			f.inserted = true
+			if e.RemainingTaxa() == 0 {
+				e.counters.StandTrees++
+				e.emit()
+				return EvTreeFound
+			}
+			e.counters.IntermediateStates++
+			if e.pushFrame() {
+				return EvInserted
+			}
+			return EvDeadEnd
+		}
+		// Frame exhausted.
+		if f.inserted {
+			e.T.RemoveTaxon()
+			f.inserted = false
+			return EvRemoved
+		}
+		e.frames = e.frames[:len(e.frames)-1]
+	}
+}
+
+// pushFrame selects the next taxon (dynamic heuristic or static order),
+// computes its admissible branches and pushes the frame. It reports whether
+// the frame has at least one branch; a branchless frame is a dead end and is
+// tallied here.
+func (e *Engine) pushFrame() bool {
+	taxon := e.nextTaxon()
+	branches := e.T.AllowedBranches(taxon)
+	f := Frame{Taxon: taxon, Branches: branches}
+	if len(branches) >= 2 && e.OnFramePushed != nil {
+		if n := e.OnFramePushed(&f); n > 0 {
+			f.Branches = f.Branches[:len(f.Branches)-n]
+		}
+	}
+	e.frames = append(e.frames, f)
+	if len(f.Branches) == 0 {
+		e.counters.DeadEnds++
+		return false
+	}
+	return true
+}
+
+// nextTaxon applies the dynamic taxon insertion heuristic (fewest admissible
+// branches, ties by taxon id) or the fixed order.
+func (e *Engine) nextTaxon() int {
+	if !e.DynamicOrder {
+		return e.Order[e.Depth()]
+	}
+	best, bestCount := -1, -1
+	for _, x := range e.T.MissingTaxa() {
+		if e.T.Agile().HasTaxon(x) {
+			continue
+		}
+		c := e.T.CountAllowedBranches(x)
+		if c == 0 {
+			return x // forced dead end: select immediately
+		}
+		switch {
+		case best == -1:
+			best, bestCount = x, c
+		case e.Heuristic == OrderMaxBranches:
+			if c > bestCount {
+				best, bestCount = x, c
+			}
+		case c < bestCount:
+			best, bestCount = x, c
+		case c == bestCount && e.Heuristic == OrderMinBranchesTieDegree:
+			if e.constraintDegree(x) > e.constraintDegree(best) {
+				best, bestCount = x, c
+			}
+		}
+		if bestCount == 1 && e.Heuristic != OrderMaxBranches && e.Heuristic != OrderMinBranchesTieDegree {
+			// A count of 1 is the minimum possible for a non-dead-end, but
+			// a later zero must still win; keep scanning only for zeros.
+			for _, y := range e.T.MissingTaxa() {
+				if y == best || e.T.Agile().HasTaxon(y) {
+					continue
+				}
+				if !e.T.HasAllowedBranch(y) {
+					return y
+				}
+			}
+			return best
+		}
+	}
+	return best
+}
+
+// constraintDegree returns how many constraint trees contain taxon x,
+// computed lazily once per engine.
+func (e *Engine) constraintDegree(x int) int16 {
+	if e.degree == nil {
+		e.degree = make([]int16, e.T.Taxa().Len())
+		for i := 0; i < e.T.NumConstraints(); i++ {
+			e.T.Constraint(i).LeafSet().ForEach(func(t int) { e.degree[t]++ })
+		}
+	}
+	return e.degree[x]
+}
+
+func (e *Engine) emit() {
+	if e.OnTree != nil {
+		e.OnTree(e.T.Agile().Newick())
+	}
+}
+
+// ChooseInitialTree implements the paper's initial tree selection heuristic:
+// the constraint tree sharing the largest total number of taxa with all
+// other constraint trees (ties broken by lowest index).
+func ChooseInitialTree(constraints []*tree.Tree) int {
+	best, bestScore := 0, -1
+	for i, ci := range constraints {
+		score := overlapScore(constraints, i, ci)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// ChooseWorstInitialTree returns the constraint tree sharing the *fewest*
+// taxa with the others — the anti-heuristic used by the initial-tree
+// ablation experiment (the paper deactivates the heuristic and starts from a
+// random constraint tree; the minimum-overlap tree realizes the unlucky end
+// of that choice deterministically).
+func ChooseWorstInitialTree(constraints []*tree.Tree) int {
+	worst, worstScore := 0, int(^uint(0)>>1)
+	for i, ci := range constraints {
+		score := overlapScore(constraints, i, ci)
+		if score < worstScore {
+			worst, worstScore = i, score
+		}
+	}
+	return worst
+}
+
+func overlapScore(constraints []*tree.Tree, i int, ci *tree.Tree) int {
+	score := 0
+	for j, cj := range constraints {
+		if i == j {
+			continue
+		}
+		score += ci.LeafSet().IntersectionCount(cj.LeafSet())
+	}
+	return score
+}

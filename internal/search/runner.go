@@ -1,0 +1,205 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// StopReason says why a run ended.
+type StopReason int8
+
+// Stop reasons, mirroring the paper's three stopping rules.
+const (
+	StopExhausted  StopReason = iota // full stand enumerated
+	StopTreeLimit                    // rule 1: more than MaxTrees stand trees
+	StopStateLimit                   // rule 2: more than MaxStates intermediate states
+	StopTimeLimit                    // rule 3: wall-clock budget exceeded
+	StopExternal                     // cancelled by the caller
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopExhausted:
+		return "exhausted"
+	case StopTreeLimit:
+		return "tree-limit"
+	case StopStateLimit:
+		return "state-limit"
+	case StopTimeLimit:
+		return "time-limit"
+	case StopExternal:
+		return "external"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int8(s))
+	}
+}
+
+// Default stopping-rule parameters from the paper (Sec. II-B).
+const (
+	DefaultMaxTrees  = int64(1_000_000)
+	DefaultMaxStates = int64(10_000_000)
+	DefaultMaxTime   = 168 * time.Hour
+)
+
+// Limits are the three stopping rules. Zero values mean "use the default";
+// negative values mean "unlimited".
+type Limits struct {
+	MaxTrees  int64
+	MaxStates int64
+	MaxTime   time.Duration
+}
+
+// Normalize fills in defaults.
+func (l Limits) Normalize() Limits {
+	if l.MaxTrees == 0 {
+		l.MaxTrees = DefaultMaxTrees
+	}
+	if l.MaxStates == 0 {
+		l.MaxStates = DefaultMaxStates
+	}
+	if l.MaxTime == 0 {
+		l.MaxTime = DefaultMaxTime
+	}
+	return l
+}
+
+// Exceeded returns the violated rule, if any.
+func (l Limits) Exceeded(c Counters, elapsed time.Duration) (StopReason, bool) {
+	if l.MaxTrees > 0 && c.StandTrees >= l.MaxTrees {
+		return StopTreeLimit, true
+	}
+	if l.MaxStates > 0 && c.IntermediateStates >= l.MaxStates {
+		return StopStateLimit, true
+	}
+	if l.MaxTime > 0 && elapsed >= l.MaxTime {
+		return StopTimeLimit, true
+	}
+	return StopExhausted, false
+}
+
+// Options configures a run.
+type Options struct {
+	Limits Limits
+
+	// InitialTree selects the initial agile tree: a constraint index, or a
+	// negative value to apply the paper's selection heuristic.
+	InitialTree int
+
+	// DisableInitialTreeHeuristic starts from constraint 0 regardless of
+	// overlap (used with InitialTree < 0 it reproduces the paper's first
+	// ablation when combined with a pre-shuffled constraint order).
+	DisableInitialTreeHeuristic bool
+
+	// Heuristic refines the dynamic taxon selection (zero value: the
+	// paper's min-branches rule); see OrderHeuristic.
+	Heuristic OrderHeuristic
+
+	// DisableDynamicOrder replaces the fewest-branches taxon selection with
+	// a fixed insertion order: ShuffleSeed shuffles the missing-taxon list
+	// (the paper's second ablation); with ShuffleSeed == 0 the order is
+	// ascending taxon id.
+	DisableDynamicOrder bool
+	ShuffleSeed         int64
+
+	// CollectTrees stores every stand tree's canonical Newick string in
+	// Result.Trees. Off by default: stands can be enormous.
+	CollectTrees bool
+	// OnTree, if set, receives every stand tree found.
+	OnTree func(newick string)
+
+	// CheckEvery is the step interval between stopping-rule evaluations
+	// (default 1024; time is only sampled at these checks).
+	CheckEvery int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Counters
+	Stop         StopReason
+	Elapsed      time.Duration
+	Trees        []string
+	InitialIndex int
+	Steps        int64 // total engine transitions (insertions + removals)
+}
+
+// Run enumerates the stand of the given constraint trees serially.
+// Incompatible constraint sets yield an empty stand (zero trees, reason
+// StopExhausted), not an error.
+func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
+	opt.Limits = opt.Limits.Normalize()
+	if opt.CheckEvery <= 0 {
+		opt.CheckEvery = 1024
+	}
+	res := &Result{Stop: StopExhausted}
+	start := time.Now()
+
+	idx := opt.InitialTree
+	if idx < 0 {
+		if opt.DisableInitialTreeHeuristic {
+			idx = 0
+		} else {
+			idx = ChooseInitialTree(constraints)
+		}
+	}
+	if idx >= len(constraints) {
+		return nil, fmt.Errorf("search: initial tree index %d out of range", idx)
+	}
+	res.InitialIndex = idx
+
+	t, err := terrace.New(constraints, idx)
+	if err != nil {
+		if errors.Is(err, terrace.ErrIncompatible) {
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		return nil, err
+	}
+	eng := NewEngine(t)
+	eng.Heuristic = opt.Heuristic
+	if opt.DisableDynamicOrder {
+		eng.DynamicOrder = false
+		eng.Order = append([]int(nil), t.MissingTaxa()...)
+		if opt.ShuffleSeed != 0 {
+			rng := rand.New(rand.NewSource(opt.ShuffleSeed))
+			rng.Shuffle(len(eng.Order), func(i, j int) {
+				eng.Order[i], eng.Order[j] = eng.Order[j], eng.Order[i]
+			})
+		}
+	}
+	if opt.CollectTrees {
+		eng.OnTree = func(nw string) { res.Trees = append(res.Trees, nw) }
+	}
+	if opt.OnTree != nil {
+		user := opt.OnTree
+		prev := eng.OnTree
+		eng.OnTree = func(nw string) {
+			if prev != nil {
+				prev(nw)
+			}
+			user(nw)
+		}
+	}
+
+	for {
+		for i := 0; i < opt.CheckEvery; i++ {
+			if eng.Step() == EvDone {
+				res.Counters = eng.Counters()
+				res.Steps += int64(i + 1)
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+		}
+		res.Steps += int64(opt.CheckEvery)
+		res.Counters = eng.Counters()
+		if reason, hit := opt.Limits.Exceeded(res.Counters, time.Since(start)); hit {
+			res.Stop = reason
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package simsched
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/search"
+	"gentrius/internal/tree"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i%26))
+		if i >= 26 {
+			out[i] += string(rune('0' + i/26))
+		}
+	}
+	return out
+}
+
+func randomTree(taxa *tree.Taxa, rng *rand.Rand) *tree.Tree {
+	t := tree.New(taxa)
+	perm := rng.Perm(taxa.Len())
+	t.AddFirstLeaf(perm[0])
+	t.AddSecondLeaf(perm[1])
+	for _, x := range perm[2:] {
+		t.AttachLeaf(x, int32(rng.Intn(t.NumEdges())))
+	}
+	return t
+}
+
+func randomScenario(rng *rand.Rand, n, m, minCol int, pPresent float64) []*tree.Tree {
+	taxa := tree.MustTaxa(names(n))
+	truth := randomTree(taxa, rng)
+	for {
+		cols := make([]*bitset.Set, m)
+		cover := bitset.New(n)
+		for j := range cols {
+			c := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < pPresent {
+					c.Add(i)
+				}
+			}
+			cols[j] = c
+			cover.UnionWith(c)
+		}
+		ok := cover.Count() == n
+		for _, c := range cols {
+			if c.Count() < minCol {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		out := make([]*tree.Tree, m)
+		for j, c := range cols {
+			out[j] = truth.Restrict(c)
+		}
+		return out
+	}
+}
+
+// bigScenario returns a scenario whose serial run has at least minTrees.
+func bigScenario(t *testing.T, rng *rand.Rand, n int, minTrees int64) []*tree.Tree {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		cons := randomScenario(rng, n, 2, 4, 0.45)
+		res, err := search.Run(cons, search.Options{InitialTree: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StandTrees >= minTrees && res.Stop == search.StopExhausted {
+			return cons
+		}
+	}
+	t.Fatal("no big scenario found")
+	return nil
+}
+
+func TestSimSerialMatchesRunner(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for scen := 0; scen < 10; scen++ {
+		cons := randomScenario(rng, 10+rng.Intn(5), 2+rng.Intn(2), 4, 0.55)
+		serial, err := search.Run(cons, search.Options{InitialTree: -1, CollectTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := Run(cons, Options{Workers: 1, InitialTree: -1, CollectTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Counters != serial.Counters {
+			t.Fatalf("scen %d: sim counters %+v, serial %+v", scen, sim.Counters, serial.Counters)
+		}
+		a, b := append([]string(nil), sim.Trees...), append([]string(nil), serial.Trees...)
+		sort.Strings(a)
+		sort.Strings(b)
+		if len(a) != len(b) {
+			t.Fatalf("tree sets sizes differ")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tree sets differ")
+			}
+		}
+	}
+}
+
+func TestSimMultiWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cons := bigScenario(t, rng, 13, 100)
+	ref, err := Run(cons, Options{Workers: 1, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		sim, err := Run(cons, Options{Workers: w, InitialTree: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Counters != ref.Counters {
+			t.Fatalf("workers %d: counters %+v, want %+v", w, sim.Counters, ref.Counters)
+		}
+		if sim.Ticks > ref.Ticks+16 {
+			t.Fatalf("workers %d: makespan %d exceeds serial %d", w, sim.Ticks, ref.Ticks)
+		}
+	}
+}
+
+func TestSimSpeedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cons := bigScenario(t, rng, 16, 2000)
+	t1, err := Run(cons, Options{Workers: 1, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Run(cons, Options{Workers: 4, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := float64(t1.Ticks) / float64(t4.Ticks)
+	if sp < 1.5 {
+		t.Fatalf("4-worker speedup only %.2fx (ticks %d -> %d, stolen %d)",
+			sp, t1.Ticks, t4.Ticks, t4.TasksStolen)
+	}
+	if eff := t4.Efficiency(); eff <= 0 || eff > 1 {
+		t.Fatalf("efficiency out of range: %v", eff)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cons := bigScenario(t, rng, 12, 50)
+	a, err := Run(cons, Options{Workers: 5, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cons, Options{Workers: 5, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ticks != b.Ticks || a.Counters != b.Counters || a.TasksStolen != b.TasksStolen || a.Flushes != b.Flushes {
+		t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimTickLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cons := bigScenario(t, rng, 14, 500)
+	sim, err := Run(cons, Options{Workers: 2, InitialTree: -1, Limits: Limits{MaxTicks: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stop != search.StopTimeLimit {
+		t.Fatalf("stop = %v, want time-limit", sim.Stop)
+	}
+	if sim.Ticks < 50 || sim.Ticks > 80 {
+		t.Fatalf("ticks = %d, want ~50", sim.Ticks)
+	}
+}
+
+func TestSimTreeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	cons := bigScenario(t, rng, 14, 500)
+	sim, err := Run(cons, Options{
+		Workers: 2, InitialTree: -1,
+		Limits:    Limits{MaxTrees: 100},
+		TreeBatch: 16, StateBatch: 64, DeadEndBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stop != search.StopTreeLimit {
+		t.Fatalf("stop = %v, want tree-limit", sim.Stop)
+	}
+	if sim.StandTrees < 100 || sim.StandTrees > 100+2*16+64 {
+		t.Fatalf("trees = %d, want slight overshoot of 100", sim.StandTrees)
+	}
+}
+
+func TestSimFlushCostAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cons := bigScenario(t, rng, 14, 1000)
+	batched, err := Run(cons, Options{Workers: 4, InitialTree: -1, FlushCost: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched, err := Run(cons, Options{
+		Workers: 4, InitialTree: -1, FlushCost: 50,
+		TreeBatch: 1, StateBatch: 1, DeadEndBatch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbatched.Ticks <= batched.Ticks {
+		t.Fatalf("unbatched (%d ticks) should be slower than batched (%d ticks)",
+			unbatched.Ticks, batched.Ticks)
+	}
+	if unbatched.Flushes <= batched.Flushes {
+		t.Fatalf("unbatched should flush more (%d vs %d)", unbatched.Flushes, batched.Flushes)
+	}
+}
+
+func TestSimEmptyAndSingletonStands(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E"})
+	full := tree.MustParse("((A,B),(C,(D,E)));", taxa)
+	one, err := Run([]*tree.Tree{full}, Options{Workers: 4, InitialTree: 0, CollectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.StandTrees != 1 || len(one.Trees) != 1 {
+		t.Fatalf("singleton stand: %d trees", one.StandTrees)
+	}
+	c1 := tree.MustParse("((A,B),(C,D));", taxa)
+	c2 := tree.MustParse("((A,C),(B,(D,E)));", taxa)
+	zero, err := Run([]*tree.Tree{c1, c2}, Options{Workers: 4, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.StandTrees != 0 {
+		t.Fatalf("incompatible stand: %d trees", zero.StandTrees)
+	}
+}
+
+func TestTimelineTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cons := bigScenario(t, rng, 13, 100)
+	res, err := Run(cons, Options{Workers: 3, InitialTree: -1, TraceEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 3 {
+		t.Fatalf("timeline rows = %d, want 3", len(res.Timeline))
+	}
+	rendered := res.RenderTimeline()
+	if !strings.Contains(rendered, "w00 ") || !strings.Contains(rendered, "W") {
+		t.Fatalf("timeline rendering wrong:\n%s", rendered)
+	}
+	// Without tracing, no timeline.
+	res2, err := Run(cons, Options{Workers: 2, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Timeline) != 0 || res2.RenderTimeline() != "" {
+		t.Fatal("timeline should be absent when disabled")
+	}
+}
+
+func TestHeuristicOptionPreservesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cons := bigScenario(t, rng, 12, 50)
+	base, err := Run(cons, Options{Workers: 4, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := Run(cons, Options{Workers: 4, InitialTree: -1, Heuristic: search.OrderMinBranchesTieDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.StandTrees != base.StandTrees {
+		t.Fatalf("heuristic changed the stand size: %d vs %d", alt.StandTrees, base.StandTrees)
+	}
+}
+
+func TestSplitPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	cons := bigScenario(t, rng, 13, 200)
+	ref, err := Run(cons, Options{Workers: 1, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []SplitPolicy{SplitHalf, SplitOne, SplitAllButOne} {
+		res, err := Run(cons, Options{Workers: 4, InitialTree: -1, SplitPolicy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters != ref.Counters {
+			t.Fatalf("policy %v changed counters", p)
+		}
+	}
+	if SplitHalf.String() != "half" || SplitOne.String() != "one" || SplitAllButOne.String() != "all-but-one" {
+		t.Fatal("policy names wrong")
+	}
+}

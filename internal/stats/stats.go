@@ -1,0 +1,180 @@
+// Package stats provides the summary statistics and text rendering used to
+// regenerate the paper's figures: five-number summaries of per-thread
+// speedup distributions, the adapted speedup metric of Sec. IV-A, and ASCII
+// box plots standing in for the paper's figure panels.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a five-number summary plus the mean.
+type Summary struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// Summarize computes a Summary of vs (which it sorts a copy of). An empty
+// input yields the zero Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Speedup is T1/TN.
+func Speedup(t1, tn float64) float64 {
+	if tn == 0 {
+		return math.Inf(1)
+	}
+	return t1 / tn
+}
+
+// AdaptedSpeedup is the paper's ASP_N = (ST_N/T_N)/(ST_1/T_1): the standard
+// speedup scaled by the ratio of stand trees enumerated, so runs truncated
+// by the time limit compare by throughput rather than raw wall time.
+func AdaptedSpeedup(trees1, treesN int64, t1, tn float64) float64 {
+	if t1 == 0 || tn == 0 || trees1 == 0 {
+		return math.NaN()
+	}
+	return (float64(treesN) / tn) / (float64(trees1) / t1)
+}
+
+// Distribution is a labelled collection of values (one figure panel series).
+type Distribution struct {
+	Label  string
+	Values []float64
+}
+
+// BoxPlot renders distributions as ASCII box plots over a shared horizontal
+// axis, one row per distribution — the text analogue of the paper's Figures
+// 6–8 panels. The dashed marker (┊) is the mean, matching the paper's
+// dashed mean lines.
+func BoxPlot(title string, dists []Distribution, width int) string {
+	if width < 30 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	sums := make([]Summary, len(dists))
+	for i, d := range dists {
+		sums[i] = Summarize(d.Values)
+		if sums[i].N == 0 {
+			continue
+		}
+		lo = math.Min(lo, sums[i].Min)
+		hi = math.Max(hi, sums[i].Max)
+	}
+	if math.IsInf(lo, 1) {
+		return b.String() + "  (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, d := range dists {
+		if len(d.Label) > labelW {
+			labelW = len(d.Label)
+		}
+	}
+	for i, d := range dists {
+		s := sums[i]
+		row := make([]rune, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		if s.N > 0 {
+			for j := scale(s.Min); j <= scale(s.Max); j++ {
+				row[j] = '-'
+			}
+			for j := scale(s.Q1); j <= scale(s.Q3); j++ {
+				row[j] = '='
+			}
+			row[scale(s.Median)] = '|'
+			row[scale(s.Mean)] = '+'
+			row[scale(s.Min)] = '['
+			row[scale(s.Max)] = ']'
+		}
+		fmt.Fprintf(&b, "  %-*s %s  med=%.2f mean=%.2f n=%d\n",
+			labelW, d.Label, string(row), s.Median, s.Mean, s.N)
+	}
+	fmt.Fprintf(&b, "  %-*s %-*.2f%*.2f\n", labelW, "", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+// Table renders a simple aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

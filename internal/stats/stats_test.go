@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles %v %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Keep magnitudes summable: the invariant concerns order
+				// statistics, not float overflow behaviour.
+				vs = append(vs, math.Mod(v, 1e6))
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		s := Summarize(vs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 25); got != 4 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("divide by zero should be +Inf")
+	}
+}
+
+func TestAdaptedSpeedupPaperExample(t *testing.T) {
+	// Paper Sec. IV-A, emp-data-5873: serial counted 387,985,999 trees in
+	// 18,000 s; two threads enumerated the full 485,240,625 trees in
+	// 11,333 s. Naive speedup 1.588; adapted = 1.588 x (485240625/387985999)
+	// = 1.986.
+	naive := Speedup(18000, 11333)
+	asp := AdaptedSpeedup(387985999, 485240625, 18000, 11333)
+	if math.Abs(naive-1.588) > 0.01 {
+		t.Fatalf("naive speedup %.3f", naive)
+	}
+	if math.Abs(asp-naive*485240625/387985999) > 1e-9 {
+		t.Fatalf("adapted speedup %.3f", asp)
+	}
+	if asp <= naive {
+		t.Fatal("adapted speedup should exceed naive here")
+	}
+}
+
+func TestBoxPlotRendering(t *testing.T) {
+	out := BoxPlot("test", []Distribution{
+		{Label: "2", Values: []float64{1.8, 1.9, 2.0, 2.1}},
+		{Label: "16", Values: []float64{10, 12, 14, 16}},
+	}, 50)
+	if !strings.Contains(out, "med=") || !strings.Contains(out, "n=4") {
+		t.Fatalf("boxplot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "]") {
+		t.Fatalf("no whiskers:\n%s", out)
+	}
+	empty := BoxPlot("none", []Distribution{{Label: "x"}}, 50)
+	if !strings.Contains(empty, "no data") {
+		t.Fatalf("empty rendering: %s", empty)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"Dataset", "2", "4"}, [][]string{
+		{"emp-1", "1.9", "3.8"},
+		{"sim-long-name", "2.0", "4.1"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Dataset") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+}

@@ -1,0 +1,278 @@
+// Package superb implements the SUPERB algorithm (Constantinescu & Sankoff
+// 1995) for counting the binary trees on a phylogenetic terrace, in the
+// style of the two C++ implementations of Biczok et al. (2018) that the
+// Gentrius paper cites as prior work.
+//
+// SUPERB operates on rooted trees: all constraint trees are rooted at a
+// shared comprehensive taxon (one present in every constraint), which is
+// exactly the limitation Gentrius removes. The package serves as the
+// baseline comparator and as an independent cross-check of Gentrius' stand
+// counts on datasets that do have a comprehensive taxon.
+//
+// Counting recursion: for taxon set X' and rooted constraints, merge each
+// constraint's root-child leaf sets into blocks; the connected components
+// C1..Ck of the merge relation are the units the supertree's root split may
+// arrange freely. Every valid root split is a bipartition of the components
+// into two non-empty groups, and the count is the sum over bipartitions of
+// the product of the two recursive subproblem counts. A single component
+// (k == 1) admits no root split: zero trees. Counts use math/big: terraces
+// are routinely astronomically large.
+package superb
+
+import (
+	"fmt"
+	"math/big"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/tree"
+)
+
+// MaxComponents bounds the 2^(k-1) bipartition enumeration at one recursion
+// level; above it Count returns an error rather than running forever.
+const MaxComponents = 24
+
+// rnode is a rooted-tree vertex.
+type rnode struct {
+	taxon  int32 // >= 0 for leaves
+	kids   []*rnode
+	leaves *bitset.Set
+}
+
+// ComprehensiveTaxon returns a taxon present in every constraint tree, or
+// -1 if none exists (then SUPERB is inapplicable — Gentrius' motivation).
+func ComprehensiveTaxon(constraints []*tree.Tree) int {
+	if len(constraints) == 0 {
+		return -1
+	}
+	common := constraints[0].LeafSet().Clone()
+	for _, c := range constraints[1:] {
+		common.IntersectWith(c.LeafSet())
+	}
+	return common.Min()
+}
+
+// Count returns the number of binary unrooted trees on the full taxon
+// universe that display every constraint tree, by rooting all constraints at
+// a comprehensive taxon and running the SUPERB recursion. It requires every
+// universe taxon to occur in some constraint and a comprehensive taxon to
+// exist.
+func Count(constraints []*tree.Tree) (*big.Int, error) {
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("superb: no constraint trees")
+	}
+	taxa := constraints[0].Taxa()
+	covered := bitset.New(taxa.Len())
+	for _, c := range constraints {
+		covered.UnionWith(c.LeafSet())
+	}
+	if covered.Count() != taxa.Len() {
+		return nil, fmt.Errorf("superb: %d taxa occur in no constraint", taxa.Len()-covered.Count())
+	}
+	root := ComprehensiveTaxon(constraints)
+	if root < 0 {
+		return nil, fmt.Errorf("superb: no comprehensive taxon (SUPERB requires one; use Gentrius)")
+	}
+	rooted := make([]*rnode, 0, len(constraints))
+	for _, c := range constraints {
+		r, err := rootAt(c, root)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && r.leaves.Count() >= 3 {
+			rooted = append(rooted, r)
+		}
+	}
+	set := covered // all taxa
+	set = set.Clone()
+	set.Remove(root)
+	return countRooted(set, rooted)
+}
+
+// rootAt converts an unrooted constraint to a rooted tree on its leaf set
+// minus the root taxon: the root taxon's leaf is removed and its neighbour
+// becomes the root (with its remaining two subtrees as children).
+func rootAt(t *tree.Tree, rootTaxon int) (*rnode, error) {
+	if !t.HasTaxon(rootTaxon) {
+		return nil, fmt.Errorf("superb: taxon %d not in constraint", rootTaxon)
+	}
+	l := t.LeafNode(rootTaxon)
+	pe := t.IncidentEdges(l)[0]
+	v := t.Other(pe, l)
+	var build func(v int32, inEdge int32) *rnode
+	build = func(v, inEdge int32) *rnode {
+		if tx := t.NodeTaxon(v); tx >= 0 {
+			s := bitset.New(t.Taxa().Len())
+			s.Add(int(tx))
+			return &rnode{taxon: tx, leaves: s}
+		}
+		n := &rnode{taxon: -1, leaves: bitset.New(t.Taxa().Len())}
+		adj := t.IncidentEdges(v)
+		for i := 0; i < t.Degree(v); i++ {
+			e := adj[i]
+			if e == inEdge {
+				continue
+			}
+			k := build(t.Other(e, v), e)
+			n.kids = append(n.kids, k)
+			n.leaves.UnionWith(k.leaves)
+		}
+		return n
+	}
+	return build(v, pe), nil
+}
+
+// restrict returns the rooted tree induced on s, or nil when fewer than one
+// leaf survives. Unary chains are contracted.
+func restrict(n *rnode, s *bitset.Set) *rnode {
+	if n.taxon >= 0 {
+		if s.Has(int(n.taxon)) {
+			return n
+		}
+		return nil
+	}
+	var kept []*rnode
+	for _, k := range n.kids {
+		if !k.leaves.Intersects(s) {
+			continue
+		}
+		if r := restrict(k, s); r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	lv := bitset.New(s.Len())
+	for _, k := range kept {
+		lv.UnionWith(k.leaves)
+		// Leaves of kept children may exceed s when nodes were reused;
+		// intersect below.
+	}
+	lv.IntersectWith(s)
+	return &rnode{taxon: -1, kids: kept, leaves: lv}
+}
+
+// countRooted counts rooted binary trees on set displaying all constraints.
+func countRooted(set *bitset.Set, constraints []*rnode) (*big.Int, error) {
+	n := set.Count()
+	if n <= 2 {
+		return big.NewInt(1), nil
+	}
+	// Restrict constraints to the current set; drop vacuous ones.
+	var active []*rnode
+	for _, c := range constraints {
+		r := restrict(c, set)
+		if r != nil && r.taxon < 0 && r.leaves.IntersectionCount(set) >= 3 {
+			active = append(active, r)
+		}
+	}
+	// Merge blocks: each root child's leaf set must stay unseparated.
+	members := set.Elements()
+	idx := make(map[int]int, len(members))
+	for i, x := range members {
+		idx[x] = i
+	}
+	uf := newUnionFind(len(members))
+	for _, c := range active {
+		for _, k := range c.kids {
+			first := -1
+			k.leaves.ForEach(func(x int) {
+				if !set.Has(x) {
+					return
+				}
+				if first < 0 {
+					first = idx[x]
+					return
+				}
+				uf.union(first, idx[x])
+			})
+		}
+	}
+	// Components.
+	compOf := make(map[int]int)
+	var comps []*bitset.Set
+	for i, x := range members {
+		r := uf.find(i)
+		ci, ok := compOf[r]
+		if !ok {
+			ci = len(comps)
+			compOf[r] = ci
+			comps = append(comps, bitset.New(set.Len()))
+		}
+		comps[ci].Add(x)
+	}
+	k := len(comps)
+	if k == 1 {
+		return big.NewInt(0), nil
+	}
+	if k > MaxComponents {
+		return nil, fmt.Errorf("superb: %d root components exceed limit %d", k, MaxComponents)
+	}
+	total := new(big.Int)
+	// Bipartitions: component 0 always goes left; subsets of the rest join it.
+	for mask := 0; mask < 1<<(k-1); mask++ {
+		if mask == 1<<(k-1)-1 {
+			continue // right side would be empty
+		}
+		left := comps[0].Clone()
+		right := bitset.New(set.Len())
+		for i := 1; i < k; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				left.UnionWith(comps[i])
+			} else {
+				right.UnionWith(comps[i])
+			}
+		}
+		cl, err := countRooted(left, active)
+		if err != nil {
+			return nil, err
+		}
+		if cl.Sign() == 0 {
+			continue
+		}
+		cr, err := countRooted(right, active)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, new(big.Int).Mul(cl, cr))
+	}
+	return total, nil
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

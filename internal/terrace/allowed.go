@@ -1,0 +1,165 @@
+package terrace
+
+// AllowedBranches returns the admissible agile edges for inserting taxon x,
+// in ascending edge-id order (deterministic: the parallel engine splits this
+// list positionally across workers). An empty result means inserting x is
+// impossible in the current state — a dead end.
+//
+// The set is the intersection over all constraints containing x (with
+// |S_i| >= 2) of the preimage of x's target common edge under the agile-side
+// mapping; it is enumerated from the constraint with the smallest preimage
+// and filtered by O(1) mapping lookups against the rest. The hot paths are
+// written without escaping closures: the taxon-selection heuristic calls
+// CountAllowedBranches for every remaining taxon at every state.
+func (tr *Terrace) AllowedBranches(x int) []int32 {
+	buf := tr.collectAllowed(x, -1)
+	out := make([]int32, len(buf))
+	copy(out, buf)
+	sortInt32(out)
+	return out
+}
+
+// CountAllowedBranches returns len(AllowedBranches(x)) without allocating.
+// It drives the dynamic taxon insertion heuristic (pick the remaining taxon
+// with the fewest admissible branches) and dead-end detection.
+func (tr *Terrace) CountAllowedBranches(x int) int {
+	return len(tr.collectAllowed(x, -1))
+}
+
+// HasAllowedBranch reports whether at least one admissible branch exists.
+func (tr *Terrace) HasAllowedBranch(x int) bool {
+	return len(tr.collectAllowed(x, 1)) > 0
+}
+
+// collectAllowed gathers admissible edges for x into the shared scratch
+// buffer (valid until the next Terrace operation), stopping early once max
+// edges are found (max < 0: no bound).
+func (tr *Terrace) collectAllowed(x int, max int) []int32 {
+	if tr.agile.HasTaxon(x) {
+		panic("terrace: taxon already inserted")
+	}
+	out := tr.allowedBuf[:0]
+	// Gather active constraints containing x; track the smallest preimage.
+	active := tr.activeBuf[:0]
+	var best *constraintState
+	bestCnt := int32(0)
+	for _, cs := range tr.constraints {
+		if cs.sCount < 2 || !cs.y.Has(x) {
+			continue
+		}
+		active = append(active, cs)
+		c := cs.cnt[cs.target[x]]
+		if best == nil || c < bestCnt {
+			best, bestCnt = cs, c
+		}
+	}
+	tr.activeBuf = active
+	if best == nil {
+		// Unconstrained so far: every agile edge is admissible.
+		n := int32(tr.agile.NumEdges())
+		for e := int32(0); e < n; e++ {
+			out = append(out, e)
+			if max >= 0 && len(out) >= max {
+				break
+			}
+		}
+		tr.allowedBuf = out
+		return out
+	}
+
+	// Enumerate best's preimage of x's target by DFS from its near anchor,
+	// filtering against the other active constraints.
+	a := tr.agile
+	ce := best.target[x]
+	tr.growScratch()
+	tr.stamp++
+	vis := tr.stamp
+	start := best.cedges[ce].aa
+	tr.mark[start] = vis
+	stack := append(tr.dfsBuf[:0], start)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if best.m[ed] != ce {
+				continue
+			}
+			w := a.Other(ed, v)
+			if tr.mark[w] == vis {
+				continue
+			}
+			tr.mark[w] = vis
+			stack = append(stack, w)
+			ok := true
+			for _, cs := range active {
+				if cs != best && cs.m[ed] != cs.target[x] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, ed)
+				if max >= 0 && len(out) >= max {
+					tr.dfsBuf = stack[:0]
+					tr.allowedBuf = out
+					return out
+				}
+			}
+		}
+	}
+	tr.dfsBuf = stack[:0]
+	tr.allowedBuf = out
+	return out
+}
+
+// preimageForEach enumerates the agile edges mapping to common edge ce of
+// constraint cs by traversing the (connected) preimage subgraph from the
+// near anchor. f returns false to stop early. (Used by tests and tools; the
+// hot path uses collectAllowed.)
+func (tr *Terrace) preimageForEach(cs *constraintState, ce int32, f func(e int32) bool) {
+	a := tr.agile
+	tr.growScratch()
+	tr.stamp++
+	vis := tr.stamp
+	start := cs.cedges[ce].aa
+	tr.mark[start] = vis
+	stack := append(tr.dfsBuf[:0], start)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if cs.m[ed] != ce {
+				continue
+			}
+			w := a.Other(ed, v)
+			if tr.mark[w] == vis {
+				continue
+			}
+			tr.mark[w] = vis
+			if !f(ed) {
+				tr.dfsBuf = stack[:0]
+				return
+			}
+			stack = append(stack, w)
+		}
+	}
+	tr.dfsBuf = stack[:0]
+}
+
+// sortInt32 sorts ascending; admissible-branch lists are short, so a simple
+// insertion sort avoids the interface allocations of sort.Slice.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

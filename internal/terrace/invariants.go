@@ -1,0 +1,170 @@
+package terrace
+
+import (
+	"fmt"
+
+	"gentrius/internal/bitset"
+)
+
+// CheckInvariants verifies the full double-edge mapping state against its
+// definition, re-deriving everything from the trees. It is O(n·m·|C|) and
+// exists for tests and debugging: production code paths maintain the
+// invariants incrementally.
+//
+// Checked, per constraint i with |S_i| >= 2:
+//
+//  1. S_i == agile leaves ∩ Y_i, and sCount == |S_i|;
+//  2. the live common edges form exactly 2|S_i|-3 edges (|S_i| >= 3) or one
+//     edge (|S_i| == 2);
+//  3. the agile-side mapping m_i is total on live agile edges, maps onto
+//     live common edges only, and cnt[c] == |m_i^{-1}(c)| > 0 (surjective);
+//  4. each common edge's anchor pairs induce the same S_i-split in their
+//     respective trees (the two sides of the mapping agree edge by edge);
+//  5. every pending taxon's target is a live common edge, and re-resolving
+//     it from scratch (strict-interior median scan) gives the same edge.
+func (tr *Terrace) CheckInvariants() error {
+	for ci, cs := range tr.constraints {
+		wantS := tr.agile.LeafSet().Clone()
+		wantS.IntersectWith(cs.y)
+		if !wantS.Equal(cs.s) {
+			return fmt.Errorf("constraint %d: S_i mismatch", ci)
+		}
+		if cs.sCount != cs.s.Count() {
+			return fmt.Errorf("constraint %d: sCount %d != |S_i| %d", ci, cs.sCount, cs.s.Count())
+		}
+		if cs.sCount < 2 {
+			continue
+		}
+		wantEdges := 2*cs.sCount - 3
+		if cs.sCount == 2 {
+			wantEdges = 1
+		}
+		if len(cs.cedges) != wantEdges {
+			return fmt.Errorf("constraint %d: %d common edges, want %d", ci, len(cs.cedges), wantEdges)
+		}
+		// Mapping totality, surjectivity and counts.
+		counts := make([]int32, len(cs.cedges))
+		for e := 0; e < tr.agile.NumEdges(); e++ {
+			c := cs.m[e]
+			if c < 0 || int(c) >= len(cs.cedges) {
+				return fmt.Errorf("constraint %d: edge %d maps to invalid common edge %d", ci, e, c)
+			}
+			counts[c]++
+		}
+		for c := range counts {
+			if counts[c] == 0 {
+				return fmt.Errorf("constraint %d: common edge %d has empty preimage", ci, c)
+			}
+			if counts[c] != cs.cnt[c] {
+				return fmt.Errorf("constraint %d: cnt[%d] = %d, preimage is %d", ci, c, cs.cnt[c], counts[c])
+			}
+		}
+		// Anchor splits agree across the two trees.
+		for c := range cs.cedges {
+			ce := &cs.cedges[c]
+			tSide := sideOfPath(cs.t, ce.ta, ce.tb, cs.s)
+			aSide := sideOfPath(tr.agile, ce.aa, ce.ab, cs.s)
+			if !tSide.Equal(aSide) {
+				return fmt.Errorf("constraint %d: common edge %d anchor splits disagree", ci, c)
+			}
+		}
+		// Pending targets.
+		pend := cs.y.Clone()
+		pend.SubtractWith(cs.s)
+		var err error
+		pend.ForEach(func(y int) {
+			if err != nil {
+				return
+			}
+			tgt := cs.target[y]
+			if tgt < 0 || int(tgt) >= len(cs.cedges) {
+				err = fmt.Errorf("constraint %d: taxon %d targets invalid common edge %d", ci, y, tgt)
+				return
+			}
+			if want := tr.resolveTarget(cs, int32(y)); want != tgt {
+				err = fmt.Errorf("constraint %d: taxon %d targets %d, re-resolution gives %d", ci, y, tgt, want)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sideOfPath returns the S-taxa on ta's side of the tree after conceptually
+// cutting the path from ta to tb at its midpoint — i.e. the S-split the
+// common edge (ta,tb) induces — normalized to the side containing the
+// smallest S element for stable comparison across trees.
+func sideOfPath(t interface {
+	NumNodes() int
+	Adjacency(int32) ([3]int32, int)
+	Other(int32, int32) int32
+	NodeTaxon(int32) int32
+}, ta, tb int32, s *bitset.Set) *bitset.Set {
+	// BFS from ta avoiding the first edge of the ta..tb path is not well
+	// defined without the path; instead collect taxa reachable from ta when
+	// the path's middle is blocked. Simpler: find the path, block its middle
+	// edge, and flood from ta.
+	n := t.NumNodes()
+	prevV := make([]int32, n)
+	prevE := make([]int32, n)
+	for i := range prevV {
+		prevV[i] = -1
+		prevE[i] = -1
+	}
+	stack := []int32{ta}
+	prevV[ta] = ta
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == tb {
+			break
+		}
+		adj, deg := t.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			u := t.Other(adj[i], v)
+			if prevV[u] == -1 {
+				prevV[u] = v
+				prevE[u] = adj[i]
+				stack = append(stack, u)
+			}
+		}
+	}
+	// Any edge on the path works as the cut (all induce the same S-split
+	// because interior path vertices have no S-taxa hanging by definition of
+	// the common edge); use the last one (incident to tb).
+	cutE := prevE[tb]
+	cutFrom := prevV[tb]
+	out := bitset.New(s.Len())
+	stack = append(stack[:0], ta)
+	seen2 := make([]bool, n)
+	seen2[ta] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if tx := t.NodeTaxon(v); tx >= 0 && s.Has(int(tx)) {
+			out.Add(int(tx))
+		}
+		adj, deg := t.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			e := adj[i]
+			if e == cutE && (v == cutFrom || v == tb) {
+				continue
+			}
+			u := t.Other(e, v)
+			if !seen2[u] {
+				seen2[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	// Normalize: return the side containing the smallest S element.
+	min := s.Min()
+	if min >= 0 && !out.Has(min) {
+		comp := s.Clone()
+		comp.SubtractWith(out)
+		return comp
+	}
+	return out
+}

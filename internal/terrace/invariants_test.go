@@ -1,0 +1,130 @@
+package terrace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gentrius/internal/tree"
+)
+
+func TestInvariantsHoldOnRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for scen := 0; scen < 8; scen++ {
+		n := 10 + rng.Intn(10)
+		m := 2 + rng.Intn(4)
+		_, cons := randomScenario(rng, n, m, 4, 0.6)
+		tr, err := New(cons, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("scen %d initial: %v", scen, err)
+		}
+		for step := 0; step < 50; step++ {
+			var remaining []int
+			for _, x := range tr.MissingTaxa() {
+				if !tr.Agile().HasTaxon(x) {
+					remaining = append(remaining, x)
+				}
+			}
+			if len(remaining) == 0 || (tr.Depth() > 0 && rng.Intn(3) == 0) {
+				if tr.Depth() > 0 {
+					tr.RemoveTaxon()
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("scen %d step %d after remove: %v", scen, step, err)
+					}
+				}
+				continue
+			}
+			x := remaining[rng.Intn(len(remaining))]
+			br := tr.AllowedBranches(x)
+			if len(br) == 0 {
+				continue
+			}
+			tr.ExtendTaxon(x, br[rng.Intn(len(br))])
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("scen %d step %d after extend taxon %d: %v", scen, step, x, err)
+			}
+		}
+	}
+}
+
+// Property: for random (seeded) scenarios, a full greedy insertion keeps the
+// invariants at every depth.
+func TestQuickInvariantsGreedyDescent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, cons := randomScenario(rng, 9+rng.Intn(6), 2+rng.Intn(2), 4, 0.6)
+		tr, err := New(cons, 0)
+		if err != nil {
+			return false
+		}
+		for _, x := range tr.MissingTaxa() {
+			br := tr.AllowedBranches(x)
+			if len(br) == 0 {
+				break
+			}
+			tr.ExtendTaxon(x, br[0])
+			if tr.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for tr.Depth() > 0 {
+			tr.RemoveTaxon()
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveTaxonPanicsAtDepthZero(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E"})
+	c1 := tree.MustParse("((A,B),(C,D));", taxa)
+	c2 := tree.MustParse("((A,B),(C,E));", taxa)
+	tr, err := New([]*tree.Tree{c1, c2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.RemoveTaxon()
+}
+
+func TestExtendInadmissiblePanics(t *testing.T) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E"})
+	c1 := tree.MustParse("((A,B),(C,D));", taxa)
+	c2 := tree.MustParse("((A,E),(B,C));", taxa) // E pinned near A
+	tr, err := New([]*tree.Tree{c1, c2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := tr.AllowedBranches(4)
+	var bad int32 = -1
+	for e := int32(0); e < int32(tr.Agile().NumEdges()); e++ {
+		ok := false
+		for _, a := range allowed {
+			if a == e {
+				ok = true
+			}
+		}
+		if !ok {
+			bad = e
+			break
+		}
+	}
+	if bad < 0 {
+		t.Skip("no inadmissible edge in this instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inadmissible insertion")
+		}
+	}()
+	tr.ExtendTaxon(4, bad)
+}

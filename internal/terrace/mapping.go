@@ -1,0 +1,350 @@
+package terrace
+
+import (
+	"fmt"
+
+	"gentrius/internal/tree"
+)
+
+// ExtendTaxon inserts taxon x into the agile tree at edge e and updates
+// every double-edge mapping incrementally. The edge must be admissible for x
+// (this is checked for constraints containing x and violations panic: the
+// search only ever passes edges returned by AllowedBranches).
+//
+// The inverse operation is RemoveTaxon; insertions and removals follow
+// strict LIFO discipline. Undo data lives in flat per-Terrace logs (edge ids
+// re-mapped away from the split common edge, pending taxa re-targeted), so
+// steady-state operation performs no allocations.
+func (tr *Terrace) ExtendTaxon(x int, e int32) {
+	// Reuse the undo frame slot (and its cs slice capacity) when available.
+	n := len(tr.undo)
+	if cap(tr.undo) > n {
+		tr.undo = tr.undo[:n+1]
+		tr.undo[n].cs = tr.undo[n].cs[:0]
+	} else {
+		tr.undo = append(tr.undo, undoFrame{})
+	}
+	frame := &tr.undo[n]
+	frame.taxon = x
+
+	_, half, pendant := tr.agile.AttachLeaf(x, e)
+	for ci, cs := range tr.constraints {
+		if !cs.y.Has(x) {
+			if cs.sCount >= 2 {
+				ce := cs.m[e]
+				cs.growM(pendant)
+				cs.m[half] = ce
+				cs.m[pendant] = ce
+				cs.cnt[ce] += 2
+				frame.cs = append(frame.cs, cUndo{kind: cInherit, ci: int32(ci), inheritCE: ce})
+			}
+			continue
+		}
+		switch cs.sCount {
+		case 0:
+			cs.s.Add(x)
+			cs.sCount = 1
+			frame.cs = append(frame.cs, cUndo{kind: cS0, ci: int32(ci)})
+		case 1:
+			frame.cs = append(frame.cs, tr.firstCommonEdge(int32(ci), cs, x))
+		default:
+			frame.cs = append(frame.cs, tr.splitCommonEdge(int32(ci), cs, x, e, half, pendant))
+		}
+	}
+}
+
+// RemoveTaxon undoes the most recent ExtendTaxon, restoring the exact prior
+// state (including all id allocation), and returns the removed taxon.
+func (tr *Terrace) RemoveTaxon() int {
+	if len(tr.undo) == 0 {
+		panic("terrace: RemoveTaxon at depth 0")
+	}
+	frame := &tr.undo[len(tr.undo)-1]
+	for i := len(frame.cs) - 1; i >= 0; i-- {
+		u := &frame.cs[i]
+		cs := tr.constraints[u.ci]
+		switch u.kind {
+		case cInherit:
+			cs.cnt[u.inheritCE] -= 2
+		case cS0:
+			cs.s.Remove(frame.taxon)
+			cs.sCount = 0
+		case cFirst:
+			cs.cedges = cs.cedges[:0]
+			cs.cnt = cs.cnt[:0]
+			cs.s.Remove(frame.taxon)
+			cs.sCount = 1
+		case cSplit:
+			for _, edge := range tr.moveLog[u.movedStart:u.movedEnd] {
+				cs.m[edge] = u.che
+			}
+			tr.moveLog = tr.moveLog[:u.movedStart]
+			cs.cedges = cs.cedges[:len(cs.cedges)-2]
+			cs.cnt = cs.cnt[:len(cs.cnt)-2]
+			ce := &cs.cedges[u.che]
+			ce.tb, ce.ab = u.oldTB, u.oldAB
+			cs.cnt[u.che] = u.oldCnt
+			for _, y := range tr.tgLog[u.tgStart:u.tgEnd] {
+				cs.target[y] = u.che
+			}
+			tr.tgLog = tr.tgLog[:u.tgStart]
+			cs.s.Remove(frame.taxon)
+			cs.sCount--
+		}
+	}
+	taxon := frame.taxon
+	tr.undo = tr.undo[:len(tr.undo)-1]
+	tr.agile.DetachLeaf(taxon)
+	return taxon
+}
+
+// firstCommonEdge handles the |S_i| 1 -> 2 transition: the common subtree is
+// born as a single edge between the previously lone shared taxon and x; all
+// agile edges map onto it, and all pending taxa target it.
+func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
+	s0 := cs.s.Min()
+	cs.cedges = append(cs.cedges, cedge{
+		ta: cs.t.LeafNode(s0), tb: cs.t.LeafNode(x),
+		aa: tr.agile.LeafNode(s0), ab: tr.agile.LeafNode(x),
+	})
+	cs.growM(int32(tr.agile.NumEdges() - 1))
+	for i := 0; i < tr.agile.NumEdges(); i++ {
+		cs.m[i] = 0
+	}
+	cs.cnt = append(cs.cnt, int32(tr.agile.NumEdges()))
+	cs.y.ForEach(func(y int) {
+		if y != x && y != s0 && !tr.agile.HasTaxon(y) {
+			cs.target[y] = 0
+		}
+	})
+	cs.s.Add(x)
+	cs.sCount = 2
+	return cUndo{kind: cFirst, ci: ci}
+}
+
+// splitCommonEdge handles the general |S_i| >= 2 insertion: the target
+// common edge ĉ of x splits into three (ta-side part keeping id ĉ, far part
+// c1, and x's pendant part c2) on both the constraint side (via a median
+// query on the static tree) and the agile side (via a local traversal of
+// ĉ's preimage subgraph), and pending taxa targeting ĉ are re-resolved.
+func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half, pendant int32) cUndo {
+	che := cs.target[x]
+	if che == NoCE {
+		panic(fmt.Sprintf("terrace: taxon %d has no target for constraint %d", x, ci))
+	}
+	if cs.m[e] != che {
+		panic(fmt.Sprintf("terrace: inserting taxon %d at inadmissible edge %d (constraint %d)", x, e, ci))
+	}
+	u := cUndo{kind: cSplit, ci: ci, che: che}
+	ce := &cs.cedges[che]
+	u.oldTB, u.oldAB, u.oldCnt = ce.tb, ce.ab, cs.cnt[che]
+	u.movedStart = int32(len(tr.moveLog))
+	u.tgStart = int32(len(tr.tgLog))
+
+	// New edges provisionally extend ĉ's preimage.
+	cs.growM(pendant)
+	cs.m[half] = che
+	cs.m[pendant] = che
+	cs.cnt[che] += 2
+
+	// Constraint side: split at p = median(ta, tb, x's leaf in T_i).
+	lx := cs.t.LeafNode(x)
+	p := cs.ix.Median(ce.ta, ce.tb, lx)
+	if p == ce.ta || p == ce.tb {
+		panic("terrace: attachment median at a common-subtree vertex")
+	}
+	c1 := int32(len(cs.cedges))
+	c2 := c1 + 1
+	cs.cedges = append(cs.cedges,
+		cedge{ta: p, tb: u.oldTB},
+		cedge{ta: p, tb: lx},
+	)
+	cs.cnt = append(cs.cnt, 0, 0)
+	ce = &cs.cedges[che] // reacquire: append may have moved the backing array
+	ce.tb = p
+
+	// Agile side: locate q (where x's branch meets the aa..ab path inside
+	// ĉ's preimage subgraph) and reassign the far and x-side regions.
+	q, succEdge, xEdge := tr.locateSplitPoint(cs, che, ce.aa, u.oldAB, tr.agile.LeafNode(x))
+	moved1 := tr.assignRegion(cs, che, c1, q, succEdge)
+	moved2 := tr.assignRegion(cs, che, c2, q, xEdge)
+	cs.cnt[c1] = moved1
+	cs.cnt[c2] = moved2
+	cs.cnt[che] -= moved1 + moved2
+	cs.cedges[c1].aa, cs.cedges[c1].ab = q, u.oldAB
+	cs.cedges[c2].aa, cs.cedges[c2].ab = q, tr.agile.LeafNode(x)
+	cs.cedges[che].ab = q
+	u.movedEnd = int32(len(tr.moveLog))
+
+	// Re-resolve pending taxa that targeted ĉ, against the OLD anchors.
+	ta := cs.cedges[che].ta
+	distAP := cs.ix.Dist(ta, p)
+	for _, y := range cs.pendingOn(tr, che, x) {
+		py := cs.ix.Median(ta, u.oldTB, cs.t.LeafNode(int(y)))
+		var nt int32
+		switch {
+		case py == p:
+			nt = c2
+		case cs.ix.Dist(ta, py) < distAP:
+			nt = che
+		default:
+			nt = c1
+		}
+		if nt != che {
+			cs.target[y] = nt
+			tr.tgLog = append(tr.tgLog, y)
+		}
+	}
+	u.tgEnd = int32(len(tr.tgLog))
+
+	cs.s.Add(x)
+	cs.sCount++
+	return u
+}
+
+// pendingOn collects (into a shared scratch buffer) the taxa of the
+// constraint that are still missing from the agile tree, differ from x, and
+// currently target common edge che.
+func (cs *constraintState) pendingOn(tr *Terrace, che int32, x int) []int32 {
+	buf := tr.pendBuf[:0]
+	cs.y.ForEach(func(y int) {
+		if y != x && cs.target[y] == che && !tr.agile.HasTaxon(y) {
+			buf = append(buf, int32(y))
+		}
+	})
+	tr.pendBuf = buf
+	return buf
+}
+
+// locateSplitPoint finds, within ĉ's preimage subgraph of the (already
+// extended) agile tree, the vertex q where the new leaf's branch meets the
+// aa..ab anchor path, the path edge leaving q toward ab, and the edge
+// leaving q toward the new leaf.
+func (tr *Terrace) locateSplitPoint(cs *constraintState, che int32, aa, ab, xLeaf int32) (q, succEdge, xEdge int32) {
+	a := tr.agile
+	tr.growScratch()
+	tr.stamp++
+	onPath := tr.stamp
+	// DFS from ab through preimage edges toward aa, recording parents; stop
+	// as soon as aa is reached. The parent direction is then "toward ab",
+	// which is exactly the successor orientation the caller needs.
+	tr.stamp++
+	vis := tr.stamp
+	tr.mark[ab] = vis
+	stack := append(tr.dfsBuf[:0], ab)
+	parentV := tr.parentV
+	parentE := tr.parentE
+	parentV[ab] = tree.NoNode
+	found := false
+search:
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if cs.m[ed] != che {
+				continue
+			}
+			w := a.Other(ed, v)
+			if tr.mark[w] == vis {
+				continue
+			}
+			tr.mark[w] = vis
+			parentV[w] = v
+			parentE[w] = ed
+			if w == aa {
+				found = true
+				break search
+			}
+			stack = append(stack, w)
+		}
+	}
+	if !found {
+		panic("terrace: anchor path not found in preimage subgraph")
+	}
+	// Mark the aa..ab path.
+	for v := aa; v != tree.NoNode; v = parentV[v] {
+		tr.mark2[v] = onPath
+	}
+	// Walk from the new leaf to the first path vertex.
+	tr.stamp++
+	vis2 := tr.stamp
+	tr.mark[xLeaf] = vis2
+	stack = append(stack[:0], xLeaf)
+	var hit, hitEdge int32 = tree.NoNode, tree.NoEdge
+	for len(stack) > 0 && hit == tree.NoNode {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if cs.m[ed] != che {
+				continue
+			}
+			w := a.Other(ed, v)
+			if tr.mark[w] == vis2 {
+				continue
+			}
+			tr.mark[w] = vis2
+			if tr.mark2[w] == onPath {
+				hit, hitEdge = w, ed
+				break
+			}
+			stack = append(stack, w)
+		}
+	}
+	if hit == tree.NoNode {
+		panic("terrace: new leaf not connected to anchor path in preimage subgraph")
+	}
+	tr.dfsBuf = stack[:0]
+	return hit, parentE[hit], hitEdge
+}
+
+// assignRegion re-maps the contiguous region of ĉ's preimage reachable from
+// q through startEdge (without crossing back through q) to newCE, appending
+// every moved edge to the move log, and returns the number of edges moved.
+func (tr *Terrace) assignRegion(cs *constraintState, che, newCE, q, startEdge int32) int32 {
+	a := tr.agile
+	moved := int32(0)
+	cs.m[startEdge] = newCE
+	tr.moveLog = append(tr.moveLog, startEdge)
+	moved++
+	stack := append(tr.dfsBuf[:0], a.Other(startEdge, q))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if cs.m[ed] != che {
+				continue
+			}
+			cs.m[ed] = newCE
+			tr.moveLog = append(tr.moveLog, ed)
+			moved++
+			stack = append(stack, a.Other(ed, v))
+		}
+	}
+	tr.dfsBuf = stack[:0]
+	return moved
+}
+
+// growM extends the agile-side mapping array to cover edge id e.
+func (cs *constraintState) growM(e int32) {
+	for int32(len(cs.m)) <= e {
+		cs.m = append(cs.m, NoCE)
+	}
+}
+
+// growScratch sizes the traversal scratch buffers to the agile tree.
+func (tr *Terrace) growScratch() {
+	n := tr.agile.NumNodes() + 2
+	for len(tr.mark) < n {
+		tr.mark = append(tr.mark, 0)
+		tr.mark2 = append(tr.mark2, 0)
+		tr.parentV = append(tr.parentV, tree.NoNode)
+		tr.parentE = append(tr.parentE, tree.NoEdge)
+		tr.succEdge = append(tr.succEdge, tree.NoEdge)
+	}
+}

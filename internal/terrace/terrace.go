@@ -1,0 +1,521 @@
+// Package terrace implements the state object of the Gentrius algorithm
+// (the paper's "Terrace class"): the agile tree under construction, the set
+// of constraint trees, the common subtrees of each agile/constraint pair,
+// and the double-edge mappings between their branches.
+//
+// For every constraint tree T_i with taxon set Y_i, let S_i be the taxa both
+// in the agile tree and in Y_i. When |S_i| >= 2 the common subtree
+// C_i = T_i|S_i is maintained implicitly as a set of "common edges", each
+// anchored by a pair of vertices in T_i and a pair of vertices in the agile
+// tree. Two mappings are kept per constraint:
+//
+//   - the agile-side mapping m_i: every agile edge maps to exactly one
+//     common edge (the one whose path it lies on, or whose path its hanging
+//     subtree is attached to) — total and surjective;
+//   - the constraint-side targets: every not-yet-inserted taxon y in Y_i
+//     maps to the common edge its pendant branch in T_i projects onto.
+//
+// A branch b of the agile tree is admissible for taxon x iff
+// m_i(b) == target_i(x) for every constraint i containing x (constraints
+// with |S_i| < 2 impose no restriction): inserting x at b then keeps
+// A|((cur ∪ {x}) ∩ Y_i) == T_i|((cur ∪ {x}) ∩ Y_i), which is exactly
+// pairwise compatibility of the extended agile tree with each constraint.
+//
+// ExtendTaxon and RemoveTaxon update the mappings incrementally with exact
+// LIFO undo, so a Terrace can replay and rewind arbitrary branch-and-bound
+// paths; ids are deterministic, so two Terrace instances built from the same
+// input that apply the same operations agree on every edge id — the property
+// the parallel engine's task handoff relies on.
+package terrace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/tree"
+)
+
+// ErrIncompatible is wrapped by New when two input constraint trees have
+// different induced subtrees on their common taxa. No tree can display both,
+// so the stand is empty; callers should report zero stand trees rather than
+// failing.
+var ErrIncompatible = errors.New("constraint trees are pairwise incompatible")
+
+// NoCE marks "no common edge".
+const NoCE int32 = -1
+
+// cedge is one edge of a common subtree C_i, anchored in both trees.
+type cedge struct {
+	ta, tb int32 // anchor vertices in the constraint tree
+	aa, ab int32 // anchor vertices in the agile tree
+}
+
+// constraintState holds the per-constraint half of the Terrace state.
+type constraintState struct {
+	t  *tree.Tree        // the (static) constraint tree
+	ix *tree.StaticIndex // LCA/median index on t
+	y  *bitset.Set       // Y_i: taxa of the constraint tree
+
+	s      *bitset.Set // S_i = agile leaves ∩ Y_i
+	sCount int
+
+	cedges []cedge // common edges by id (stack allocation)
+	cnt    []int32 // preimage size per common edge id
+	m      []int32 // agile edge id -> common edge id (entries beyond the live agile edge prefix are stale)
+	target []int32 // taxon id -> common edge id for pending taxa (stale for inserted/foreign taxa)
+}
+
+// Terrace is the full algorithm state.
+type Terrace struct {
+	taxa        *tree.Taxa
+	agile       *tree.Tree
+	constraints []*constraintState
+	initialIdx  int
+	missing     []int // taxa not in the initial agile tree, ascending
+	undo        []undoFrame
+
+	// scratch buffers reused across operations (per agile node/edge)
+	mark       []int32 // DFS visit stamps
+	mark2      []int32 // on-anchor-path stamps
+	parentV    []int32
+	parentE    []int32
+	succEdge   []int32 // per path vertex: edge toward the far anchor
+	stamp      int32
+	dfsBuf     []int32
+	allowedBuf []int32
+	activeBuf  []*constraintState
+	pendBuf    []int32
+
+	// flat undo logs (see cUndo)
+	moveLog []int32 // agile edge ids re-mapped by splits
+	tgLog   []int32 // taxon ids re-targeted by splits
+}
+
+// cUndo records what ExtendTaxon did to one constraint. Variable-length
+// undo data (edges re-mapped away from ĉ, pending taxa re-targeted) lives in
+// the Terrace's flat moveLog/tgLog; cUndo holds the ranges.
+type cUndo struct {
+	kind                 int8 // cNone, cInherit, cS0, cFirst, cSplit
+	ci                   int32
+	che                  int32 // the split common edge ĉ (cSplit)
+	oldTB                int32 // ĉ's old t-side far anchor (cSplit)
+	oldAB                int32 // ĉ's old agile-side far anchor (cSplit)
+	oldCnt               int32 // ĉ's old preimage count (cSplit)
+	movedStart, movedEnd int32 // moveLog range (cSplit)
+	tgStart, tgEnd       int32 // tgLog range (cSplit)
+	inheritCE            int32 // common edge inherited by the new edges (cInherit)
+}
+
+const (
+	cNone int8 = iota
+	cInherit
+	cS0 // |S_i| went 0 -> 1: only membership changed
+	cFirst
+	cSplit
+)
+
+type undoFrame struct {
+	taxon int
+	cs    []cUndo
+}
+
+// New builds a Terrace from a set of constraint trees over a shared taxon
+// universe, using constraints[initialIdx] as the initial agile tree. Every
+// taxon in the universe must occur in at least one constraint tree, every
+// constraint tree must have at least 4 leaves, and the initial tree must
+// overlap every... (no such requirement: constraints sharing no taxa with
+// the current agile tree simply impose no restriction until they do).
+func New(constraints []*tree.Tree, initialIdx int) (*Terrace, error) {
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("terrace: no constraint trees")
+	}
+	if initialIdx < 0 || initialIdx >= len(constraints) {
+		return nil, fmt.Errorf("terrace: initial index %d out of range", initialIdx)
+	}
+	taxa := constraints[0].Taxa()
+	covered := bitset.New(taxa.Len())
+	for k, c := range constraints {
+		if c.Taxa() != taxa {
+			return nil, fmt.Errorf("terrace: constraint %d uses a different taxon universe", k)
+		}
+		if c.LeafSet().Len() != taxa.Len() {
+			return nil, fmt.Errorf("terrace: constraint %d was built before the taxon universe was complete (%d of %d taxa known); re-parse it against the final universe",
+				k, c.LeafSet().Len(), taxa.Len())
+		}
+		if c.NumLeaves() < 4 {
+			return nil, fmt.Errorf("terrace: constraint %d has %d leaves (need >= 4)", k, c.NumLeaves())
+		}
+		covered.UnionWith(c.LeafSet())
+	}
+	if covered.Count() != taxa.Len() {
+		return nil, fmt.Errorf("terrace: %d taxa occur in no constraint tree", taxa.Len()-covered.Count())
+	}
+	tr := &Terrace{
+		taxa:       taxa,
+		agile:      constraints[initialIdx].Clone(),
+		initialIdx: initialIdx,
+	}
+	for _, c := range constraints {
+		cs := &constraintState{
+			t:      c,
+			ix:     tree.NewStaticIndex(c),
+			y:      c.LeafSet().Clone(),
+			s:      bitset.New(taxa.Len()),
+			target: make([]int32, taxa.Len()),
+		}
+		for i := range cs.target {
+			cs.target[i] = NoCE
+		}
+		tr.constraints = append(tr.constraints, cs)
+	}
+	miss := tr.agile.LeafSet().Clone()
+	miss.ComplementWithin()
+	tr.missing = miss.Elements()
+	for _, cs := range tr.constraints {
+		if err := tr.initConstraint(cs); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// Agile returns the current agile tree. Callers must not modify it.
+func (tr *Terrace) Agile() *tree.Tree { return tr.agile }
+
+// Taxa returns the taxon universe.
+func (tr *Terrace) Taxa() *tree.Taxa { return tr.taxa }
+
+// NumConstraints returns the number of constraint trees.
+func (tr *Terrace) NumConstraints() int { return len(tr.constraints) }
+
+// Constraint returns constraint tree i.
+func (tr *Terrace) Constraint(i int) *tree.Tree { return tr.constraints[i].t }
+
+// InitialIndex returns the index of the constraint used as initial tree.
+func (tr *Terrace) InitialIndex() int { return tr.initialIdx }
+
+// MissingTaxa returns the taxa absent from the *initial* agile tree in
+// ascending order (the insertion work list; unaffected by later insertions).
+func (tr *Terrace) MissingTaxa() []int { return tr.missing }
+
+// Depth returns the number of insertions currently applied on top of the
+// initial agile tree.
+func (tr *Terrace) Depth() int { return len(tr.undo) }
+
+// Complete reports whether the agile tree contains every taxon.
+func (tr *Terrace) Complete() bool { return tr.agile.NumLeaves() == tr.taxa.Len() }
+
+// LastInserted returns the most recently inserted taxon, or -1 at depth 0.
+func (tr *Terrace) LastInserted() int {
+	if len(tr.undo) == 0 {
+		return -1
+	}
+	return tr.undo[len(tr.undo)-1].taxon
+}
+
+// initConstraint builds S_i, the common edges with both anchor pairs, the
+// agile-side mapping and the pending-taxon targets, from scratch.
+func (tr *Terrace) initConstraint(cs *constraintState) error {
+	cs.s.CopyFrom(tr.agile.LeafSet())
+	cs.s.IntersectWith(cs.y)
+	cs.sCount = cs.s.Count()
+	cs.cedges = cs.cedges[:0]
+	cs.cnt = cs.cnt[:0]
+	if cap(cs.m) < tr.agile.NumEdges() {
+		cs.m = make([]int32, tr.agile.NumEdges(), 2*tr.taxa.Len())
+	} else {
+		cs.m = cs.m[:tr.agile.NumEdges()]
+	}
+	if cs.sCount < 2 {
+		return nil
+	}
+	// Chain decomposition of the constraint tree w.r.t. S gives the common
+	// edges with t-anchors; the same decomposition of the agile tree gives
+	// a-anchors plus the full agile-side mapping. The two are matched by the
+	// S-split each chain induces.
+	tSplits, err := chainDecompose(cs.t, cs.s, func(id int, u, v int32) {
+		cs.cedges = append(cs.cedges, cedge{ta: u, tb: v, aa: tree.NoNode, ab: tree.NoNode})
+		cs.cnt = append(cs.cnt, 0)
+	})
+	if err != nil {
+		return err
+	}
+	aSplits, err := chainDecompose(tr.agile, cs.s, nil)
+	if err != nil {
+		return err
+	}
+	if len(aSplits.chains) != len(tSplits.chains) {
+		return fmt.Errorf("terrace: common subtree mismatch (%d vs %d chains): %w",
+			len(aSplits.chains), len(tSplits.chains), ErrIncompatible)
+	}
+	// Map each agile chain to the t-side common edge with the same split,
+	// orienting the agile anchors so that cedge.aa corresponds to the same
+	// common-subtree vertex as cedge.ta (splits incrementally maintained by
+	// ExtendTaxon rely on this correspondence).
+	bySplit := make(map[string]int32, len(tSplits.chains))
+	for id, ch := range tSplits.chains {
+		bySplit[ch.splitKey] = int32(id)
+	}
+	for _, ch := range aSplits.chains {
+		ce, ok := bySplit[ch.splitKey]
+		if !ok {
+			return fmt.Errorf("terrace: no matching split for a common-subtree edge: %w", ErrIncompatible)
+		}
+		if ch.uSideKey == tSplits.chains[ce].uSideKey {
+			cs.cedges[ce].aa, cs.cedges[ce].ab = ch.u, ch.v
+		} else {
+			cs.cedges[ce].aa, cs.cedges[ce].ab = ch.v, ch.u
+		}
+	}
+	// Agile-side mapping: every agile edge belongs to exactly one chain
+	// (path edges) or hangs off one (assigned during decomposition).
+	for e, chainID := range aSplits.edgeChain {
+		if chainID < 0 {
+			return fmt.Errorf("terrace: agile edge %d unassigned in chain decomposition", e)
+		}
+		ce, ok := bySplit[aSplits.chains[chainID].splitKey]
+		if !ok {
+			return fmt.Errorf("terrace: unmatched chain split")
+		}
+		cs.m[e] = ce
+		cs.cnt[ce]++
+	}
+	// Pending-taxon targets via strict-interior medians.
+	pend := cs.y.Clone()
+	pend.SubtractWith(cs.s)
+	var terr error
+	pend.ForEach(func(yTaxon int) {
+		if terr != nil {
+			return
+		}
+		ce := tr.resolveTarget(cs, int32(yTaxon))
+		if ce == NoCE {
+			terr = fmt.Errorf("terrace: no target common edge for taxon %d", yTaxon)
+			return
+		}
+		cs.target[yTaxon] = ce
+	})
+	return terr
+}
+
+// resolveTarget finds the common edge whose T_i-path strictly contains the
+// attachment point of pending taxon y — by scanning all common edges for the
+// unique strict-interior median. Used only at initialization (O(|C| log n)
+// per pending taxon); incremental updates use local re-resolution instead.
+func (tr *Terrace) resolveTarget(cs *constraintState, yTaxon int32) int32 {
+	ly := cs.t.LeafNode(int(yTaxon))
+	for id := range cs.cedges {
+		ce := &cs.cedges[id]
+		m := cs.ix.Median(ce.ta, ce.tb, ly)
+		if m != ce.ta && m != ce.tb {
+			return int32(id)
+		}
+	}
+	return NoCE
+}
+
+// chainResult describes the chain decomposition of a tree w.r.t. a leaf
+// subset S: the significant vertices (Steiner-tree vertices of degree != 2)
+// and the chains (paths between consecutive significant vertices), each with
+// the normalized key of the S-split it induces.
+type chainResult struct {
+	chains    []chainInfo
+	edgeChain []int32 // edge id -> chain id (only filled when fillEdges)
+}
+
+type chainInfo struct {
+	u, v     int32
+	splitKey string // normalized (orientation-free) key of the S-split
+	uSideKey string // key of the S-taxa on u's side (orientation marker)
+}
+
+// chainDecompose computes the chain decomposition. If onChain is non-nil it
+// is called once per chain in id order. The returned edgeChain assigns every
+// edge of t (path edges and hanging-subtree edges) to its chain.
+func chainDecompose(t *tree.Tree, s *bitset.Set, onChain func(id int, u, v int32)) (*chainResult, error) {
+	n := t.NumNodes()
+	res := &chainResult{edgeChain: make([]int32, t.NumEdges())}
+	for i := range res.edgeChain {
+		res.edgeChain[i] = -1
+	}
+	// Steiner degrees: prune leaves not in S iteratively.
+	deg := make([]int8, n)
+	removed := make([]bool, n)
+	var queue []int32
+	for vi := 0; vi < n; vi++ {
+		deg[vi] = int8(t.Degree(int32(vi)))
+		tx := t.NodeTaxon(int32(vi))
+		if deg[vi] <= 1 && (tx < 0 || !s.Has(int(tx))) {
+			queue = append(queue, int32(vi))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed[v] = true
+		adj := t.IncidentEdges(v)
+		for i := 0; i < t.Degree(v); i++ {
+			u := t.Other(adj[i], v)
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] == 1 {
+				tx := t.NodeTaxon(u)
+				if tx < 0 || !s.Has(int(tx)) {
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	// Walk chains from each significant vertex; create each chain once
+	// (from the endpoint with the smaller node id... both endpoints are
+	// significant; create from the one encountered first and dedupe with a
+	// per-edge check).
+	for vi := 0; vi < n; vi++ {
+		if removed[vi] || deg[vi] == 2 || deg[vi] == 0 {
+			continue
+		}
+		v := int32(vi)
+		adj := t.IncidentEdges(v)
+		for i := 0; i < t.Degree(v); i++ {
+			e := adj[i]
+			if res.edgeChain[e] >= 0 {
+				continue
+			}
+			u0 := t.Other(e, v)
+			if removed[u0] {
+				continue
+			}
+			// Walk to the far significant vertex, collecting path edges.
+			id := int32(len(res.chains))
+			cur, ce := v, e
+			pathEdges := []int32{e}
+			for {
+				nxt := t.Other(ce, cur)
+				if deg[nxt] != 2 {
+					cur = nxt
+					break
+				}
+				nadj := t.IncidentEdges(nxt)
+				for k := 0; k < t.Degree(nxt); k++ {
+					e2 := nadj[k]
+					if e2 != ce && !removed[t.Other(e2, nxt)] {
+						cur, ce = nxt, e2
+						pathEdges = append(pathEdges, e2)
+						break
+					}
+				}
+			}
+			far := cur
+			// Split key: S-taxa on v's side of the chain, normalized within S.
+			side := t.Split(pathEdges[0])
+			// Split returns taxa on pathEdges[0].a's side; orient to v's side.
+			a, _ := t.EdgeEndpoints(pathEdges[0])
+			if a != v {
+				side.ComplementWithin()
+			}
+			side.IntersectWith(s)
+			other := s.Clone()
+			other.SubtractWith(side)
+			uKey := side.Key()
+			key := uKey
+			if ok := other.Key(); ok < key {
+				key = ok
+			}
+			res.chains = append(res.chains, chainInfo{u: v, v: far, splitKey: key, uSideKey: uKey})
+			for _, pe := range pathEdges {
+				res.edgeChain[pe] = id
+			}
+			if onChain != nil {
+				onChain(int(id), v, far)
+			}
+		}
+	}
+	if len(res.chains) == 0 {
+		return nil, fmt.Errorf("terrace: chain decomposition found no chains")
+	}
+	// Assign hanging-subtree edges: DFS from every path vertex into removed
+	// or off-Steiner parts... Hanging edges connect a Steiner chain-interior
+	// vertex to pruned subtrees. Sweep all unassigned edges: each hanging
+	// subtree is reachable from exactly one assigned region; propagate by
+	// DFS from chain path vertices through unassigned edges.
+	for vi := 0; vi < n; vi++ {
+		if removed[vi] {
+			continue
+		}
+		v := int32(vi)
+		adj := t.IncidentEdges(v)
+		for i := 0; i < t.Degree(v); i++ {
+			e := adj[i]
+			if res.edgeChain[e] >= 0 {
+				continue
+			}
+			u := t.Other(e, v)
+			if !removed[u] {
+				continue
+			}
+			// v is on a chain (deg[v]==2 interior); find its chain id from
+			// one of its assigned incident edges.
+			var cid int32 = -1
+			for k := 0; k < t.Degree(v); k++ {
+				if res.edgeChain[adj[k]] >= 0 {
+					cid = res.edgeChain[adj[k]]
+					break
+				}
+			}
+			if cid < 0 {
+				return nil, fmt.Errorf("terrace: hanging subtree attached to vertex with no assigned edge")
+			}
+			// Assign the whole hanging subtree.
+			res.edgeChain[e] = cid
+			stack := []int32{u}
+			for len(stack) > 0 {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				wadj := t.IncidentEdges(w)
+				for k := 0; k < t.Degree(w); k++ {
+					e2 := wadj[k]
+					if res.edgeChain[e2] >= 0 {
+						continue
+					}
+					res.edgeChain[e2] = cid
+					stack = append(stack, t.Other(e2, w))
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Signature returns a cheap structural digest of the full state, used by
+// tests to verify that remove(insert(state)) == state and that replaying a
+// path on a fresh Terrace reproduces the state exactly.
+func (tr *Terrace) Signature() string {
+	sig := tr.agile.Newick()
+	for ci, cs := range tr.constraints {
+		sig += fmt.Sprintf("|c%d:s%d:", ci, cs.sCount)
+		if cs.sCount >= 2 {
+			for e := int32(0); e < int32(tr.agile.NumEdges()); e++ {
+				sig += fmt.Sprintf("%d,", cs.m[e])
+			}
+			sig += ":"
+			for _, c := range cs.cnt {
+				sig += fmt.Sprintf("%d,", c)
+			}
+			sig += ":"
+			pend := cs.y.Clone()
+			pend.SubtractWith(cs.s)
+			pend.ForEach(func(y int) { sig += fmt.Sprintf("%d>%d,", y, cs.target[y]) })
+		}
+	}
+	return sig
+}
+
+// sortedEdges returns edge ids ascending (helper for deterministic output).
+func sortedEdges(es []int32) []int32 {
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	return es
+}

@@ -1,0 +1,138 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicForms(t *testing.T) {
+	cases := []struct {
+		in     string
+		leaves int
+	}{
+		{"A;", 1},
+		{"(A,B);", 2},
+		{"(A,B,C);", 3},
+		{"((A,B),C);", 3},
+		{"((A,B),(C,D));", 4},
+		{"(A,(B,(C,D)),E);", 5},
+		{"((A:0.1,B:0.2):0.05,(C,D)internal:1e-3);", 4},
+		{"('sp. one','sp,two');", 2},
+		{"( A , B ) ;", 2},
+	}
+	for _, c := range cases {
+		taxa := &Taxa{index: map[string]int{}}
+		tr, err := Parse(c.in, taxa, true)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if tr.NumLeaves() != c.leaves {
+			t.Fatalf("%q: %d leaves, want %d", c.in, tr.NumLeaves(), c.leaves)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"(A,B)",          // missing ;
+		"(A,B));",        // extra paren
+		"((A,B);",        // unbalanced
+		"(A,B,C,D);",     // outermost quartet polytomy
+		"((A,B,C),D);",   // inner polytomy
+		"(A,A);",         // duplicate taxon
+		"(A,B); garbage", // trailing
+		"(A,'B);",        // unterminated quote
+		"(A,B):;",        // bad branch length
+		"(,B);",          // empty label
+	}
+	for _, c := range cases {
+		taxa := &Taxa{index: map[string]int{}}
+		if _, err := Parse(c, taxa, true); err == nil {
+			t.Fatalf("%q: expected error", c)
+		}
+	}
+}
+
+func TestParseUnknownTaxonRejected(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B"})
+	if _, err := Parse("(A,(B,C));", taxa, false); err == nil {
+		t.Fatal("expected unknown-taxon error")
+	}
+	if _, err := Parse("(A,(B,C));", taxa, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for it := 0; it < 80; it++ {
+		n := 3 + rng.Intn(40)
+		taxa := MustTaxa(names(n))
+		tr := randomTree(taxa, rng)
+		nw := tr.Newick()
+		back, err := Parse(nw, taxa, false)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", nw, err)
+		}
+		if !back.SameTopology(tr) {
+			t.Fatalf("round trip changed topology: %s", nw)
+		}
+		if back.Newick() != nw {
+			t.Fatalf("canonical form unstable: %s vs %s", back.Newick(), nw)
+		}
+	}
+}
+
+func TestUnrootedEquivalentRootings(t *testing.T) {
+	// All rooted renderings of the same unrooted tree parse to equal trees.
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	forms := []string{
+		"((A,B),(C,(D,E)));",
+		"(A,(B,(C,(D,E))));",
+		"(((A,B),C),(D,E));",
+		"(E,(D,(C,(A,B))));",
+		"((A,B),C,(D,E));",
+	}
+	ref := MustParse(forms[0], taxa)
+	for _, f := range forms[1:] {
+		tr := MustParse(f, taxa)
+		if !tr.SameTopology(ref) {
+			t.Fatalf("%q parsed to different topology", f)
+		}
+		if tr.Newick() != ref.Newick() {
+			t.Fatalf("%q canonical form %s != %s", f, tr.Newick(), ref.Newick())
+		}
+	}
+}
+
+func TestNewickTinyTrees(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B"})
+	tr := New(taxa)
+	if got := tr.Newick(); got != ";" {
+		t.Fatalf("empty tree Newick = %q", got)
+	}
+	tr.AddFirstLeaf(0)
+	if got := tr.Newick(); got != "A;" {
+		t.Fatalf("one-leaf Newick = %q", got)
+	}
+	tr.AddSecondLeaf(1)
+	if got := tr.Newick(); got != "(A,B);" {
+		t.Fatalf("two-leaf Newick = %q", got)
+	}
+}
+
+func TestQuotedNamesRoundTrip(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B"})
+	tr, err := Parse("('Homo sapiens',(A,B));", taxa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Newick(), "Homo sapiens") {
+		t.Fatalf("quoted name lost: %s", tr.Newick())
+	}
+}

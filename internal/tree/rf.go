@@ -1,0 +1,173 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gentrius/internal/bitset"
+)
+
+// RobinsonFoulds returns the Robinson–Foulds distance between two unrooted
+// trees on the same leaf set: the size of the symmetric difference of their
+// non-trivial split sets. The maximum possible value for binary trees on n
+// leaves is 2(n-3).
+func RobinsonFoulds(a, b *Tree) (int, error) {
+	if !a.LeafSet().Equal(b.LeafSet()) {
+		return 0, fmt.Errorf("tree: RF distance requires identical leaf sets")
+	}
+	sa, sb := a.SplitKeys(), b.SplitKeys()
+	d := 0
+	for k := range sa {
+		if !sb[k] {
+			d++
+		}
+	}
+	for k := range sb {
+		if !sa[k] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// SplitCounts tallies, over a collection of trees on the same leaf set, how
+// many trees contain each non-trivial split. It returns the tally keyed by
+// the split's canonical key, plus one representative split set per key.
+func SplitCounts(trees []*Tree) (map[string]int, map[string]*bitset.Set, error) {
+	if len(trees) == 0 {
+		return nil, nil, fmt.Errorf("tree: no trees")
+	}
+	leafSet := trees[0].LeafSet()
+	counts := make(map[string]int)
+	reps := make(map[string]*bitset.Set)
+	for i, t := range trees {
+		if !t.LeafSet().Equal(leafSet) {
+			return nil, nil, fmt.Errorf("tree: tree %d has a different leaf set", i)
+		}
+		for e := int32(0); e < int32(t.NumEdges()); e++ {
+			va, vb := t.EdgeEndpoints(e)
+			if t.NodeTaxon(va) >= 0 || t.NodeTaxon(vb) >= 0 {
+				continue
+			}
+			s := t.Split(e)
+			// Orient to the side not containing the smallest leaf, giving a
+			// canonical cluster representation (a proper subset of leaves).
+			if s.Has(leafSet.Min()) {
+				c := leafSet.Clone()
+				c.SubtractWith(s)
+				s = c
+			}
+			k := s.Key()
+			if counts[k] == 0 {
+				reps[k] = s
+			}
+			counts[k]++
+		}
+	}
+	return counts, reps, nil
+}
+
+// ConsensusNewick builds the consensus tree of the given trees, keeping
+// every split that occurs in more than the fraction threshold of the trees
+// (threshold 0.9999… gives the strict consensus, 0.5 the majority-rule
+// consensus; thresholds >= 0.5 guarantee the kept splits are pairwise
+// compatible). The consensus is generally non-binary, so it is returned as a
+// Newick string with polytomies rather than as a *Tree.
+func ConsensusNewick(trees []*Tree, threshold float64) (string, int, error) {
+	if threshold < 0.5 {
+		return "", 0, fmt.Errorf("tree: consensus threshold %v below 0.5 (splits could conflict)", threshold)
+	}
+	counts, reps, err := SplitCounts(trees)
+	if err != nil {
+		return "", 0, err
+	}
+	taxa := trees[0].Taxa()
+	leafSet := trees[0].LeafSet()
+	var clusters []*bitset.Set
+	for k, c := range counts {
+		keep := float64(c) > threshold*float64(len(trees))
+		if threshold >= 1 {
+			keep = c == len(trees) // strict consensus
+		}
+		if keep {
+			clusters = append(clusters, reps[k])
+		}
+	}
+	// Clusters (oriented away from the smallest leaf) kept above a >= 0.5
+	// threshold form a laminar family; nest them into a hierarchy.
+	sort.Slice(clusters, func(i, j int) bool {
+		ci, cj := clusters[i].Count(), clusters[j].Count()
+		if ci != cj {
+			return ci > cj // larger first: parents before children
+		}
+		return clusters[i].Key() < clusters[j].Key()
+	})
+	type cnode struct {
+		set      *bitset.Set
+		children []*cnode
+		leaves   []int // direct leaf children
+	}
+	root := &cnode{set: leafSet}
+	for _, cl := range clusters {
+		// Descend to the smallest node containing cl.
+		cur := root
+		for {
+			descended := false
+			for _, ch := range cur.children {
+				if cl.SubsetOf(ch.set) {
+					cur = ch
+					descended = true
+					break
+				}
+			}
+			if !descended {
+				break
+			}
+		}
+		// Laminarity means cl nests under cur; adopt any children of cur
+		// that are subsets of cl.
+		nn := &cnode{set: cl}
+		var keep []*cnode
+		for _, ch := range cur.children {
+			if ch.set.SubsetOf(cl) {
+				nn.children = append(nn.children, ch)
+			} else {
+				keep = append(keep, ch)
+			}
+		}
+		cur.children = append(keep, nn)
+	}
+	// Assign leaves to their smallest containing cluster.
+	var assign func(c *cnode, l int) bool
+	assign = func(c *cnode, l int) bool {
+		if !c.set.Has(l) {
+			return false
+		}
+		for _, ch := range c.children {
+			if assign(ch, l) {
+				return true
+			}
+		}
+		c.leaves = append(c.leaves, l)
+		return true
+	}
+	leafSet.ForEach(func(l int) { assign(root, l) })
+	// Render.
+	var render func(c *cnode) string
+	render = func(c *cnode) string {
+		parts := make([]string, 0, len(c.children)+len(c.leaves))
+		for _, l := range c.leaves {
+			parts = append(parts, quoteIfNeeded(taxa.Name(l)))
+		}
+		for _, ch := range c.children {
+			parts = append(parts, render(ch))
+		}
+		sort.Strings(parts)
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	}
+	return render(root) + ";", len(clusters), nil
+}

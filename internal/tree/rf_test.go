@@ -1,0 +1,150 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRobinsonFouldsBasics(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParse("((A,B),(D,(C,E)));", taxa)
+	t3 := MustParse("((A,C),(B,(D,E)));", taxa)
+	if d, err := RobinsonFoulds(t1, t1); err != nil || d != 0 {
+		t.Fatalf("RF(t,t) = %d, %v", d, err)
+	}
+	d12, err := RobinsonFoulds(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d21, _ := RobinsonFoulds(t2, t1)
+	if d12 != d21 {
+		t.Fatal("RF not symmetric")
+	}
+	if d12 == 0 {
+		t.Fatal("distinct topologies at distance 0")
+	}
+	maxRF := 2 * (5 - 3)
+	for _, pair := range [][2]*Tree{{t1, t2}, {t1, t3}, {t2, t3}} {
+		d, _ := RobinsonFoulds(pair[0], pair[1])
+		if d < 0 || d > maxRF {
+			t.Fatalf("RF %d outside [0,%d]", d, maxRF)
+		}
+	}
+}
+
+func TestRobinsonFouldsLeafSetMismatch(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParse("((A,B),(C,D));", taxa)
+	t2 := MustParse("((A,B),(C,E));", taxa)
+	if _, err := RobinsonFoulds(t1, t2); err == nil {
+		t.Fatal("expected leaf-set error")
+	}
+}
+
+func TestRFRandomTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	taxa := MustTaxa(names(12))
+	for it := 0; it < 40; it++ {
+		a, b, c := randomTree(taxa, rng), randomTree(taxa, rng), randomTree(taxa, rng)
+		dab, _ := RobinsonFoulds(a, b)
+		dbc, _ := RobinsonFoulds(b, c)
+		dac, _ := RobinsonFoulds(a, c)
+		if dac > dab+dbc {
+			t.Fatalf("triangle inequality violated: %d > %d + %d", dac, dab, dbc)
+		}
+		if (dab == 0) != a.SameTopology(b) {
+			t.Fatal("RF==0 iff same topology violated")
+		}
+	}
+}
+
+func TestStrictConsensusOfIdenticalTrees(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E", "F"})
+	tr := MustParse("((A,(B,C)),(D,(E,F)));", taxa)
+	nw, kept, err := ConsensusNewick([]*Tree{tr, tr.Clone(), tr.Clone()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 { // 6 leaves -> 3 non-trivial splits
+		t.Fatalf("kept %d splits, want 3", kept)
+	}
+	back := MustParse(nw, taxa)
+	if !back.SameTopology(tr) {
+		t.Fatalf("strict consensus of identical trees = %s, want %s", nw, tr.Newick())
+	}
+}
+
+func TestStrictConsensusCollapsesConflict(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	// All three resolutions around the cherry (A,B): the split {A,B} is
+	// shared; everything else conflicts.
+	t1 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParse("((A,B),(D,(C,E)));", taxa)
+	t3 := MustParse("((A,B),(E,(C,D)));", taxa)
+	nw, kept, err := ConsensusNewick([]*Tree{t1, t2, t3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 1 {
+		t.Fatalf("kept %d splits, want only AB|CDE", kept)
+	}
+	// The consensus must retain the AB|CDE split (rendered from either
+	// side) and collapse everything else into a polytomy.
+	if !strings.Contains(nw, "(A,B)") && !strings.Contains(nw, "(C,D,E)") {
+		t.Fatalf("consensus %q lost the AB|CDE split", nw)
+	}
+}
+
+func TestMajorityConsensus(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t3 := MustParse("((A,C),(B,(D,E)));", taxa)
+	nw, kept, err := ConsensusNewick([]*Tree{t1, t2, t3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {A,B} occurs 2/3 > 0.5, {D,E} occurs 3/3.
+	if kept != 2 {
+		t.Fatalf("kept %d splits, want 2 (AB and DE)", kept)
+	}
+	back := MustParse(nw, taxa) // fully resolved here: 2 splits on 5 taxa
+	if !back.SameTopology(t1) {
+		t.Fatalf("majority consensus %s, want %s", nw, t1.Newick())
+	}
+}
+
+func TestConsensusRejectsLowThreshold(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	tr := MustParse("((A,B),(C,D));", taxa)
+	if _, _, err := ConsensusNewick([]*Tree{tr}, 0.3); err == nil {
+		t.Fatal("expected threshold error")
+	}
+}
+
+func TestSplitCounts(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParse("((A,C),(B,(D,E)));", taxa)
+	counts, reps, err := SplitCounts([]*Tree{t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 { // AB, AC, DE clusters
+		t.Fatalf("%d distinct splits, want 3", len(counts))
+	}
+	two := 0
+	for k, c := range counts {
+		if c == 2 {
+			two++
+			if reps[k].Count() != 2 || !reps[k].Has(3) || !reps[k].Has(4) {
+				t.Fatalf("shared split is not {D,E}: %v", reps[k])
+			}
+		}
+	}
+	if two != 1 {
+		t.Fatalf("%d splits shared by both, want 1", two)
+	}
+}

@@ -1,0 +1,137 @@
+package tree
+
+// StaticIndex answers lowest-common-ancestor, distance, median and
+// path-position queries on a tree that will not be modified after the index
+// is built. Gentrius builds one per constraint tree: the constraint-side
+// half of the double-edge mapping resolves pending-taxon targets with
+// median queries against the static constraint tree.
+type StaticIndex struct {
+	t      *Tree
+	root   int32
+	parent []int32
+	pedge  []int32 // edge to parent
+	depth  []int32
+	up     [][]int32 // binary lifting table: up[k][v] = 2^k-th ancestor
+	order  []int32   // preorder for iteration if needed
+}
+
+// NewStaticIndex builds the index, rooting the tree at node 0.
+func NewStaticIndex(t *Tree) *StaticIndex {
+	n := len(t.nodes)
+	ix := &StaticIndex{
+		t:      t,
+		root:   0,
+		parent: make([]int32, n),
+		pedge:  make([]int32, n),
+		depth:  make([]int32, n),
+	}
+	for i := range ix.parent {
+		ix.parent[i] = NoNode
+		ix.pedge[i] = NoEdge
+	}
+	if n == 0 {
+		return ix
+	}
+	// Iterative DFS from the root.
+	stack := []int32{ix.root}
+	visited := make([]bool, n)
+	visited[ix.root] = true
+	ix.order = append(ix.order, ix.root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[v]
+		for i := int8(0); i < nd.deg; i++ {
+			e := nd.adj[i]
+			u := t.Other(e, v)
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			ix.parent[u] = v
+			ix.pedge[u] = e
+			ix.depth[u] = ix.depth[v] + 1
+			ix.order = append(ix.order, u)
+			stack = append(stack, u)
+		}
+	}
+	// Binary lifting.
+	levels := 1
+	for (1 << levels) < n {
+		levels++
+	}
+	ix.up = make([][]int32, levels+1)
+	ix.up[0] = ix.parent
+	for k := 1; k <= levels; k++ {
+		prev := ix.up[k-1]
+		cur := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if prev[v] == NoNode {
+				cur[v] = NoNode
+			} else {
+				cur[v] = prev[prev[v]]
+			}
+		}
+		ix.up[k] = cur
+	}
+	return ix
+}
+
+// Depth returns the depth of v below the index root.
+func (ix *StaticIndex) Depth(v int32) int32 { return ix.depth[v] }
+
+// Parent returns v's parent node (NoNode for the root).
+func (ix *StaticIndex) Parent(v int32) int32 { return ix.parent[v] }
+
+// ParentEdge returns the edge from v to its parent (NoEdge for the root).
+func (ix *StaticIndex) ParentEdge(v int32) int32 { return ix.pedge[v] }
+
+// LCA returns the lowest common ancestor of u and v.
+func (ix *StaticIndex) LCA(u, v int32) int32 {
+	if ix.depth[u] < ix.depth[v] {
+		u, v = v, u
+	}
+	diff := ix.depth[u] - ix.depth[v]
+	for k := 0; diff != 0; k++ {
+		if diff&1 != 0 {
+			u = ix.up[k][u]
+		}
+		diff >>= 1
+	}
+	if u == v {
+		return u
+	}
+	for k := len(ix.up) - 1; k >= 0; k-- {
+		if ix.up[k][u] != ix.up[k][v] {
+			u = ix.up[k][u]
+			v = ix.up[k][v]
+		}
+	}
+	return ix.parent[u]
+}
+
+// Dist returns the number of edges on the path from u to v.
+func (ix *StaticIndex) Dist(u, v int32) int32 {
+	l := ix.LCA(u, v)
+	return ix.depth[u] + ix.depth[v] - 2*ix.depth[l]
+}
+
+// Median returns the unique vertex lying on all three pairwise paths between
+// u, v and w (their "median" or Steiner point).
+func (ix *StaticIndex) Median(u, v, w int32) int32 {
+	a, b, c := ix.LCA(u, v), ix.LCA(u, w), ix.LCA(v, w)
+	// Exactly two of the three coincide; the remaining (deepest) one is the
+	// median.
+	if a == b {
+		return c
+	}
+	if a == c {
+		return b
+	}
+	return a
+}
+
+// OnPath reports whether x lies on the path from u to v (inclusive).
+func (ix *StaticIndex) OnPath(x, u, v int32) bool {
+	return ix.Dist(u, x)+ix.Dist(x, v) == ix.Dist(u, v)
+}

@@ -1,0 +1,108 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive path helpers for cross-checking the index.
+func naivePath(t *Tree, u, v int32) []int32 {
+	prev := make([]int32, t.NumNodes())
+	for i := range prev {
+		prev[i] = NoNode
+	}
+	prev[u] = u
+	stack := []int32{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			break
+		}
+		adj := t.IncidentEdges(x)
+		for i := 0; i < t.Degree(x); i++ {
+			y := t.Other(adj[i], x)
+			if prev[y] == NoNode {
+				prev[y] = x
+				stack = append(stack, y)
+			}
+		}
+	}
+	var path []int32
+	for x := v; ; x = prev[x] {
+		path = append(path, x)
+		if x == u {
+			break
+		}
+	}
+	return path
+}
+
+func TestStaticIndexAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for it := 0; it < 25; it++ {
+		n := 4 + rng.Intn(40)
+		taxa := MustTaxa(names(n))
+		tr := randomTree(taxa, rng)
+		ix := NewStaticIndex(tr)
+		nn := int32(tr.NumNodes())
+		for q := 0; q < 50; q++ {
+			u := int32(rng.Intn(int(nn)))
+			v := int32(rng.Intn(int(nn)))
+			w := int32(rng.Intn(int(nn)))
+			// Dist check.
+			if got, want := ix.Dist(u, v), int32(len(naivePath(tr, u, v))-1); got != want {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", u, v, got, want)
+			}
+			// Median: the unique node on all three pairwise paths.
+			m := ix.Median(u, v, w)
+			for _, pair := range [][2]int32{{u, v}, {u, w}, {v, w}} {
+				if !ix.OnPath(m, pair[0], pair[1]) {
+					t.Fatalf("median %d of (%d,%d,%d) not on path %v", m, u, v, w, pair)
+				}
+			}
+			// OnPath cross-check against the naive path.
+			path := naivePath(tr, u, v)
+			onNaive := make(map[int32]bool, len(path))
+			for _, x := range path {
+				onNaive[x] = true
+			}
+			x := int32(rng.Intn(int(nn)))
+			if got := ix.OnPath(x, u, v); got != onNaive[x] {
+				t.Fatalf("OnPath(%d,%d,%d) = %v, want %v", x, u, v, got, onNaive[x])
+			}
+		}
+	}
+}
+
+func TestLCASelfAndAdjacent(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	tr := MustParse("((A,B),(C,D));", taxa)
+	ix := NewStaticIndex(tr)
+	for v := int32(0); v < int32(tr.NumNodes()); v++ {
+		if ix.LCA(v, v) != v {
+			t.Fatalf("LCA(%d,%d) != %d", v, v, v)
+		}
+		if ix.Dist(v, v) != 0 {
+			t.Fatal("Dist(v,v) != 0")
+		}
+		if ix.Median(v, v, v) != v {
+			t.Fatal("Median(v,v,v) != v")
+		}
+	}
+}
+
+func TestMedianQuartets(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	tr := MustParse("((A,B),(C,D));", taxa)
+	ix := NewStaticIndex(tr)
+	a, b, c := tr.LeafNode(0), tr.LeafNode(1), tr.LeafNode(2)
+	m := ix.Median(a, b, c)
+	// Must be the internal node adjacent to both A and B.
+	if tr.NodeTaxon(m) >= 0 {
+		t.Fatal("median of three leaves is a leaf")
+	}
+	if ix.Dist(a, m) != 1 || ix.Dist(b, m) != 1 {
+		t.Fatalf("median not adjacent to A and B: dists %d %d", ix.Dist(a, m), ix.Dist(b, m))
+	}
+}

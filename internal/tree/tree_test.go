@@ -1,0 +1,364 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gentrius/internal/bitset"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i%26))
+		if i >= 26 {
+			out[i] += string(rune('0' + i/26))
+		}
+	}
+	return out
+}
+
+// randomTree builds a random binary tree over all taxa in taxa using the
+// given source, via random stepwise attachment.
+func randomTree(taxa *Taxa, rng *rand.Rand) *Tree {
+	t := New(taxa)
+	perm := rng.Perm(taxa.Len())
+	t.AddFirstLeaf(perm[0])
+	if len(perm) > 1 {
+		t.AddSecondLeaf(perm[1])
+	}
+	for _, x := range perm[2:] {
+		e := int32(rng.Intn(t.NumEdges()))
+		t.AttachLeaf(x, e)
+	}
+	return t
+}
+
+func TestAttachDetachRoundTrip(t *testing.T) {
+	taxa := MustTaxa(names(10))
+	tr := New(taxa)
+	tr.AddFirstLeaf(0)
+	tr.AddSecondLeaf(1)
+	tr.AttachLeaf(2, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Newick()
+	tr.AttachLeaf(3, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.DetachLeaf(3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Newick(); got != want {
+		t.Fatalf("after attach+detach: %s, want %s", got, want)
+	}
+}
+
+func TestAttachDetachDeepLIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taxa := MustTaxa(names(30))
+	tr := New(taxa)
+	tr.AddFirstLeaf(0)
+	tr.AddSecondLeaf(1)
+	type op struct {
+		taxon int
+		edge  int32
+	}
+	var ops []op
+	var snaps []string
+	for x := 2; x < 30; x++ {
+		snaps = append(snaps, tr.Newick())
+		e := int32(rng.Intn(tr.NumEdges()))
+		ops = append(ops, op{x, e})
+		tr.AttachLeaf(x, e)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after attach %d: %v", x, err)
+		}
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		tr.DetachLeaf(ops[i].taxon)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after detach %d: %v", ops[i].taxon, err)
+		}
+		if got := tr.Newick(); got != snaps[i] {
+			t.Fatalf("detach %d: tree %s, want %s", ops[i].taxon, got, snaps[i])
+		}
+	}
+}
+
+func TestDetachRestoresEdgeIDs(t *testing.T) {
+	// Replaying the same operations must yield identical edge ids: the
+	// parallel engine's task handoff depends on this.
+	taxa := MustTaxa(names(12))
+	build := func() (*Tree, []string) {
+		rng := rand.New(rand.NewSource(3))
+		tr := New(taxa)
+		tr.AddFirstLeaf(0)
+		tr.AddSecondLeaf(1)
+		var log []string
+		for x := 2; x < 12; x++ {
+			e := int32(rng.Intn(tr.NumEdges()))
+			v, h, p := tr.AttachLeaf(x, e)
+			log = append(log, tr.Newick())
+			_ = v
+			_ = h
+			_ = p
+		}
+		return tr, log
+	}
+	t1, log1 := build()
+	// Detach everything, re-attach the exact same sequence on t1, compare
+	// against a fresh build.
+	for x := 11; x >= 2; x-- {
+		t1.DetachLeaf(x)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var log2 []string
+	for x := 2; x < 12; x++ {
+		e := int32(rng.Intn(t1.NumEdges()))
+		t1.AttachLeaf(x, e)
+		log2 = append(log2, t1.Newick())
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("replay diverged at step %d:\n%s\n%s", i, log1[i], log2[i])
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	tr := MustParse("((A,B),(C,D));", taxa)
+	// Find the internal edge; its split must be {A,B} | {C,D}.
+	found := false
+	for e := int32(0); e < int32(tr.NumEdges()); e++ {
+		a, b := tr.EdgeEndpoints(e)
+		if tr.NodeTaxon(a) >= 0 || tr.NodeTaxon(b) >= 0 {
+			continue
+		}
+		s := tr.Split(e)
+		if s.Count() == 2 {
+			ab := s.Has(0) && s.Has(1)
+			cd := s.Has(2) && s.Has(3)
+			if !ab && !cd {
+				t.Fatalf("internal split = %v", s)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no internal edge found")
+	}
+}
+
+func TestSameTopology(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	t1 := MustParse("((A,B),(C,(D,E)));", taxa)
+	t2 := MustParse("(((E,D),C),(B,A));", taxa)
+	t3 := MustParse("((A,C),(B,(D,E)));", taxa)
+	if !t1.SameTopology(t2) {
+		t.Fatal("t1 and t2 should be the same unrooted topology")
+	}
+	if t1.SameTopology(t3) {
+		t.Fatal("t1 and t3 should differ")
+	}
+	if t1.Newick() != t2.Newick() {
+		t.Fatalf("canonical Newick differs: %s vs %s", t1.Newick(), t2.Newick())
+	}
+	if t1.Newick() == t3.Newick() {
+		t.Fatal("canonical Newick collides for distinct topologies")
+	}
+}
+
+func TestRestrictBasic(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E", "F"})
+	tr := MustParse("((A,(B,C)),(D,(E,F)));", taxa)
+	sub := bitset.New(6)
+	for _, x := range []int{0, 1, 3, 4} { // A B D E
+		sub.Add(x)
+	}
+	r := tr.Restrict(sub)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("((A,B),(D,E));", taxa)
+	if !r.SameTopology(want) {
+		t.Fatalf("restricted = %s, want %s", r.Newick(), want.Newick())
+	}
+}
+
+func TestRestrictSmallSets(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D", "E"})
+	tr := MustParse("((A,B),(C,(D,E)));", taxa)
+	one := bitset.New(5)
+	one.Add(2)
+	r1 := tr.Restrict(one)
+	if r1.NumLeaves() != 1 || !r1.HasTaxon(2) {
+		t.Fatal("restrict to one taxon failed")
+	}
+	two := bitset.New(5)
+	two.Add(0)
+	two.Add(4)
+	r2 := tr.Restrict(two)
+	if r2.NumLeaves() != 2 || r2.NumEdges() != 1 {
+		t.Fatal("restrict to two taxa failed")
+	}
+	three := bitset.New(5)
+	three.Add(0)
+	three.Add(2)
+	three.Add(4)
+	r3 := tr.Restrict(three)
+	if err := r3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r3.NumLeaves() != 3 || r3.NumEdges() != 3 {
+		t.Fatalf("restrict to three taxa: %d leaves %d edges", r3.NumLeaves(), r3.NumEdges())
+	}
+}
+
+func TestRestrictIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	taxa := MustTaxa(names(20))
+	tr := randomTree(taxa, rng)
+	r := tr.Restrict(tr.LeafSet())
+	if !r.SameTopology(tr) {
+		t.Fatal("Restrict to full leaf set changed topology")
+	}
+}
+
+// Property: restriction commutes — (T|A)|B == T|B when B ⊆ A.
+func TestRestrictNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for it := 0; it < 60; it++ {
+		n := 6 + rng.Intn(25)
+		taxa := MustTaxa(names(n))
+		tr := randomTree(taxa, rng)
+		a := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 {
+				a.Add(i)
+			}
+		}
+		if a.Count() < 4 {
+			continue
+		}
+		b := bitset.New(n)
+		a.ForEach(func(i int) {
+			if rng.Intn(3) > 0 {
+				b.Add(i)
+			}
+		})
+		if b.Count() < 3 {
+			continue
+		}
+		ta := tr.Restrict(a)
+		if err := ta.Validate(); err != nil {
+			t.Fatalf("it %d: T|A invalid: %v", it, err)
+		}
+		tab := ta.Restrict(b)
+		tb := tr.Restrict(b)
+		if !tab.SameTopology(tb) {
+			t.Fatalf("it %d: (T|A)|B != T|B:\n%s\n%s", it, tab.Newick(), tb.Newick())
+		}
+	}
+}
+
+// Property: a tree displays all restrictions of itself; attaching an extra
+// leaf never changes the restriction to the original leaf set.
+func TestAttachPreservesRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for it := 0; it < 40; it++ {
+		n := 8 + rng.Intn(12)
+		taxa := MustTaxa(names(n))
+		tr := New(taxa)
+		tr.AddFirstLeaf(0)
+		tr.AddSecondLeaf(1)
+		for x := 2; x < n-1; x++ {
+			tr.AttachLeaf(x, int32(rng.Intn(tr.NumEdges())))
+		}
+		before := tr.Clone()
+		tr.AttachLeaf(n-1, int32(rng.Intn(tr.NumEdges())))
+		r := tr.Restrict(before.LeafSet())
+		if !r.SameTopology(before) {
+			t.Fatalf("it %d: attach changed restriction", it)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	taxa := MustTaxa(names(8))
+	tr := MustParse("((A,B),(C,(D,(E,(F,G)))));", taxa) // H (id 7) absent
+	c := tr.Clone()
+	want := c.Newick()
+	tr.AttachLeaf(7, 0)
+	if got := c.Newick(); got != want {
+		t.Fatalf("clone mutated: %s, want %s", got, want)
+	}
+	if c.HasTaxon(7) {
+		t.Fatal("clone gained a taxon")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	taxa := MustTaxa([]string{"A", "B", "C", "D"})
+	tr := MustParse("((A,B),(C,D));", taxa)
+	tr.nodes[0].deg = 2 // corrupt
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted tree")
+	}
+}
+
+func BenchmarkAttachDetach(b *testing.B) {
+	taxa := MustTaxa(names(100))
+	rng := rand.New(rand.NewSource(1))
+	tr := New(taxa)
+	tr.AddFirstLeaf(0)
+	tr.AddSecondLeaf(1)
+	for x := 2; x < 99; x++ {
+		tr.AttachLeaf(x, int32(rng.Intn(tr.NumEdges())))
+	}
+	e := int32(rng.Intn(tr.NumEdges()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AttachLeaf(99, e)
+		tr.DetachLeaf(99)
+	}
+}
+
+func BenchmarkRestrict(b *testing.B) {
+	taxa := MustTaxa(names(200))
+	rng := rand.New(rand.NewSource(2))
+	tr := randomTree(taxa, rng)
+	sub := bitset.New(200)
+	for i := 0; i < 200; i += 3 {
+		sub.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Restrict(sub)
+	}
+}
+
+func BenchmarkNewickRoundTrip(b *testing.B) {
+	taxa := MustTaxa(names(150))
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTree(taxa, rng)
+	nw := tr.Newick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2, err := Parse(nw, taxa, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = t2.Newick()
+	}
+}

@@ -1,0 +1,195 @@
+// Package workflow records the branch-and-bound workflow tree of a Gentrius
+// search — the tree-of-states structure the paper's Figures 1a, 2, 3 and 5
+// draw — and renders it as ASCII or Graphviz DOT. The recorder is meant for
+// small instances (teaching, debugging, figure regeneration): workflow
+// trees grow with the number of intermediate states.
+package workflow
+
+import (
+	"fmt"
+	"strings"
+
+	"gentrius/internal/search"
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// Node is one state of the workflow tree: the insertion that produced it
+// and the subtree of states below it.
+type Node struct {
+	// Taxon and Edge describe the insertion leading to this state; the root
+	// has Taxon == -1.
+	Taxon int
+	Edge  int32
+	// Complete marks a stand tree (leaf of the workflow); DeadEnd marks a
+	// state from which some remaining taxon had no admissible branch.
+	Complete bool
+	DeadEnd  bool
+	// Newick is the completed stand tree (Complete nodes only).
+	Newick   string
+	Children []*Node
+
+	// Subtree totals (filled by Record).
+	States   int
+	Trees    int
+	DeadEnds int
+}
+
+// Record runs the search below the given constraint set and captures the
+// whole workflow tree. It refuses to record more than maxStates states
+// (default 10,000 when zero): workflow trees are exponential objects.
+func Record(constraints []*tree.Tree, initialIdx int, maxStates int) (*Node, error) {
+	if maxStates <= 0 {
+		maxStates = 10_000
+	}
+	if initialIdx < 0 {
+		initialIdx = search.ChooseInitialTree(constraints)
+	}
+	t, err := terrace.New(constraints, initialIdx)
+	if err != nil {
+		return nil, err
+	}
+	eng := search.NewEngine(t)
+	root := &Node{Taxon: -1, Edge: -1}
+	stack := []*Node{root}
+	states := 0
+	for {
+		ev := eng.Step()
+		if ev == search.EvDone {
+			break
+		}
+		switch ev {
+		case search.EvInserted, search.EvTreeFound, search.EvDeadEnd:
+			states++
+			if states > maxStates {
+				return nil, fmt.Errorf("workflow: more than %d states; raise maxStates or use a smaller instance", maxStates)
+			}
+			path := eng.Path(nil)
+			if len(path) == 0 {
+				// The initial tree is already complete: the stand is just it.
+				root.Complete = ev == search.EvTreeFound
+				root.DeadEnd = ev == search.EvDeadEnd
+				if root.Complete {
+					root.Newick = t.Agile().Newick()
+				}
+				continue
+			}
+			last := path[len(path)-1]
+			n := &Node{Taxon: last.Taxon, Edge: last.Edge}
+			switch ev {
+			case search.EvTreeFound:
+				n.Complete = true
+				n.Newick = t.Agile().Newick()
+			case search.EvDeadEnd:
+				n.DeadEnd = true
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+			if ev == search.EvInserted {
+				stack = append(stack, n)
+			}
+		case search.EvRemoved:
+			if len(stack) > 1 && eng.Depth() < len(stack)-1 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	fill(root)
+	return root, nil
+}
+
+// fill computes subtree totals post-order.
+func fill(n *Node) {
+	if n.Complete {
+		n.Trees = 1
+		return
+	}
+	if n.DeadEnd {
+		n.DeadEnds = 1
+		n.States = 1
+		return
+	}
+	if n.Taxon >= 0 {
+		n.States = 1
+	}
+	for _, c := range n.Children {
+		fill(c)
+		n.States += c.States
+		n.Trees += c.Trees
+		n.DeadEnds += c.DeadEnds
+	}
+}
+
+// label renders a node's insertion description.
+func (n *Node) label(taxa *tree.Taxa) string {
+	switch {
+	case n.Taxon < 0:
+		return "I0"
+	default:
+		return fmt.Sprintf("+%s@e%d", taxa.Name(n.Taxon), n.Edge)
+	}
+}
+
+// RenderASCII draws the workflow tree with box-drawing indentation, marking
+// stand trees with '*' and dead ends with 'x' — the textual analogue of the
+// paper's Figure 1a workflow diagram.
+func (n *Node) RenderASCII(taxa *tree.Taxa) string {
+	var b strings.Builder
+	var rec func(n *Node, prefix string, last bool)
+	rec = func(n *Node, prefix string, last bool) {
+		connector := "├─"
+		childPrefix := prefix + "│ "
+		if last {
+			connector = "└─"
+			childPrefix = prefix + "  "
+		}
+		if n.Taxon < 0 {
+			fmt.Fprintf(&b, "%s (states=%d trees=%d deadends=%d)\n",
+				n.label(taxa), n.States, n.Trees, n.DeadEnds)
+			childPrefix = ""
+		} else {
+			mark := ""
+			if n.Complete {
+				mark = " *"
+			}
+			if n.DeadEnd {
+				mark = " x"
+			}
+			fmt.Fprintf(&b, "%s%s %s%s\n", prefix, connector, n.label(taxa), mark)
+		}
+		for i, c := range n.Children {
+			rec(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	rec(n, "", true)
+	return b.String()
+}
+
+// RenderDOT emits the workflow tree as a Graphviz digraph: stand trees as
+// doublecircles, dead ends as filled boxes.
+func (n *Node) RenderDOT(taxa *tree.Taxa) string {
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n  node [shape=circle, fontsize=10];\n")
+	id := 0
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		my := id
+		id++
+		attrs := fmt.Sprintf("label=%q", n.label(taxa))
+		switch {
+		case n.Complete:
+			attrs += ", shape=doublecircle"
+		case n.DeadEnd:
+			attrs += ", shape=box, style=filled, fillcolor=gray80"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", my, attrs)
+		for _, c := range n.Children {
+			ci := rec(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, ci)
+		}
+		return my
+	}
+	rec(n)
+	b.WriteString("}\n")
+	return b.String()
+}

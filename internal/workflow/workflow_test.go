@@ -1,0 +1,126 @@
+package workflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gentrius/internal/bitset"
+	"gentrius/internal/search"
+	"gentrius/internal/tree"
+)
+
+func fig1aConstraints() ([]*tree.Tree, *tree.Taxa) {
+	taxa := tree.MustTaxa([]string{"A", "B", "C", "D", "E", "F", "X", "Y"})
+	return []*tree.Tree{
+		tree.MustParse("((A,B),((C,D),(E,F)));", taxa),
+		tree.MustParse("((A,X),(C,(E,F)));", taxa),
+		tree.MustParse("((E,Y),(C,(A,B)));", taxa),
+	}, taxa
+}
+
+func TestRecordMatchesSearchCounters(t *testing.T) {
+	cons, taxa := fig1aConstraints()
+	res, err := search.Run(cons, search.Options{InitialTree: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := Record(cons, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(root.Trees) != res.StandTrees {
+		t.Fatalf("workflow trees %d, search %d", root.Trees, res.StandTrees)
+	}
+	if int64(root.DeadEnds) != res.DeadEnds {
+		t.Fatalf("workflow dead ends %d, search %d", root.DeadEnds, res.DeadEnds)
+	}
+	ascii := root.RenderASCII(taxa)
+	if !strings.Contains(ascii, "I0") || !strings.Contains(ascii, "*") {
+		t.Fatalf("ASCII rendering incomplete:\n%s", ascii)
+	}
+	dot := root.RenderDOT(taxa)
+	if !strings.Contains(dot, "digraph workflow") || !strings.Contains(dot, "doublecircle") {
+		t.Fatalf("DOT rendering incomplete:\n%s", dot)
+	}
+	// Every complete node carries its stand tree.
+	var walk func(n *Node)
+	trees := 0
+	walk = func(n *Node) {
+		if n.Complete {
+			trees++
+			if !strings.HasSuffix(n.Newick, ";") {
+				t.Fatalf("complete node without Newick: %+v", n)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if trees != root.Trees {
+		t.Fatalf("leaf count %d != total %d", trees, root.Trees)
+	}
+}
+
+func TestRecordRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	taxaNames := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		return out
+	}
+	for scen := 0; scen < 6; scen++ {
+		n := 8 + rng.Intn(4)
+		taxa := tree.MustTaxa(taxaNames(n))
+		tr := tree.New(taxa)
+		perm := rng.Perm(n)
+		tr.AddFirstLeaf(perm[0])
+		tr.AddSecondLeaf(perm[1])
+		for _, x := range perm[2:] {
+			tr.AttachLeaf(x, int32(rng.Intn(tr.NumEdges())))
+		}
+		cols := make([]*bitset.Set, 2)
+		for {
+			cover := bitset.New(n)
+			for j := range cols {
+				c := bitset.New(n)
+				for i := 0; i < n; i++ {
+					if rng.Float64() < 0.7 {
+						c.Add(i)
+					}
+				}
+				cols[j] = c
+				cover.UnionWith(c)
+			}
+			if cover.Count() == n && cols[0].Count() >= 4 && cols[1].Count() >= 4 {
+				break
+			}
+		}
+		cons := []*tree.Tree{tr.Restrict(cols[0]), tr.Restrict(cols[1])}
+		res, err := search.Run(cons, search.Options{InitialTree: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IntermediateStates > 5000 {
+			continue
+		}
+		root, err := Record(cons, -1, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(root.Trees) != res.StandTrees || int64(root.DeadEnds) != res.DeadEnds {
+			t.Fatalf("scen %d: workflow (%d trees, %d dead) vs search (%d, %d)",
+				scen, root.Trees, root.DeadEnds, res.StandTrees, res.DeadEnds)
+		}
+	}
+}
+
+func TestRecordCap(t *testing.T) {
+	cons, _ := fig1aConstraints()
+	if _, err := Record(cons, 0, 1); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
