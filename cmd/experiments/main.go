@@ -9,7 +9,11 @@
 //	experiments -exp fig6 -quick    # smaller corpora (seconds)
 //
 // Experiments: verify, heuristics, fig6, fig7, fig8, table1, table2,
-// batching, plateau, superlinear, ablations, orders, all.
+// batching, plateau, superlinear, ablations, orders, obs, all.
+//
+// -trace-out FILE additionally writes the deterministic virtual-time JSONL
+// scheduler trace of a representative work-stealing run (byte-identical
+// across invocations with the same seed).
 package main
 
 import (
@@ -24,10 +28,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (verify|heuristics|fig6|fig7|fig8|table1|table2|batching|plateau|superlinear|ablations|orders|all)")
-		quick  = flag.Bool("quick", false, "smaller corpora for a fast smoke run")
-		corpus = flag.Int("corpus", 0, "override corpus size")
-		seed   = flag.Int64("seed", 1, "corpus seed")
+		exp      = flag.String("exp", "all", "experiment id (verify|heuristics|fig6|fig7|fig8|table1|table2|batching|plateau|superlinear|ablations|orders|obs|all)")
+		quick    = flag.Bool("quick", false, "smaller corpora for a fast smoke run")
+		corpus   = flag.Int("corpus", 0, "override corpus size")
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		traceOut = flag.String("trace-out", "", "write the deterministic JSONL scheduler trace of a representative work-stealing run to this file")
 	)
 	flag.Parse()
 
@@ -121,15 +126,37 @@ func main() {
 			return harness.DesignAblations(spec(gen.RegimeSimulated), n, 3, 100_000)
 		})
 	}
+	if all || *exp == "obs" {
+		run("scheduler observability: per-run metric snapshots", func() (string, error) {
+			return harness.ObsReport(study(gen.RegimeSimulated), 5)
+		})
+	}
 	if all || *exp == "orders" {
 		run("taxon-insertion-order heuristics (paper future work)", func() (string, error) {
 			return harness.OrderHeuristics(spec(gen.RegimeSimulated), n, 4, 100_000)
 		})
 	}
+	if *traceOut != "" {
+		run(fmt.Sprintf("scheduler event trace -> %s", *traceOut), func() (string, error) {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return "", err
+			}
+			defer f.Close()
+			st := study(gen.RegimeSimulated)
+			st.Normalize()
+			res, err := harness.TraceRepresentative(st.Corpus, 8, st.Limits, f)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("trees %d  states %d  stolen %d  flushes %d  ticks %d",
+				res.StandTrees, res.IntermediateStates, res.TasksStolen, res.Flushes, res.Ticks), nil
+		})
+	}
 	if !all {
 		switch *exp {
 		case "verify", "heuristics", "fig6", "fig7", "fig8", "table1", "table2",
-			"batching", "plateau", "superlinear", "ablations", "orders":
+			"batching", "plateau", "superlinear", "ablations", "orders", "obs":
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
 			os.Exit(2)

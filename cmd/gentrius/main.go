@@ -10,15 +10,23 @@
 // Flags mirror the paper's run configuration: -threads selects the parallel
 // work-stealing engine, and -max-trees / -max-states / -max-time are the
 // three stopping rules.
+//
+// Observability flags: -metrics-addr serves Prometheus metrics, expvar and
+// pprof over HTTP for the duration of the run; -trace-out writes a JSONL
+// scheduler event trace; -progress prints live counters and throughput to
+// stderr on an interval; -json emits the full machine-readable result.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"gentrius"
+	"gentrius/internal/obs"
+	"gentrius/internal/search"
 )
 
 func main() {
@@ -34,6 +42,10 @@ func main() {
 		outPath     = flag.String("out", "", "write the stand trees (Newick, one per line) to this file")
 		quiet       = flag.Bool("q", false, "print only the stand size")
 		summary     = flag.Bool("summary", false, "after enumeration, print a stand diversity summary (RF distances, consensus trees); requires the stand to fit in memory")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address for the duration of the run")
+		traceOut    = flag.String("trace-out", "", "write a JSONL scheduler event trace to this file")
+		progress    = flag.Duration("progress", 0, "print live counters and throughput to stderr on this interval (e.g. 5s; 0 = off)")
+		jsonOut     = flag.Bool("json", false, "emit the full result (counters, stop reason, tasks stolen, per-worker breakdown) as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -49,6 +61,46 @@ func main() {
 		InitialTree:  *initial,
 		CollectTrees: *summary,
 	}
+	start := time.Now()
+
+	// Observability: any of the three flags attaches a metric set; the
+	// trace recorder is separate so each costs nothing when off.
+	var metrics *obs.SchedMetrics
+	var registry *obs.Registry
+	if *metricsAddr != "" || *progress > 0 || *traceOut != "" {
+		registry = obs.NewRegistry()
+		metrics = obs.NewSchedMetrics(registry)
+		opt.Obs = &gentrius.ObsSink{Metrics: metrics}
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		rec := obs.NewRecorder(tf, obs.WallClock(start))
+		opt.Obs.Trace = rec
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gentrius: trace:", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		registry.PublishExpvar("gentrius")
+		srv, bound, err := obs.StartServer(*metricsAddr, registry)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gentrius: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+	}
+	if *progress > 0 {
+		lim := search.Limits{MaxTrees: *maxTrees, MaxStates: *maxStates}.Normalize()
+		stop := obs.StartProgress(os.Stderr, *progress,
+			obs.ProgressFromMetrics(metrics, lim.MaxTrees, lim.MaxStates))
+		defer stop()
+	}
+
 	var outFile *os.File
 	if *outPath != "" {
 		outFile, err = os.Create(*outPath)
@@ -58,10 +110,15 @@ func main() {
 		defer outFile.Close()
 		opt.OnTree = func(nw string) { fmt.Fprintln(outFile, nw) }
 	}
-	start := time.Now()
 	res, err := gentrius.EnumerateStand(cons, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, cons, res, opt.Obs); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *quiet {
 		fmt.Println(res.StandTrees)
@@ -74,7 +131,11 @@ func main() {
 	fmt.Printf("intermediate states: %d\n", res.IntermediateStates)
 	fmt.Printf("dead ends:           %d\n", res.DeadEnds)
 	fmt.Printf("stop reason:         %v\n", res.Stop)
-	fmt.Printf("elapsed:             %v\n", time.Since(start).Round(time.Millisecond))
+	if res.Threads > 1 {
+		fmt.Printf("tasks stolen:        %d\n", res.TasksStolen)
+	}
+	fmt.Printf("elapsed (engine):    %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("elapsed (total):     %v\n", time.Since(start).Round(time.Millisecond))
 	if !res.Complete() {
 		fmt.Println("note: a stopping rule fired; the stand size is a lower bound")
 	}
@@ -131,6 +192,57 @@ func loadConstraints(treesPath, speciesPath, pamPath string) ([]*gentrius.Tree, 
 	default:
 		return nil, fmt.Errorf("provide either -trees, or -species together with -pam (run with -h for help)")
 	}
+}
+
+// jsonWorker is one worker's breakdown in the -json output.
+type jsonWorker struct {
+	StandTrees         int64 `json:"stand_trees"`
+	IntermediateStates int64 `json:"intermediate_states"`
+	DeadEnds           int64 `json:"dead_ends"`
+}
+
+// jsonResult is the -json output schema: the full enumeration result in
+// machine-readable form.
+type jsonResult struct {
+	ConstraintTrees    int          `json:"constraint_trees"`
+	InitialIndex       int          `json:"initial_tree_index"`
+	Threads            int          `json:"threads"`
+	StandTrees         int64        `json:"stand_trees"`
+	IntermediateStates int64        `json:"intermediate_states"`
+	DeadEnds           int64        `json:"dead_ends"`
+	StopReason         string       `json:"stop_reason"`
+	Complete           bool         `json:"complete"`
+	ElapsedSeconds     float64      `json:"elapsed_seconds"`
+	TasksStolen        int64        `json:"tasks_stolen"`
+	PerWorker          []jsonWorker `json:"per_worker,omitempty"`
+	TraceEvents        int64        `json:"trace_events,omitempty"`
+}
+
+// writeJSON emits the full result as one JSON object on w.
+func writeJSON(w *os.File, cons []*gentrius.Tree, res *gentrius.Result, sink *gentrius.ObsSink) error {
+	out := jsonResult{
+		ConstraintTrees:    len(cons),
+		InitialIndex:       res.InitialIndex,
+		Threads:            res.Threads,
+		StandTrees:         res.StandTrees,
+		IntermediateStates: res.IntermediateStates,
+		DeadEnds:           res.DeadEnds,
+		StopReason:         res.Stop.String(),
+		Complete:           res.Complete(),
+		ElapsedSeconds:     res.Elapsed.Seconds(),
+		TasksStolen:        res.TasksStolen,
+		TraceEvents:        sink.Recorder().Events(),
+	}
+	for _, wc := range res.PerWorker {
+		out.PerWorker = append(out.PerWorker, jsonWorker{
+			StandTrees:         wc.StandTrees,
+			IntermediateStates: wc.IntermediateStates,
+			DeadEnds:           wc.DeadEnds,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func fatal(err error) {

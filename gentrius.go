@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"gentrius/internal/obs"
 	"gentrius/internal/pam"
 	"gentrius/internal/parallel"
 	"gentrius/internal/search"
@@ -99,7 +100,16 @@ type Options struct {
 	// trees are streamed as they are found; with Threads > 1 they are
 	// delivered (in no particular order) once enumeration finishes.
 	OnTree func(newick string)
+
+	// Obs attaches the observability layer (scheduler metrics and/or a
+	// JSONL event trace; see internal/obs). Nil disables it entirely; the
+	// disabled hot path costs one branch per instrument.
+	Obs *ObsSink
 }
+
+// ObsSink bundles an optional metric set and trace recorder for a run —
+// the front-end-facing alias of internal/obs.Sink.
+type ObsSink = obs.Sink
 
 // DefaultOptions returns serial enumeration with the paper's default
 // stopping rules and the initial-tree heuristic.
@@ -125,6 +135,19 @@ type Result struct {
 	InitialIndex int
 	// Threads is the worker count actually used.
 	Threads int
+	// TasksStolen counts work-stealing task handoffs (parallel runs).
+	TasksStolen int64
+	// PerWorker is each worker's counter contribution (parallel runs;
+	// nil for serial). The sum of PerWorker plus the coordinator's
+	// deterministic-prefix work equals the run totals.
+	PerWorker []WorkerCounters
+}
+
+// WorkerCounters is one worker's share of the branch-and-bound work.
+type WorkerCounters struct {
+	StandTrees         int64
+	IntermediateStates int64
+	DeadEnds           int64
 }
 
 // Complete reports whether the whole stand was enumerated.
@@ -150,6 +173,7 @@ func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
 			InitialTree:  opt.InitialTree,
 			Heuristic:    opt.Heuristic,
 			CollectTrees: opt.CollectTrees || opt.OnTree != nil,
+			Obs:          opt.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -162,6 +186,14 @@ func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
 			Elapsed:            pres.Elapsed,
 			InitialIndex:       pres.InitialIndex,
 			Threads:            opt.Threads,
+			TasksStolen:        pres.TasksStolen,
+		}
+		for _, wc := range pres.PerWorker {
+			res.PerWorker = append(res.PerWorker, WorkerCounters{
+				StandTrees:         wc.StandTrees,
+				IntermediateStates: wc.IntermediateStates,
+				DeadEnds:           wc.DeadEnds,
+			})
 		}
 		if opt.OnTree != nil {
 			for _, nw := range pres.Trees {
@@ -173,16 +205,35 @@ func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
 		}
 		return res, nil
 	}
-	sres, err := search.Run(constraints, search.Options{
+	sopt := search.Options{
 		Limits:       limits,
 		InitialTree:  opt.InitialTree,
 		Heuristic:    opt.Heuristic,
 		CollectTrees: opt.CollectTrees,
 		OnTree:       opt.OnTree,
-	})
+	}
+	// Serial runs feed the live-progress counters through the periodic
+	// stopping-rule check, so -progress and /metrics stay meaningful at
+	// one thread too.
+	var checked search.Counters
+	m := opt.Obs.SchedMetrics()
+	m.Workers.Set(1)
+	if opt.Obs != nil && opt.Obs.Metrics != nil {
+		sopt.OnCheck = func(c search.Counters, _ time.Duration) {
+			m.Trees.Add(c.StandTrees - checked.StandTrees)
+			m.States.Add(c.IntermediateStates - checked.IntermediateStates)
+			m.DeadEnds.Add(c.DeadEnds - checked.DeadEnds)
+			checked = c
+		}
+	}
+	sres, err := search.Run(constraints, sopt)
 	if err != nil {
 		return nil, err
 	}
+	// Fold in the tail since the last check.
+	m.Trees.Add(sres.StandTrees - checked.StandTrees)
+	m.States.Add(sres.IntermediateStates - checked.IntermediateStates)
+	m.DeadEnds.Add(sres.DeadEnds - checked.DeadEnds)
 	return &Result{
 		StandTrees:         sres.StandTrees,
 		IntermediateStates: sres.IntermediateStates,

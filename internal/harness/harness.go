@@ -65,6 +65,26 @@ type Run struct {
 	Serial  *simsched.Result
 	By      map[int]*simsched.Result
 	Workers []int
+	// Snapshots holds the scheduler-metric snapshot of each swept run,
+	// keyed by worker count — the observability row attached to every
+	// experiment data point.
+	Snapshots map[int]RunSnapshot
+}
+
+// RunSnapshot is the per-run scheduler-metric snapshot: the observable
+// work-stealing quantities of one simulated run.
+type RunSnapshot struct {
+	TasksStolen int64
+	Flushes     int64
+	Efficiency  float64 // busy fraction of the pool over the makespan
+}
+
+func snapshotOf(r *simsched.Result) RunSnapshot {
+	return RunSnapshot{
+		TasksStolen: r.TasksStolen,
+		Flushes:     r.Flushes,
+		Efficiency:  r.Efficiency(),
+	}
 }
 
 // SerialSeconds returns the serial execution time in scaled seconds.
@@ -85,7 +105,8 @@ func (r *Run) AdaptedSpeedup(w int) float64 {
 
 // Sweep runs the simulator at 1 worker plus each listed worker count.
 func Sweep(ds *gen.Dataset, workers []int, lim simsched.Limits) (*Run, error) {
-	r := &Run{DS: ds, By: map[int]*simsched.Result{}, Workers: workers}
+	r := &Run{DS: ds, By: map[int]*simsched.Result{}, Workers: workers,
+		Snapshots: map[int]RunSnapshot{}}
 	serial, err := simsched.Run(ds.Constraints, simsched.Options{
 		Workers: 1, InitialTree: -1, Limits: lim,
 	})
@@ -94,6 +115,7 @@ func Sweep(ds *gen.Dataset, workers []int, lim simsched.Limits) (*Run, error) {
 	}
 	r.Serial = serial
 	r.By[1] = serial
+	r.Snapshots[1] = snapshotOf(serial)
 	for _, w := range workers {
 		if w == 1 {
 			continue
@@ -105,6 +127,7 @@ func Sweep(ds *gen.Dataset, workers []int, lim simsched.Limits) (*Run, error) {
 			return nil, fmt.Errorf("%s workers=%d: %w", ds.Name, w, err)
 		}
 		r.By[w] = res
+		r.Snapshots[w] = snapshotOf(res)
 	}
 	return r, nil
 }

@@ -1,0 +1,339 @@
+// Package obs is the zero-dependency observability layer for the parallel
+// Gentrius engine: atomic counters, gauges and histograms exposed in
+// Prometheus text format and via expvar, a low-overhead JSONL scheduler
+// event trace, an optional HTTP endpoint (metrics + pprof), and a periodic
+// progress reporter.
+//
+// Every instrument is nil-receiver safe: a nil *Counter/*Gauge/*Histogram
+// or a nil *Recorder turns the call into a single predictable branch, so
+// the instrumented hot paths in internal/parallel cost nothing measurable
+// when observability is off.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for Prometheus semantics). Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores n. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by delta. Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations <= its upper bound, plus an implicit
+// +Inf bucket). Observations and bucket counts are atomics; concurrent
+// Observe calls never lock.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// atomicFloat is a float64 accumulated via CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Observe records one observation. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.bounds) {
+		h.counts[lo].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.bounds)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.bounds)] = h.inf.Load()
+	return out
+}
+
+// ExpBuckets returns n upper bounds in geometric progression starting at
+// start with the given factor — the usual choice for latency and size
+// distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry holds a set of named instruments and renders them.
+type Registry struct {
+	mu     sync.Mutex
+	names  []string // registration order, for stable output
+	metric map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metric: map[string]any{}}
+}
+
+func (r *Registry) register(name string, m any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metric[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metric[name] = m
+	r.names = append(r.names, name)
+}
+
+// Counter registers and returns a counter. The name must be unique within
+// the registry and may carry Prometheus labels ('name{k="v"}').
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{name: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds))}
+	r.register(name, h)
+	return h
+}
+
+// baseName strips a label suffix ('m{w="3"}' -> 'm') for HELP/TYPE lines.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format, in registration order. HELP/TYPE headers are emitted
+// once per base name (labelled series of one family share them).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metric := make(map[string]any, len(r.metric))
+	for k, v := range r.metric {
+		metric[k] = v
+	}
+	r.mu.Unlock()
+
+	headered := map[string]bool{}
+	header := func(name, help, typ string) {
+		base := baseName(name)
+		if headered[base] {
+			return
+		}
+		headered[base] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+	}
+	for _, name := range names {
+		switch m := metric[name].(type) {
+		case *Counter:
+			header(name, m.help, "counter")
+			fmt.Fprintf(w, "%s %d\n", name, m.Value())
+		case *Gauge:
+			header(name, m.help, "gauge")
+			fmt.Fprintf(w, "%s %d\n", name, m.Value())
+		case *Histogram:
+			header(name, m.help, "histogram")
+			base, labels := splitLabels(name)
+			cum := int64(0)
+			counts := m.BucketCounts()
+			for i, b := range m.bounds {
+				cum += counts[i]
+				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, formatBound(b), cum)
+			}
+			cum += counts[len(m.bounds)]
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
+			if labels == "" {
+				fmt.Fprintf(w, "%s_sum %g\n", base, m.Sum())
+				fmt.Fprintf(w, "%s_count %d\n", base, m.Count())
+			} else {
+				l := strings.TrimSuffix(labels, ",")
+				fmt.Fprintf(w, "%s_sum{%s} %g\n", base, l, m.Sum())
+				fmt.Fprintf(w, "%s_count{%s} %d\n", base, l, m.Count())
+			}
+		}
+	}
+}
+
+// splitLabels separates 'name{a="b"}' into ("name", `a="b",`); unlabelled
+// names yield an empty label prefix.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// Snapshot returns the scalar value of every counter and gauge plus the
+// _count and _sum of every histogram, keyed by metric name — the form the
+// harness attaches to experiment rows.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.metric))
+	for name, m := range r.metric {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = float64(m.Value())
+		case *Gauge:
+			out[name] = float64(m.Value())
+		case *Histogram:
+			out[name+"_count"] = float64(m.Count())
+			out[name+"_sum"] = m.Sum()
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name as a
+// JSON map (visible at /debug/vars). Publishing the same name twice
+// panics in expvar, so callers should do this once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot() // encoding/json sorts map keys
+	}))
+}

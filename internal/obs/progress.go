@@ -1,0 +1,97 @@
+// Periodic progress reporting: a background ticker prints live counters
+// and throughput to stderr (or any writer), with an ETA against the first
+// stopping rule the run is on course to hit.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is one live snapshot of a run, polled by the reporter.
+type Progress struct {
+	Trees, States, DeadEnds int64
+	TasksStolen             int64
+	QueueDepth              int64
+
+	// Limits for ETA estimation; <= 0 means unlimited.
+	MaxTrees, MaxStates int64
+}
+
+// ProgressFromMetrics adapts a SchedMetrics set into a snapshot function.
+func ProgressFromMetrics(m *SchedMetrics, maxTrees, maxStates int64) func() Progress {
+	return func() Progress {
+		return Progress{
+			Trees:       m.Trees.Value(),
+			States:      m.States.Value(),
+			DeadEnds:    m.DeadEnds.Value(),
+			TasksStolen: m.TasksStolen.Value(),
+			QueueDepth:  m.QueueDepth.Value(),
+			MaxTrees:    maxTrees,
+			MaxStates:   maxStates,
+		}
+	}
+}
+
+// StartProgress prints a progress line to w every interval until the
+// returned stop function is called. Rates are computed over the previous
+// interval; the ETA is the sooner of the tree- and state-limit horizons at
+// the current rates.
+func StartProgress(w io.Writer, interval time.Duration, snap func() Progress) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		start := time.Now()
+		prev := snap()
+		prevT := start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				cur := snap()
+				dt := now.Sub(prevT).Seconds()
+				if dt <= 0 {
+					dt = interval.Seconds()
+				}
+				treeRate := float64(cur.Trees-prev.Trees) / dt
+				stateRate := float64(cur.States-prev.States) / dt
+				line := fmt.Sprintf("progress %8s  trees %d (%.0f/s)  states %d (%.0f/s)  dead-ends %d  stolen %d  queue %d",
+					time.Since(start).Round(time.Second),
+					cur.Trees, treeRate, cur.States, stateRate,
+					cur.DeadEnds, cur.TasksStolen, cur.QueueDepth)
+				if eta, ok := etaSeconds(cur, treeRate, stateRate); ok {
+					line += fmt.Sprintf("  eta %s", time.Duration(eta*float64(time.Second)).Round(time.Second))
+				}
+				fmt.Fprintln(w, line)
+				prev, prevT = cur, now
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// etaSeconds estimates seconds until the nearest stopping rule at the
+// current rates; ok is false when no finite limit is being approached.
+func etaSeconds(p Progress, treeRate, stateRate float64) (float64, bool) {
+	best, ok := 0.0, false
+	consider := func(limit, have int64, rate float64) {
+		if limit <= 0 || rate <= 0 || have >= limit {
+			return
+		}
+		eta := float64(limit-have) / rate
+		if !ok || eta < best {
+			best, ok = eta, true
+		}
+	}
+	consider(p.MaxTrees, p.Trees, treeRate)
+	consider(p.MaxStates, p.States, stateRate)
+	return best, ok
+}

@@ -1,0 +1,147 @@
+// SchedMetrics bundles the instruments the work-stealing pool exports,
+// named after the paper constructs they measure (task submits/steals,
+// batched counter flushes, stop-rule overshoot). Construct one per run
+// with NewSchedMetrics; a nil *SchedMetrics (or any nil field) disables
+// that instrument.
+package obs
+
+// SchedMetrics is the scheduler-level instrument set for one run.
+type SchedMetrics struct {
+	reg *Registry
+
+	// Search-progress counters, updated at every batched flush — the live
+	// view of the three quantities Gentrius bounds.
+	Trees    *Counter
+	States   *Counter
+	DeadEnds *Counter
+
+	// Task-queue instruments (paper Sec. III-A).
+	TasksSubmitted *Counter
+	TasksRejected  *Counter
+	TasksStolen    *Counter
+	QueueDepth     *Gauge
+	StealWait      *Histogram // seconds an idle worker blocked before a steal
+
+	// Flush-size histograms (paper Sec. III-B counter batching): the
+	// local-counter deltas moved into the shared atomics per flush.
+	FlushTrees    *Histogram
+	FlushStates   *Histogram
+	FlushDeadEnds *Histogram
+
+	// Stop-rule overshoot (counts past the fired limit — the paper notes
+	// the limits "can be slightly exceeded" under batching).
+	OvershootTrees  *Gauge
+	OvershootStates *Gauge
+
+	Workers *Gauge // configured worker count
+
+	perWorker []WorkerMetrics
+}
+
+// WorkerMetrics is one worker's labelled counter triple.
+type WorkerMetrics struct {
+	Trees    *Counter
+	States   *Counter
+	DeadEnds *Counter
+	Stolen   *Counter
+}
+
+// NewSchedMetrics registers the scheduler instrument set on reg with the
+// gentrius_ prefix.
+func NewSchedMetrics(reg *Registry) *SchedMetrics {
+	sizeBuckets := ExpBuckets(1, 2, 16)    // 1 .. 32768
+	waitBuckets := ExpBuckets(1e-6, 4, 12) // 1us .. ~4s
+	return &SchedMetrics{
+		reg:      reg,
+		Trees:    reg.Counter("gentrius_stand_trees_total", "stand trees found"),
+		States:   reg.Counter("gentrius_intermediate_states_total", "intermediate states visited"),
+		DeadEnds: reg.Counter("gentrius_dead_ends_total", "dead ends hit"),
+
+		TasksSubmitted: reg.Counter("gentrius_tasks_submitted_total", "work-stealing tasks enqueued"),
+		TasksRejected:  reg.Counter("gentrius_tasks_rejected_total", "task submissions rejected (queue full or shut down)"),
+		TasksStolen:    reg.Counter("gentrius_tasks_stolen_total", "tasks dequeued by idle workers"),
+		QueueDepth:     reg.Gauge("gentrius_task_queue_depth", "tasks currently queued"),
+		StealWait:      reg.Histogram("gentrius_steal_wait_seconds", "seconds idle workers blocked before a steal", waitBuckets),
+
+		FlushTrees:    reg.Histogram("gentrius_flush_trees", "stand-tree delta per counter flush", sizeBuckets),
+		FlushStates:   reg.Histogram("gentrius_flush_states", "intermediate-state delta per counter flush", sizeBuckets),
+		FlushDeadEnds: reg.Histogram("gentrius_flush_dead_ends", "dead-end delta per counter flush", sizeBuckets),
+
+		OvershootTrees:  reg.Gauge("gentrius_stop_overshoot_trees", "stand trees counted past a fired tree limit"),
+		OvershootStates: reg.Gauge("gentrius_stop_overshoot_states", "states counted past a fired state limit"),
+
+		Workers: reg.Gauge("gentrius_workers", "configured worker count"),
+	}
+}
+
+// EnsureWorkers registers per-worker labelled counters for worker ids
+// 0..n-1 (idempotent; only grows). Safe on a nil receiver.
+func (m *SchedMetrics) EnsureWorkers(n int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	for w := len(m.perWorker); w < n; w++ {
+		l := itoa(w)
+		m.perWorker = append(m.perWorker, WorkerMetrics{
+			Trees:    m.reg.Counter(`gentrius_worker_stand_trees_total{worker="`+l+`"}`, "stand trees found per worker"),
+			States:   m.reg.Counter(`gentrius_worker_intermediate_states_total{worker="`+l+`"}`, "intermediate states per worker"),
+			DeadEnds: m.reg.Counter(`gentrius_worker_dead_ends_total{worker="`+l+`"}`, "dead ends per worker"),
+			Stolen:   m.reg.Counter(`gentrius_worker_tasks_stolen_total{worker="`+l+`"}`, "tasks stolen per worker"),
+		})
+	}
+}
+
+// Worker returns worker w's counter triple (zero value on nil receiver or
+// out-of-range id — every counter inside is nil and therefore a no-op).
+func (m *SchedMetrics) Worker(w int) WorkerMetrics {
+	if m == nil || w < 0 || w >= len(m.perWorker) {
+		return WorkerMetrics{}
+	}
+	return m.perWorker[w]
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Sink is what a run attaches to: metrics, an event trace, or both.
+// A nil *Sink, or nil fields, disable the respective layer.
+type Sink struct {
+	Metrics *SchedMetrics
+	Trace   *Recorder
+}
+
+// nopSched has every instrument nil, so all updates are no-op branches.
+var nopSched = &SchedMetrics{}
+
+// NopSchedMetrics returns the shared no-op metric set (all instruments
+// nil; every update is a single branch).
+func NopSchedMetrics() *SchedMetrics { return nopSched }
+
+// SchedMetrics returns the sink's metric set, or a no-op set when the sink
+// or its metrics are nil — callers never need a nil check before touching
+// a field.
+func (s *Sink) SchedMetrics() *SchedMetrics {
+	if s == nil || s.Metrics == nil {
+		return nopSched
+	}
+	return s.Metrics
+}
+
+// Recorder returns the sink's trace recorder (nil-safe).
+func (s *Sink) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}

@@ -1,0 +1,151 @@
+// Scheduler event tracing: one JSON object per line, hand-formatted (no
+// encoding/json on the hot path), safe for concurrent emitters. A nil
+// *Recorder disables tracing at the cost of one branch per call site —
+// the pool keeps a possibly-nil recorder and calls it unconditionally.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Clock produces event timestamps. The parallel pool uses WallClock
+// (nanoseconds since the run started); the virtual-time simulator stamps
+// events explicitly via EmitAt so traces are deterministic.
+type Clock func() int64
+
+// WallClock returns a Clock reporting nanoseconds elapsed since start.
+func WallClock(start time.Time) Clock {
+	return func() int64 { return int64(time.Since(start)) }
+}
+
+// Scheduler trace event types. Kept as constants so trace consumers and
+// tests can match on them.
+const (
+	EvWorkerStart = "worker-start" // worker begins its initial-split share
+	EvWorkerIdle  = "worker-idle"  // worker enters the stealing pool
+	EvWorkerExit  = "worker-exit"  // worker leaves the pool
+	EvTaskSubmit  = "task-submit"  // a task was enqueued
+	EvTaskReject  = "task-reject"  // a submission found the queue full
+	EvSteal       = "steal"        // an idle worker dequeued a task
+	EvFlush       = "flush"        // local counters flushed to the globals
+	EvStop        = "stop"         // a stopping rule fired
+)
+
+// Field is one numeric key/value of a trace event. All scheduler payloads
+// are integral (branch counts, path lengths, counter deltas, tick stamps).
+type Field struct {
+	K string
+	V int64
+}
+
+// F is shorthand for constructing a Field.
+func F(k string, v int64) Field { return Field{K: k, V: v} }
+
+// Recorder writes JSONL trace events. All methods are safe on a nil
+// receiver (they no-op), and safe for concurrent use otherwise.
+type Recorder struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	clock  Clock
+	events int64
+	counts map[string]int64
+}
+
+// NewRecorder traces onto w using clock for timestamps (nil clock: all
+// zero — the caller stamps via EmitAt). If w is also an io.Closer, Close
+// closes it.
+func NewRecorder(w io.Writer, clock Clock) *Recorder {
+	r := &Recorder{w: bufio.NewWriterSize(w, 1<<16), clock: clock,
+		counts: map[string]int64{}}
+	if c, ok := w.(io.Closer); ok {
+		r.closer = c
+	}
+	return r
+}
+
+// Emit records an event stamped by the recorder's clock.
+func (r *Recorder) Emit(ev string, worker int, fields ...Field) {
+	if r == nil {
+		return
+	}
+	ts := int64(0)
+	if r.clock != nil {
+		ts = r.clock()
+	}
+	r.EmitAt(ts, ev, worker, fields...)
+}
+
+// EmitAt records an event with an explicit timestamp (virtual time).
+func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf := r.w.AvailableBuffer()
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendInt(buf, ts, 10)
+	buf = append(buf, `,"ev":"`...)
+	buf = append(buf, ev...)
+	buf = append(buf, `","w":`...)
+	buf = strconv.AppendInt(buf, int64(worker), 10)
+	for _, f := range fields {
+		buf = append(buf, ',', '"')
+		buf = append(buf, f.K...)
+		buf = append(buf, '"', ':')
+		buf = strconv.AppendInt(buf, f.V, 10)
+	}
+	buf = append(buf, '}', '\n')
+	r.w.Write(buf)
+	r.events++
+	r.counts[ev]++
+}
+
+// Events returns how many events were recorded (0 on nil).
+func (r *Recorder) Events() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// CountOf returns how many events of the given type were recorded.
+func (r *Recorder) CountOf(ev string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[ev]
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Flush()
+}
+
+// Close flushes and, if the underlying writer is a Closer, closes it.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if err := r.Flush(); err != nil {
+		return err
+	}
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gentrius/internal/obs"
+	"gentrius/internal/search"
+)
+
+// TestCounterConservation: across seeded instances and thread counts, the
+// per-worker counter breakdown plus the coordinator's prefix contribution
+// must equal the run totals exactly, and the traced steal events must
+// match Result.TasksStolen. Run under -race in CI.
+func TestCounterConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	nontrivial := 0
+	for scen := 0; scen < 12; scen++ {
+		cons := randomScenario(rng, 10+rng.Intn(5), 2+rng.Intn(2), 4, 0.5)
+		for _, threads := range []int{1, 2, 4, 8} {
+			var buf bytes.Buffer
+			sink := &obs.Sink{
+				Metrics: obs.NewSchedMetrics(obs.NewRegistry()),
+				Trace:   obs.NewRecorder(&buf, nil),
+			}
+			res, err := Run(cons, Options{Threads: threads, InitialTree: -1, Obs: sink})
+			if err != nil {
+				t.Fatalf("scen %d threads %d: %v", scen, threads, err)
+			}
+			var sum search.Counters
+			sum.Add(res.Prefix)
+			for _, wc := range res.PerWorker {
+				sum.Add(wc)
+			}
+			if sum != res.Counters {
+				t.Fatalf("scen %d threads %d: prefix+sum(PerWorker) = %+v, total %+v",
+					scen, threads, sum, res.Counters)
+			}
+			if err := sink.Trace.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sink.Trace.CountOf(obs.EvSteal); got != res.TasksStolen {
+				t.Fatalf("scen %d threads %d: %d traced steals, Result.TasksStolen %d",
+					scen, threads, got, res.TasksStolen)
+			}
+			if got := countTraceLines(t, buf.Bytes(), obs.EvSteal); got != res.TasksStolen {
+				t.Fatalf("scen %d threads %d: %d steal lines in JSONL, want %d",
+					scen, threads, got, res.TasksStolen)
+			}
+			// Metric view must agree with the result totals.
+			m := sink.Metrics
+			if m.Trees.Value() != res.StandTrees ||
+				m.States.Value() != res.IntermediateStates ||
+				m.DeadEnds.Value() != res.DeadEnds {
+				t.Fatalf("scen %d threads %d: metrics (%d,%d,%d) != result (%d,%d,%d)",
+					scen, threads, m.Trees.Value(), m.States.Value(), m.DeadEnds.Value(),
+					res.StandTrees, res.IntermediateStates, res.DeadEnds)
+			}
+			if m.TasksStolen.Value() != res.TasksStolen {
+				t.Fatalf("metric stolen %d != result %d", m.TasksStolen.Value(), res.TasksStolen)
+			}
+			// Per-worker labelled counters reproduce the breakdown.
+			for wid, wc := range res.PerWorker {
+				if got := m.Worker(wid).Trees.Value(); got != wc.StandTrees {
+					t.Fatalf("worker %d metric trees %d != breakdown %d", wid, got, wc.StandTrees)
+				}
+			}
+			if res.TasksStolen > 0 {
+				nontrivial++
+			}
+		}
+	}
+	if nontrivial == 0 {
+		t.Fatal("no run exercised work stealing")
+	}
+}
+
+// countTraceLines parses the JSONL trace and counts events of one type,
+// validating every line decodes.
+func countTraceLines(t *testing.T, raw []byte, ev string) int64 {
+	t.Helper()
+	n := int64(0)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		if rec["ev"] == ev {
+			n++
+		}
+	}
+	return n
+}
+
+// TestObsDoesNotChangeResults: attaching a sink must not perturb counters,
+// stop reasons or stand contents.
+func TestObsDoesNotChangeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cons := randomScenario(rng, 12, 2, 4, 0.5)
+	plain, err := Run(cons, Options{Threads: 4, InitialTree: -1, CollectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obs.Sink{Metrics: obs.NewSchedMetrics(obs.NewRegistry()),
+		Trace: obs.NewRecorder(&bytes.Buffer{}, nil)}
+	traced, err := Run(cons, Options{Threads: 4, InitialTree: -1, CollectTrees: true, Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Counters != traced.Counters || plain.Stop != traced.Stop {
+		t.Fatalf("observability changed results: %+v vs %+v", plain.Counters, traced.Counters)
+	}
+	ps, ts := sortedCopy(plain.Trees), sortedCopy(traced.Trees)
+	for i := range ps {
+		if ps[i] != ts[i] {
+			t.Fatal("observability changed the stand")
+		}
+	}
+}
+
+// TestQueueStealZeroesHeadSlot pins the memory-leak fix: after a steal the
+// backing array's popped slot must not retain the task's slices.
+func TestQueueStealZeroesHeadSlot(t *testing.T) {
+	q := newQueue(4, 2, obs.NopSchedMetrics())
+	tk := task{path: []search.PathStep{{Taxon: 1, Edge: 2}}, taxon: 3, branches: []int32{4, 5}}
+	if !q.trySubmit(tk) {
+		t.Fatal("submit rejected")
+	}
+	backing := q.tasks[:1] // aliases the head slot
+	got, ok := q.steal()
+	if !ok || got.taxon != 3 {
+		t.Fatalf("steal = %+v, %v", got, ok)
+	}
+	if backing[0].path != nil || backing[0].branches != nil {
+		t.Fatalf("head slot retains slices after steal: %+v", backing[0])
+	}
+}
+
+// TestOvershootMetric: when rule 1 fires, the overshoot gauge reports how
+// far past the limit the batched counters ran.
+func TestOvershootMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for scen := 0; ; scen++ {
+		if scen > 100 {
+			t.Skip("no suitable scenario found")
+		}
+		cons := randomScenario(rng, 14, 2, 4, 0.45)
+		serial, err := search.Run(cons, search.Options{InitialTree: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.StandTrees < 500 {
+			continue
+		}
+		m := obs.NewSchedMetrics(obs.NewRegistry())
+		limit := int64(100)
+		res, err := Run(cons, Options{
+			Threads: 4, InitialTree: -1,
+			Limits:    search.Limits{MaxTrees: limit},
+			TreeBatch: 8, StateBatch: 64, DeadEndBatch: 8,
+			Obs: &obs.Sink{Metrics: m},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stop != search.StopTreeLimit {
+			t.Fatalf("stop = %v", res.Stop)
+		}
+		if got, want := m.OvershootTrees.Value(), res.StandTrees-limit; got != want {
+			t.Fatalf("overshoot gauge %d, want %d", got, want)
+		}
+		return
+	}
+}
+
+// BenchmarkPoolNilObs measures the pool with observability off — the
+// nil-recorder/nil-metric fast path the acceptance criteria require to
+// show no measurable regression.
+func BenchmarkPoolNilObs(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cons := randomScenario(rng, 13, 2, 4, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cons, Options{Threads: 4, InitialTree: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolWithObs is the same workload with metrics and tracing on,
+// for comparison against BenchmarkPoolNilObs.
+func BenchmarkPoolWithObs(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cons := randomScenario(rng, 13, 2, 4, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &obs.Sink{Metrics: obs.NewSchedMetrics(obs.NewRegistry()),
+			Trace: obs.NewRecorder(&bytes.Buffer{}, nil)}
+		if _, err := Run(cons, Options{Threads: 4, InitialTree: -1, Obs: sink}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gentrius/internal/obs"
 	"gentrius/internal/search"
 	"gentrius/internal/terrace"
 	"gentrius/internal/tree"
@@ -82,6 +83,12 @@ type Options struct {
 	// Heuristic refines the dynamic taxon selection used by every worker
 	// (zero value: the paper's min-branches rule).
 	Heuristic search.OrderHeuristic
+
+	// Obs attaches scheduler observability: metrics (queue depth, task
+	// submits/steals, steal wait, flush sizes, per-worker counters,
+	// stop-rule overshoot) and/or a JSONL event trace. Nil disables both;
+	// the disabled hot path costs one predictable branch per instrument.
+	Obs *obs.Sink
 }
 
 // Result of a parallel run.
@@ -94,6 +101,11 @@ type Result struct {
 	PrefixLen    int
 	TasksStolen  int64
 	PerWorker    []search.Counters
+	// Prefix is the coordinator's deterministic-prefix contribution, so
+	// Counters == Prefix + sum(PerWorker) exactly (counter conservation).
+	Prefix search.Counters
+	// Flushes counts non-empty batched counter flushes across all workers.
+	Flushes int64
 }
 
 // task is a unit of stealable work (paper Sec. III-A).
@@ -104,6 +116,7 @@ type task struct {
 }
 
 // queue is the bounded task queue plus the pool's termination accounting.
+// m is never nil (a no-op metric set stands in when observability is off).
 type queue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -113,10 +126,11 @@ type queue struct {
 	workers int
 	done    bool
 	stolen  int64
+	m       *obs.SchedMetrics
 }
 
-func newQueue(cap, workers int) *queue {
-	q := &queue{cap: cap, workers: workers}
+func newQueue(cap, workers int, m *obs.SchedMetrics) *queue {
+	q := &queue{cap: cap, workers: workers, m: m}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -126,10 +140,13 @@ func (q *queue) trySubmit(t task) bool {
 	q.mu.Lock()
 	if q.done || len(q.tasks) >= q.cap {
 		q.mu.Unlock()
+		q.m.TasksRejected.Inc()
 		return false
 	}
 	q.tasks = append(q.tasks, t)
+	q.m.QueueDepth.Set(int64(len(q.tasks)))
 	q.mu.Unlock()
+	q.m.TasksSubmitted.Inc()
 	q.cond.Signal()
 	return true
 }
@@ -137,6 +154,10 @@ func (q *queue) trySubmit(t task) bool {
 // steal blocks until a task is available or the pool terminates. The second
 // return is false on termination.
 func (q *queue) steal() (task, bool) {
+	var waitStart time.Time
+	if q.m.StealWait != nil {
+		waitStart = time.Now()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.idle++
@@ -146,9 +167,17 @@ func (q *queue) steal() (task, bool) {
 		}
 		if len(q.tasks) > 0 {
 			t := q.tasks[0]
+			// Zero the head slot: the popped task's path and branch slices
+			// must not be retained by the backing array.
+			q.tasks[0] = task{}
 			q.tasks = q.tasks[1:]
+			q.m.QueueDepth.Set(int64(len(q.tasks)))
 			q.idle--
 			q.stolen++
+			q.m.TasksStolen.Inc()
+			if q.m.StealWait != nil {
+				q.m.StealWait.Observe(time.Since(waitStart).Seconds())
+			}
 			return t, true
 		}
 		if q.idle == q.workers {
@@ -174,10 +203,12 @@ type globals struct {
 	trees   atomic.Int64
 	states  atomic.Int64
 	dead    atomic.Int64
+	flushes atomic.Int64
 	stop    atomic.Bool
 	reason  atomic.Int32
 	limits  search.Limits
 	started time.Time
+	rec     *obs.Recorder // nil when tracing is off
 }
 
 func (g *globals) snapshot() search.Counters {
@@ -192,6 +223,9 @@ func (g *globals) snapshot() search.Counters {
 func (g *globals) raise(r search.StopReason) {
 	if g.stop.CompareAndSwap(false, true) {
 		g.reason.Store(int32(r))
+		c := g.snapshot()
+		g.rec.Emit(obs.EvStop, -1, obs.F("reason", int64(r)),
+			obs.F("trees", c.StandTrees), obs.F("states", c.IntermediateStates))
 	}
 }
 
@@ -226,7 +260,10 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Stop: search.StopExhausted}
-	g := &globals{limits: opt.Limits, started: time.Now()}
+	m := opt.Obs.SchedMetrics()
+	m.EnsureWorkers(opt.Threads)
+	m.Workers.Set(int64(opt.Threads))
+	g := &globals{limits: opt.Limits, started: time.Now(), rec: opt.Obs.Recorder()}
 
 	idx := opt.InitialTree
 	if idx < 0 {
@@ -249,6 +286,10 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	prefix := search.PrefixWalkH(t0, opt.Heuristic)
 	res.PrefixLen = len(prefix.Path)
 	res.Counters.Add(prefix.Counters)
+	res.Prefix = prefix.Counters
+	m.Trees.Add(prefix.Counters.StandTrees)
+	m.States.Add(prefix.Counters.IntermediateStates)
+	m.DeadEnds.Add(prefix.Counters.DeadEnds)
 	if prefix.Terminal {
 		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
 			res.Trees = append(res.Trees, t0.Agile().Newick())
@@ -260,7 +301,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	g.dead.Store(prefix.Counters.DeadEnds)
 
 	parts := search.PartitionBranches(prefix.SplitBranches, opt.Threads)
-	q := newQueue(opt.QueueCap, opt.Threads)
+	q := newQueue(opt.QueueCap, opt.Threads, m)
 
 	perWorker := make([]search.Counters, opt.Threads)
 	treeSets := make([][]string, opt.Threads)
@@ -281,9 +322,21 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 	res.PerWorker = perWorker
 	res.TasksStolen = q.stolen
+	res.Flushes = g.flushes.Load()
 	if g.stop.Load() {
 		res.Stop = search.StopReason(g.reason.Load())
 	}
+	switch res.Stop {
+	case search.StopTreeLimit:
+		if opt.Limits.MaxTrees > 0 {
+			m.OvershootTrees.Set(res.Counters.StandTrees - opt.Limits.MaxTrees)
+		}
+	case search.StopStateLimit:
+		if opt.Limits.MaxStates > 0 {
+			m.OvershootStates.Set(res.Counters.IntermediateStates - opt.Limits.MaxStates)
+		}
+	}
+	m.QueueDepth.Set(0)
 	res.Elapsed = time.Since(g.started)
 	return res, nil
 }
@@ -292,6 +345,10 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixResult,
 	myBranches []int32, q *queue, g *globals, opt Options,
 	total *search.Counters, trees *[]string) {
+
+	m := opt.Obs.SchedMetrics()
+	rec := opt.Obs.Recorder()
+	wm := m.Worker(w)
 
 	t, err := terrace.New(constraints, idx)
 	if err != nil {
@@ -306,17 +363,33 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 
 	var local search.Counters // since last flush
 	flush := func() {
-		if local.StandTrees != 0 {
-			g.trees.Add(local.StandTrees)
+		if local != (search.Counters{}) {
+			if local.StandTrees != 0 {
+				g.trees.Add(local.StandTrees)
+			}
+			if local.IntermediateStates != 0 {
+				g.states.Add(local.IntermediateStates)
+			}
+			if local.DeadEnds != 0 {
+				g.dead.Add(local.DeadEnds)
+			}
+			g.flushes.Add(1)
+			m.Trees.Add(local.StandTrees)
+			m.States.Add(local.IntermediateStates)
+			m.DeadEnds.Add(local.DeadEnds)
+			m.FlushTrees.Observe(float64(local.StandTrees))
+			m.FlushStates.Observe(float64(local.IntermediateStates))
+			m.FlushDeadEnds.Observe(float64(local.DeadEnds))
+			wm.Trees.Add(local.StandTrees)
+			wm.States.Add(local.IntermediateStates)
+			wm.DeadEnds.Add(local.DeadEnds)
+			rec.Emit(obs.EvFlush, w,
+				obs.F("trees", local.StandTrees),
+				obs.F("states", local.IntermediateStates),
+				obs.F("dead", local.DeadEnds))
+			total.Add(local)
+			local = search.Counters{}
 		}
-		if local.IntermediateStates != 0 {
-			g.states.Add(local.IntermediateStates)
-		}
-		if local.DeadEnds != 0 {
-			g.dead.Add(local.DeadEnds)
-		}
-		total.Add(local)
-		local = search.Counters{}
 		g.checkLimits()
 		if g.stop.Load() {
 			q.shutdown()
@@ -343,6 +416,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			if !q.trySubmit(tk) {
 				return 0
 			}
+			rec.Emit(obs.EvTaskSubmit, w, obs.F("taxon", int64(f.Taxon)),
+				obs.F("branches", int64(n)), obs.F("path", int64(len(path))))
 			return n
 		}
 		if opt.CollectTrees {
@@ -380,16 +455,22 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	}
 
 	// Phase 1: the initial-split share.
+	rec.Emit(obs.EvWorkerStart, w, obs.F("branches", int64(len(myBranches))))
 	if len(myBranches) > 0 && !g.stop.Load() {
 		runEngine(search.NewEngineWithFrame(t, prefix.SplitTaxon, myBranches))
 	}
 
 	// Phase 2: stealing pool.
 	for !g.stop.Load() {
+		rec.Emit(obs.EvWorkerIdle, w)
 		tk, ok := q.steal()
 		if !ok {
 			break
 		}
+		wm.Stolen.Inc()
+		rec.Emit(obs.EvSteal, w, obs.F("taxon", int64(tk.taxon)),
+			obs.F("branches", int64(len(tk.branches))),
+			obs.F("path", int64(len(tk.path))))
 		basePath = tk.path
 		for _, s := range tk.path {
 			t.ExtendTaxon(s.Taxon, s.Edge)
@@ -404,4 +485,5 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		q.shutdown()
 	}
 	flush()
+	rec.Emit(obs.EvWorkerExit, w)
 }

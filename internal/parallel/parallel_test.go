@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gentrius/internal/bitset"
+	"gentrius/internal/obs"
 	"gentrius/internal/search"
 	"gentrius/internal/tree"
 )
@@ -233,7 +234,7 @@ func TestPartitionBranches(t *testing.T) {
 }
 
 func TestQueueSubmitAndCap(t *testing.T) {
-	q := newQueue(2, 3)
+	q := newQueue(2, 3, obs.NopSchedMetrics())
 	if !q.trySubmit(task{taxon: 1}) || !q.trySubmit(task{taxon: 2}) {
 		t.Fatal("submissions under capacity rejected")
 	}
@@ -254,7 +255,7 @@ func TestQueueSubmitAndCap(t *testing.T) {
 }
 
 func TestQueueTerminationWhenAllIdle(t *testing.T) {
-	q := newQueue(4, 2)
+	q := newQueue(4, 2, obs.NopSchedMetrics())
 	done := make(chan bool, 2)
 	for i := 0; i < 2; i++ {
 		go func() {

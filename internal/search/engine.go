@@ -124,6 +124,11 @@ type Engine struct {
 	// stand tree found.
 	OnTree func(newick string)
 
+	// OnEvent, if set, is called once per Step with the event it produced
+	// (observability hook; the disabled path costs one branch per step).
+	// EvDone is reported exactly once, on the Step that exhausts the space.
+	OnEvent func(Event)
+
 	baseDepth int // terrace depth at engine start (task replay offset)
 }
 
@@ -178,6 +183,14 @@ func (e *Engine) Step() Event {
 	if e.done {
 		return EvDone
 	}
+	ev := e.step()
+	if e.OnEvent != nil {
+		e.OnEvent(ev)
+	}
+	return ev
+}
+
+func (e *Engine) step() Event {
 	if !e.started {
 		e.started = true
 		if e.RemainingTaxa() == 0 {

@@ -115,6 +115,10 @@ type Options struct {
 	// CheckEvery is the step interval between stopping-rule evaluations
 	// (default 1024; time is only sampled at these checks).
 	CheckEvery int
+
+	// OnCheck, if set, receives the live counters at every stopping-rule
+	// check (every CheckEvery steps) — the serial engine's progress hook.
+	OnCheck func(c Counters, elapsed time.Duration)
 }
 
 // Result is the outcome of a run.
@@ -196,6 +200,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		}
 		res.Steps += int64(opt.CheckEvery)
 		res.Counters = eng.Counters()
+		if opt.OnCheck != nil {
+			opt.OnCheck(res.Counters, time.Since(start))
+		}
 		if reason, hit := opt.Limits.Exceeded(res.Counters, time.Since(start)); hit {
 			res.Stop = reason
 			res.Elapsed = time.Since(start)

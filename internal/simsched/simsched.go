@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gentrius/internal/obs"
 	"gentrius/internal/search"
 	"gentrius/internal/terrace"
 	"gentrius/internal/tree"
@@ -83,6 +84,12 @@ type Options struct {
 	// Result.Timeline — a textual Gantt chart of the pool (the paper's
 	// Figure 3 load-imbalance picture). Zero disables tracing.
 	TraceEvery int64
+
+	// Trace, if non-nil, receives scheduler events (task-submit, steal,
+	// flush, stop, worker-start) stamped with virtual time. The simulator
+	// is single-threaded and advances workers in id order, so repeated
+	// runs on the same input produce byte-identical traces.
+	Trace *obs.Recorder
 }
 
 // SplitPolicy is the task-granularity design choice (DESIGN.md ablations).
@@ -280,6 +287,8 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		vw := &vworker{id: w, t: tw, mode: wIdle}
 		vw.stats.Busy = int64(len(prefix.Path))
 		vw.stats.Replay = int64(len(prefix.Path))
+		opt.Trace.EmitAt(s.tick, obs.EvWorkerStart, w,
+			obs.F("branches", int64(len(parts[w]))))
 		if len(parts[w]) > 0 {
 			vw.hasSeed = true
 			vw.seedTaxon = prefix.SplitTaxon
@@ -309,6 +318,10 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		if lim.MaxTicks > 0 && s.tick >= lim.MaxTicks && !s.stop {
 			s.stop = true
 			s.reason = search.StopTimeLimit
+			opt.Trace.EmitAt(s.tick, obs.EvStop, -1,
+				obs.F("reason", int64(s.reason)),
+				obs.F("trees", s.g.StandTrees),
+				obs.F("states", s.g.IntermediateStates))
 		}
 	}
 
@@ -383,6 +396,9 @@ func (w *vworker) startEngine(s *sim) {
 			branches: append([]int32(nil),
 				f.Branches[len(f.Branches)-n:]...),
 		})
+		s.opt.Trace.EmitAt(s.tick, obs.EvTaskSubmit, w.id,
+			obs.F("taxon", int64(f.Taxon)), obs.F("branches", int64(n)),
+			obs.F("path", int64(len(path))))
 		return n
 	}
 	if s.opt.CollectTrees {
@@ -403,8 +419,13 @@ func (s *sim) advance(w *vworker) {
 	case wIdle:
 		if len(s.queue) > 0 {
 			tk := s.queue[0]
+			s.queue[0] = task{} // do not retain the popped task's slices
 			s.queue = s.queue[1:]
 			s.stolen++
+			s.opt.Trace.EmitAt(s.tick, obs.EvSteal, w.id,
+				obs.F("taxon", int64(tk.taxon)),
+				obs.F("branches", int64(len(tk.branches))),
+				obs.F("path", int64(len(tk.path))))
 			w.basePath = tk.path
 			w.replay = tk.path
 			w.replayPos = 0
@@ -466,6 +487,10 @@ func (s *sim) flushWorker(w *vworker, charge bool) {
 	if w.local == (search.Counters{}) {
 		return
 	}
+	s.opt.Trace.EmitAt(s.tick, obs.EvFlush, w.id,
+		obs.F("trees", w.local.StandTrees),
+		obs.F("states", w.local.IntermediateStates),
+		obs.F("dead", w.local.DeadEnds))
 	s.g.Add(w.local)
 	w.stats.Counters.Add(w.local)
 	w.local = search.Counters{}
@@ -480,6 +505,12 @@ func (s *sim) flushWorker(w *vworker, charge bool) {
 		} else if s.limits.MaxStates > 0 && s.g.IntermediateStates >= s.limits.MaxStates {
 			s.stop = true
 			s.reason = search.StopStateLimit
+		}
+		if s.stop {
+			s.opt.Trace.EmitAt(s.tick, obs.EvStop, w.id,
+				obs.F("reason", int64(s.reason)),
+				obs.F("trees", s.g.StandTrees),
+				obs.F("states", s.g.IntermediateStates))
 		}
 	}
 }

@@ -1,12 +1,15 @@
 package simsched
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"sort"
 	"strings"
 	"testing"
 
 	"gentrius/internal/bitset"
+	"gentrius/internal/obs"
 	"gentrius/internal/search"
 	"gentrius/internal/tree"
 )
@@ -306,5 +309,76 @@ func TestSplitPolicies(t *testing.T) {
 	}
 	if SplitHalf.String() != "half" || SplitOne.String() != "one" || SplitAllButOne.String() != "all-but-one" {
 		t.Fatal("policy names wrong")
+	}
+}
+
+// TestTraceByteIdentical: virtual-time traces of repeated runs on the same
+// input must be byte-identical (single-threaded scheduler, tick stamps),
+// and the steal events must match Result.TasksStolen.
+func TestTraceByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cons := bigScenario(t, rng, 13, 100)
+	runOnce := func() (string, *Result) {
+		var b bytes.Buffer
+		rec := obs.NewRecorder(&b, nil)
+		res, err := Run(cons, Options{Workers: 6, InitialTree: -1, Trace: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), res
+	}
+	ta, ra := runOnce()
+	tb, rb := runOnce()
+	if ta != tb {
+		t.Fatalf("traces differ across identical runs:\n--- a (%d bytes)\n--- b (%d bytes)", len(ta), len(tb))
+	}
+	if ta == "" {
+		t.Fatal("trace is empty")
+	}
+	if ra.Counters != rb.Counters || ra.TasksStolen != rb.TasksStolen {
+		t.Fatalf("results differ: %+v vs %+v", ra.Counters, rb.Counters)
+	}
+	steals := int64(strings.Count(ta, `"ev":"`+obs.EvSteal+`"`))
+	if steals != ra.TasksStolen {
+		t.Fatalf("%d steal events traced, TasksStolen = %d", steals, ra.TasksStolen)
+	}
+	flushes := int64(strings.Count(ta, `"ev":"`+obs.EvFlush+`"`))
+	if flushes != ra.Flushes {
+		t.Fatalf("%d flush events traced, Flushes = %d", flushes, ra.Flushes)
+	}
+	if !strings.Contains(ta, `"ev":"`+obs.EvWorkerStart+`"`) {
+		t.Fatal("trace missing worker-start events")
+	}
+	// Every line is valid JSON with a virtual timestamp.
+	for _, line := range strings.Split(strings.TrimSpace(ta), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if _, ok := ev["ts"]; !ok {
+			t.Fatalf("trace line missing ts: %q", line)
+		}
+	}
+}
+
+// TestTraceOffIsUntouched: a nil recorder must not change simulation
+// results (the disabled path is a branch).
+func TestTraceOffIsUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cons := bigScenario(t, rng, 12, 50)
+	a, err := Run(cons, Options{Workers: 4, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b, err := Run(cons, Options{Workers: 4, InitialTree: -1, Trace: obs.NewRecorder(&buf, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ticks != b.Ticks || a.Counters != b.Counters || a.TasksStolen != b.TasksStolen {
+		t.Fatalf("tracing changed the simulation: %+v vs %+v", a, b)
 	}
 }

@@ -27,6 +27,46 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestSummarizeTwoValues(t *testing.T) {
+	// n=2 exercises every interpolation branch of quantile: pos lands
+	// strictly between the two order statistics for all three quartiles.
+	s := Summarize([]float64{2, 10})
+	if s.Min != 2 || s.Max != 10 || s.Mean != 6 {
+		t.Fatalf("n=2 summary %+v", s)
+	}
+	if s.Q1 != 4 || s.Median != 6 || s.Q3 != 8 {
+		t.Fatalf("n=2 quartiles Q1=%v med=%v Q3=%v", s.Q1, s.Median, s.Q3)
+	}
+}
+
+func TestSummarizeAllEqual(t *testing.T) {
+	for _, n := range []int{2, 3, 7} {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = 3.5
+		}
+		s := Summarize(vs)
+		if s.Min != 3.5 || s.Q1 != 3.5 || s.Median != 3.5 || s.Q3 != 3.5 ||
+			s.Max != 3.5 || s.Mean != 3.5 {
+			t.Fatalf("n=%d all-equal summary %+v", n, s)
+		}
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := quantile(sorted, 0); got != 1 {
+		t.Fatalf("q=0: %v", got)
+	}
+	if got := quantile(sorted, 1); got != 4 {
+		t.Fatalf("q=1: %v", got)
+	}
+	// Exact hit on an order statistic: no interpolation error.
+	if got := quantile(sorted, 1.0/3.0); got != 2 {
+		t.Fatalf("q=1/3: %v", got)
+	}
+}
+
 func TestSummarizeDoesNotMutate(t *testing.T) {
 	in := []float64{3, 1, 2}
 	Summarize(in)
