@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"gentrius/internal/gen"
+	"gentrius/internal/terrace"
+)
+
+// extraBenches registers benchmarks that only exist on newer revisions of
+// the engine; a baseline produced before a benchmark existed simply lacks
+// its row, and -compare marks it "(new)".
+func extraBenches(add func(name string, f func(b *testing.B)),
+	ds *gen.Dataset, tr *terrace.Terrace, taxa []int, branches [][]int32) {
+
+	// The incremental admissible-count query (PR 2): steady-state cost of
+	// the dynamic insertion heuristic's per-taxon lookup.
+	add("TerracePendingCount", func(b *testing.B) {
+		half := len(taxa) / 2
+		for j := 0; j < half; j++ {
+			tr.ExtendTaxon(taxa[j], branches[j][0])
+		}
+		rest := taxa[half:]
+		for _, x := range rest {
+			tr.PendingCount(x) // warm the cache: measure the steady state
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.PendingCount(rest[i%len(rest)])
+		}
+		b.StopTimer()
+		for tr.Depth() > 0 {
+			tr.RemoveTaxon()
+		}
+	})
+}

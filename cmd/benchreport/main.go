@@ -1,0 +1,300 @@
+// Command benchreport runs the tier-1 benchmark workloads (serial engine,
+// goroutine pool, terrace micro-benchmarks) through testing.Benchmark and
+// emits machine-readable JSON — ns/op, allocs/op, bytes/op and the custom
+// metrics the benchmarks report. The committed BENCH_seed.json holds the
+// pre-optimisation baseline; re-running with -compare BENCH_seed.json prints
+// the trajectory, so performance PRs carry their own evidence.
+//
+// The dataset selection mirrors bench_test.go exactly (scan the generated
+// corpus for the first instance with the required property), so numbers are
+// comparable across runs on the same host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gentrius/internal/gen"
+	"gentrius/internal/parallel"
+	"gentrius/internal/search"
+	"gentrius/internal/simsched"
+	"gentrius/internal/terrace"
+)
+
+// BenchResult is one benchmark's machine-readable outcome.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full benchreport output.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+var benchLimits = simsched.Limits{MaxTrees: 2_000_000, MaxStates: 2_000_000, MaxTicks: 12_000_000}
+
+// findDataset scans the simulated corpus for the first dataset satisfying
+// pred, exactly like bench_test.go's helper of the same name.
+func findDataset(regime gen.Regime, lim simsched.Limits,
+	pred func(*gen.Dataset, *simsched.Result) bool) (*gen.Dataset, error) {
+	cfg := gen.Default(regime)
+	for idx := 0; idx < 400; idx++ {
+		ds := gen.Generate(cfg, idx)
+		res, err := simsched.Run(ds.Constraints, simsched.Options{
+			Workers: 1, InitialTree: -1, Limits: lim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pred(ds, res) {
+			return ds, nil
+		}
+	}
+	return nil, fmt.Errorf("no qualifying dataset in scan range")
+}
+
+// buildTerracePath prepares a terrace over ds plus a greedy valid insertion
+// path (first admissible branch per taxon), the micro-benchmark substrate.
+func buildTerracePath(ds *gen.Dataset) (*terrace.Terrace, []int, [][]int32, error) {
+	tr, err := terrace.New(ds.Constraints, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var taxa []int
+	var branches [][]int32
+	for _, x := range tr.MissingTaxa() {
+		br := tr.AllowedBranches(x)
+		if len(br) == 0 {
+			break
+		}
+		taxa = append(taxa, x)
+		branches = append(branches, br)
+		tr.ExtendTaxon(x, br[0])
+	}
+	for tr.Depth() > 0 {
+		tr.RemoveTaxon()
+	}
+	if len(taxa) == 0 {
+		return nil, nil, nil, fmt.Errorf("no insertable taxa in dataset %s", ds.Name)
+	}
+	return tr, taxa, branches, nil
+}
+
+// run wraps testing.Benchmark, forcing allocation reporting.
+func run(name string, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	out := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Metrics = map[string]float64{}
+		for k, v := range r.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+func main() {
+	outPath := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	note := flag.String("note", "", "free-form note embedded in the report")
+	compare := flag.String("compare", "", "baseline JSON report to diff against (prints a table to stderr)")
+	benchtime := flag.String("benchtime", "", "per-benchmark time budget, e.g. 1s or 1x (default: testing's 1s)")
+	testing.Init()
+	flag.Parse()
+
+	if *benchtime != "" {
+		if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: bad -benchtime: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note:      *note,
+	}
+
+	fmt.Fprintf(os.Stderr, "benchreport: selecting datasets...\n")
+	midSim, err := findDataset(gen.RegimeSimulated, benchLimits,
+		func(_ *gen.Dataset, r *simsched.Result) bool {
+			return r.Stop == search.StopExhausted && r.Ticks >= 100_000
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: dataset %s\n", midSim.Name)
+
+	add := func(name string, f func(b *testing.B)) {
+		start := time.Now()
+		res := run(name, f)
+		fmt.Fprintf(os.Stderr, "benchreport: %-28s %12.1f ns/op %8d allocs/op  (%.1fs)\n",
+			name, res.NsPerOp, res.AllocsPerOp, time.Since(start).Seconds())
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+
+	// BenchmarkSerialEngine: full serial enumeration under the dynamic
+	// heuristic — the tier-1 state-transition throughput figure.
+	add("SerialEngine", func(b *testing.B) {
+		var last *search.Result
+		for i := 0; i < b.N; i++ {
+			res, err := search.Run(midSim.Constraints, search.Options{InitialTree: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		if last != nil {
+			b.ReportMetric(float64(last.Steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(last.StandTrees), "stand-trees")
+		}
+	})
+
+	// BenchmarkParallelGoroutines: the real work-stealing pool end to end.
+	add("ParallelGoroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Run(midSim.Constraints, parallel.Options{Threads: 4, InitialTree: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// EngineSteps: the steady-state step loop in isolation — one op is one
+	// state transition; allocs/op here is the number the tentpole drives
+	// to zero.
+	add("EngineSteps", func(b *testing.B) {
+		tr, err := terrace.New(midSim.Constraints, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := search.NewEngine(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if eng.Step() == search.EvDone {
+				b.StopTimer()
+				tr, err = terrace.New(midSim.Constraints, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng = search.NewEngine(tr)
+				b.StartTimer()
+			}
+		}
+	})
+
+	tr, taxa, branches, err := buildTerracePath(midSim)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	// TerraceExtendRemove: the core state-transition pair.
+	add("TerraceExtendRemove", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % len(taxa)
+			for j := 0; j <= k; j++ {
+				tr.ExtendTaxon(taxa[j], branches[j][0])
+			}
+			for j := k; j >= 0; j-- {
+				tr.RemoveTaxon()
+			}
+		}
+	})
+
+	// TerraceCountAllowed: the from-scratch admissibility count (constraint
+	// scan plus preimage DFS) at half depth.
+	add("TerraceCountAllowed", func(b *testing.B) {
+		half := len(taxa) / 2
+		for j := 0; j < half; j++ {
+			tr.ExtendTaxon(taxa[j], branches[j][0])
+		}
+		rest := taxa[half:]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.CountAllowedBranches(rest[i%len(rest)])
+		}
+		b.StopTimer()
+		for tr.Depth() > 0 {
+			tr.RemoveTaxon()
+		}
+	})
+
+	extraBenches(add, midSim, tr, taxa, branches)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	if *compare != "" {
+		if err := printComparison(*compare, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: compare: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printComparison diffs the current report against a baseline file.
+func printComparison(path string, cur *Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return err
+	}
+	byName := map[string]BenchResult{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\n%-28s %14s %14s %9s %9s\n",
+		"benchmark", "base ns/op", "now ns/op", "speedup", "allocs")
+	for _, b := range cur.Benchmarks {
+		o, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-28s %14s %14.1f %9s %6d->%d\n",
+				b.Name, "(new)", b.NsPerOp, "-", 0, b.AllocsPerOp)
+			continue
+		}
+		speed := o.NsPerOp / b.NsPerOp
+		fmt.Fprintf(os.Stderr, "%-28s %14.1f %14.1f %8.2fx %6d->%d\n",
+			b.Name, o.NsPerOp, b.NsPerOp, speed, o.AllocsPerOp, b.AllocsPerOp)
+	}
+	return nil
+}

@@ -82,12 +82,16 @@ func TestRunStudyPipeline(t *testing.T) {
 }
 
 func TestVerifyParity(t *testing.T) {
-	report, err := VerifyParity(smallSpec(gen.RegimeSimulated, 12), 4, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(report, "verified") {
-		t.Fatalf("report: %s", report)
+	// Both generation regimes: the incremental-accounting engine must agree
+	// with the parallel pool and the simulator on counters and exact stands.
+	for _, regime := range []gen.Regime{gen.RegimeSimulated, gen.RegimeEmpirical} {
+		report, err := VerifyParity(smallSpec(regime, 12), 4, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", regime, err)
+		}
+		if !strings.Contains(report, "verified") {
+			t.Fatalf("%v report: %s", regime, report)
+		}
 	}
 }
 

@@ -33,6 +33,17 @@ type SchedMetrics struct {
 	OvershootTrees  *Gauge
 	OvershootStates *Gauge
 
+	// Incremental admissible-branch accounting (terrace heuristic layer),
+	// aggregated across the coordinator and every worker terrace: taxa
+	// scanned by the dynamic insertion heuristic, how many of those scans
+	// resolved in O(1) through a single constraint's preimage size, how
+	// many fell back to a full recount after a dirty invalidation, and how
+	// many ±2 incremental count adjustments were applied.
+	HeuristicScanTaxa   *Counter
+	HeuristicO1Counts   *Counter
+	HeuristicRecounts   *Counter
+	HeuristicIncUpdates *Counter
+
 	Workers *Gauge // configured worker count
 
 	perWorker []WorkerMetrics
@@ -69,6 +80,11 @@ func NewSchedMetrics(reg *Registry) *SchedMetrics {
 
 		OvershootTrees:  reg.Gauge("gentrius_stop_overshoot_trees", "stand trees counted past a fired tree limit"),
 		OvershootStates: reg.Gauge("gentrius_stop_overshoot_states", "states counted past a fired state limit"),
+
+		HeuristicScanTaxa:   reg.Counter("gentrius_heuristic_scan_taxa_total", "pending taxa scanned by the dynamic insertion heuristic"),
+		HeuristicO1Counts:   reg.Counter("gentrius_heuristic_o1_counts_total", "heuristic count queries resolved in O(1) via single-constraint preimage sizes"),
+		HeuristicRecounts:   reg.Counter("gentrius_heuristic_dirty_recounts_total", "heuristic count queries recomputed from scratch after a dirty invalidation"),
+		HeuristicIncUpdates: reg.Counter("gentrius_heuristic_incremental_updates_total", "incremental ±2 admissible-count adjustments applied"),
 
 		Workers: reg.Gauge("gentrius_workers", "configured worker count"),
 	}

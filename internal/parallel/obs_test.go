@@ -125,10 +125,11 @@ func TestObsDoesNotChangeResults(t *testing.T) {
 }
 
 // TestQueueStealZeroesHeadSlot pins the memory-leak fix: after a steal the
-// backing array's popped slot must not retain the task's slices.
+// backing array's popped slot must not retain the task (its buffers return
+// to the pool once the stealing worker finishes).
 func TestQueueStealZeroesHeadSlot(t *testing.T) {
 	q := newQueue(4, 2, obs.NopSchedMetrics())
-	tk := task{path: []search.PathStep{{Taxon: 1, Edge: 2}}, taxon: 3, branches: []int32{4, 5}}
+	tk := &task{path: []search.PathStep{{Taxon: 1, Edge: 2}}, taxon: 3, branches: []int32{4, 5}}
 	if !q.trySubmit(tk) {
 		t.Fatal("submit rejected")
 	}
@@ -137,8 +138,8 @@ func TestQueueStealZeroesHeadSlot(t *testing.T) {
 	if !ok || got.taxon != 3 {
 		t.Fatalf("steal = %+v, %v", got, ok)
 	}
-	if backing[0].path != nil || backing[0].branches != nil {
-		t.Fatalf("head slot retains slices after steal: %+v", backing[0])
+	if backing[0] != nil {
+		t.Fatalf("head slot retains task after steal: %+v", backing[0])
 	}
 }
 

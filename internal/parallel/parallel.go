@@ -115,12 +115,27 @@ type task struct {
 	branches []int32
 }
 
+// taskPool recycles task objects together with their path and branch
+// buffers: a task submission in steady state reuses the storage of a
+// previously completed (or rejected) task instead of allocating. Tasks are
+// returned to the pool only after the stealing worker has finished the
+// replay and rewind, so no live slice is ever handed out twice.
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// recycleTask resets tk (keeping slice capacity) and returns it to the pool.
+func recycleTask(tk *task) {
+	tk.path = tk.path[:0]
+	tk.branches = tk.branches[:0]
+	tk.taxon = 0
+	taskPool.Put(tk)
+}
+
 // queue is the bounded task queue plus the pool's termination accounting.
 // m is never nil (a no-op metric set stands in when observability is off).
 type queue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	tasks   []task
+	tasks   []*task
 	cap     int
 	idle    int
 	workers int
@@ -135,8 +150,9 @@ func newQueue(cap, workers int, m *obs.SchedMetrics) *queue {
 	return q
 }
 
-// trySubmit enqueues t if there is capacity, waking one idle worker.
-func (q *queue) trySubmit(t task) bool {
+// trySubmit enqueues t if there is capacity, waking one idle worker. On
+// rejection the caller keeps ownership of t (and should recycle it).
+func (q *queue) trySubmit(t *task) bool {
 	q.mu.Lock()
 	if q.done || len(q.tasks) >= q.cap {
 		q.mu.Unlock()
@@ -152,8 +168,9 @@ func (q *queue) trySubmit(t task) bool {
 }
 
 // steal blocks until a task is available or the pool terminates. The second
-// return is false on termination.
-func (q *queue) steal() (task, bool) {
+// return is false on termination. Ownership of the task transfers to the
+// caller, who recycles it into the pool when done.
+func (q *queue) steal() (*task, bool) {
 	var waitStart time.Time
 	if q.m.StealWait != nil {
 		waitStart = time.Now()
@@ -163,13 +180,13 @@ func (q *queue) steal() (task, bool) {
 	q.idle++
 	for {
 		if q.done {
-			return task{}, false
+			return nil, false
 		}
 		if len(q.tasks) > 0 {
 			t := q.tasks[0]
-			// Zero the head slot: the popped task's path and branch slices
-			// must not be retained by the backing array.
-			q.tasks[0] = task{}
+			// Zero the head slot: the popped task must not be retained by
+			// the backing array (it returns to the pool after execution).
+			q.tasks[0] = nil
 			q.tasks = q.tasks[1:]
 			q.m.QueueDepth.Set(int64(len(q.tasks)))
 			q.idle--
@@ -184,7 +201,7 @@ func (q *queue) steal() (task, bool) {
 			// Everyone is waiting and the queue is empty: no work remains.
 			q.done = true
 			q.cond.Broadcast()
-			return task{}, false
+			return nil, false
 		}
 		q.cond.Wait()
 	}
@@ -290,6 +307,11 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	m.Trees.Add(prefix.Counters.StandTrees)
 	m.States.Add(prefix.Counters.IntermediateStates)
 	m.DeadEnds.Add(prefix.Counters.DeadEnds)
+	hs0 := t0.HeuristicStats()
+	m.HeuristicScanTaxa.Add(hs0.CountQueries)
+	m.HeuristicO1Counts.Add(hs0.O1Counts)
+	m.HeuristicRecounts.Add(hs0.Recounts)
+	m.HeuristicIncUpdates.Add(hs0.IncUpdates)
 	if prefix.Terminal {
 		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
 			res.Trees = append(res.Trees, t0.Agile().Newick())
@@ -409,15 +431,20 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			if n == 0 {
 				return 0
 			}
-			path := append([]search.PathStep(nil), basePath...)
-			path = eng.Path(path)
-			tk := task{path: path, taxon: f.Taxon,
-				branches: append([]int32(nil), f.Branches[len(f.Branches)-n:]...)}
+			tk := taskPool.Get().(*task)
+			tk.taxon = f.Taxon
+			tk.path = eng.Path(append(tk.path[:0], basePath...))
+			tk.branches = append(tk.branches[:0], f.Branches[len(f.Branches)-n:]...)
+			pathLen := int64(len(tk.path))
+			// A successful submit transfers tk's ownership to the queue: a
+			// stealer may finish and recycle it at any moment, so nothing
+			// below may touch tk.
 			if !q.trySubmit(tk) {
+				recycleTask(tk)
 				return 0
 			}
 			rec.Emit(obs.EvTaskSubmit, w, obs.F("taxon", int64(f.Taxon)),
-				obs.F("branches", int64(n)), obs.F("path", int64(len(path))))
+				obs.F("branches", int64(n)), obs.F("path", pathLen))
 			return n
 		}
 		if opt.CollectTrees {
@@ -480,10 +507,16 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			t.RemoveTaxon()
 		}
 		basePath = nil
+		recycleTask(tk)
 	}
 	if g.stop.Load() {
 		q.shutdown()
 	}
 	flush()
+	hs := t.HeuristicStats()
+	m.HeuristicScanTaxa.Add(hs.CountQueries)
+	m.HeuristicO1Counts.Add(hs.O1Counts)
+	m.HeuristicRecounts.Add(hs.Recounts)
+	m.HeuristicIncUpdates.Add(hs.IncUpdates)
 	rec.Emit(obs.EvWorkerExit, w)
 }

@@ -235,21 +235,21 @@ func TestPartitionBranches(t *testing.T) {
 
 func TestQueueSubmitAndCap(t *testing.T) {
 	q := newQueue(2, 3, obs.NopSchedMetrics())
-	if !q.trySubmit(task{taxon: 1}) || !q.trySubmit(task{taxon: 2}) {
+	if !q.trySubmit(&task{taxon: 1}) || !q.trySubmit(&task{taxon: 2}) {
 		t.Fatal("submissions under capacity rejected")
 	}
-	if q.trySubmit(task{taxon: 3}) {
+	if q.trySubmit(&task{taxon: 3}) {
 		t.Fatal("submission above capacity accepted")
 	}
 	tk, ok := q.steal()
 	if !ok || tk.taxon != 1 {
 		t.Fatalf("steal = %+v, %v (want FIFO taxon 1)", tk, ok)
 	}
-	if !q.trySubmit(task{taxon: 3}) {
+	if !q.trySubmit(&task{taxon: 3}) {
 		t.Fatal("submission after drain rejected")
 	}
 	q.shutdown()
-	if q.trySubmit(task{taxon: 4}) {
+	if q.trySubmit(&task{taxon: 4}) {
 		t.Fatal("submission after shutdown accepted")
 	}
 }

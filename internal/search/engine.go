@@ -55,6 +55,13 @@ type Frame struct {
 	Branches []int32
 	idx      int
 	inserted bool
+
+	// buf is the engine-owned backing storage for Branches, recycled when
+	// the stack slot is reused so the steady-state step loop allocates
+	// nothing. It stays nil for frames whose Branches the engine does not
+	// own: task-seeded frames (PartitionBranches hands sub-slices of one
+	// shared array to different workers) and checkpoint-restored frames.
+	buf []int32
 }
 
 // Remaining returns the branches not yet tried (including the current one if
@@ -240,19 +247,26 @@ func (e *Engine) step() Event {
 }
 
 // pushFrame selects the next taxon (dynamic heuristic or static order),
-// computes its admissible branches and pushes the frame. It reports whether
-// the frame has at least one branch; a branchless frame is a dead end and is
-// tallied here.
+// computes its admissible branches and pushes the frame, reusing the stack
+// slot's branch buffer when one is available. It reports whether the frame
+// has at least one branch; a branchless frame is a dead end and is tallied
+// here.
 func (e *Engine) pushFrame() bool {
 	taxon := e.nextTaxon()
-	branches := e.T.AllowedBranches(taxon)
-	f := Frame{Taxon: taxon, Branches: branches}
-	if len(branches) >= 2 && e.OnFramePushed != nil {
-		if n := e.OnFramePushed(&f); n > 0 {
-			f.Branches = f.Branches[:len(f.Branches)-n]
+	n := len(e.frames)
+	if cap(e.frames) > n {
+		e.frames = e.frames[:n+1]
+	} else {
+		e.frames = append(e.frames, Frame{})
+	}
+	f := &e.frames[n]
+	f.buf = e.T.AppendAllowedBranches(f.buf[:0], taxon)
+	f.Taxon, f.Branches, f.idx, f.inserted = taxon, f.buf, 0, false
+	if len(f.Branches) >= 2 && e.OnFramePushed != nil {
+		if k := e.OnFramePushed(f); k > 0 {
+			f.Branches = f.Branches[:len(f.Branches)-k]
 		}
 	}
-	e.frames = append(e.frames, f)
 	if len(f.Branches) == 0 {
 		e.counters.DeadEnds++
 		return false
@@ -261,17 +275,22 @@ func (e *Engine) pushFrame() bool {
 }
 
 // nextTaxon applies the dynamic taxon insertion heuristic (fewest admissible
-// branches, ties by taxon id) or the fixed order.
+// branches, ties by taxon id) or the fixed order. Counts come from the
+// terrace's incremental accounting (PendingCount) rather than a fresh scan
+// per taxon; selection is bit-identical to the historical full-recount loop
+// for all three heuristics (a zero count still wins immediately, and ties
+// keep the first taxon found in MissingTaxa order).
 func (e *Engine) nextTaxon() int {
 	if !e.DynamicOrder {
 		return e.Order[e.Depth()]
 	}
 	best, bestCount := -1, -1
-	for _, x := range e.T.MissingTaxa() {
+	missing := e.T.MissingTaxa()
+	for i, x := range missing {
 		if e.T.Agile().HasTaxon(x) {
 			continue
 		}
-		c := e.T.CountAllowedBranches(x)
+		c := e.T.PendingCount(x)
 		if c == 0 {
 			return x // forced dead end: select immediately
 		}
@@ -289,14 +308,16 @@ func (e *Engine) nextTaxon() int {
 				best, bestCount = x, c
 			}
 		}
-		if bestCount == 1 && e.Heuristic != OrderMaxBranches && e.Heuristic != OrderMinBranchesTieDegree {
-			// A count of 1 is the minimum possible for a non-dead-end, but
-			// a later zero must still win; keep scanning only for zeros.
-			for _, y := range e.T.MissingTaxa() {
-				if y == best || e.T.Agile().HasTaxon(y) {
+		if bestCount == 1 && e.Heuristic == OrderMinBranches {
+			// A count of 1 is minimal short of a forced dead end, and plain
+			// min-branches keeps the first minimum: only a zero later in the
+			// scan could change the selection. Probe the unscanned suffix
+			// with an early-exiting emptiness check instead of full counts.
+			for _, y := range missing[i+1:] {
+				if e.T.Agile().HasTaxon(y) {
 					continue
 				}
-				if !e.T.HasAllowedBranch(y) {
+				if !e.T.HasPendingBranch(y) {
 					return y
 				}
 			}

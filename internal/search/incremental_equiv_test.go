@@ -1,0 +1,151 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gentrius/internal/terrace"
+)
+
+// refConstraintDegree mirrors Engine.constraintDegree for the reference
+// enumerator.
+func refConstraintDegree(tr *terrace.Terrace) []int {
+	deg := make([]int, tr.Taxa().Len())
+	for i := 0; i < tr.NumConstraints(); i++ {
+		tr.Constraint(i).LeafSet().ForEach(func(t int) { deg[t]++ })
+	}
+	return deg
+}
+
+// refNextTaxon is the historical taxon-selection rule: a fresh
+// CountAllowedBranches per pending taxon at every state. The engine's
+// PendingCount-based selection must match it bit for bit.
+func refNextTaxon(tr *terrace.Terrace, h OrderHeuristic, deg []int) int {
+	best, bestCount := -1, -1
+	for _, x := range tr.MissingTaxa() {
+		if tr.Agile().HasTaxon(x) {
+			continue
+		}
+		c := tr.CountAllowedBranches(x)
+		if c == 0 {
+			return x
+		}
+		switch {
+		case best == -1:
+			best, bestCount = x, c
+		case h == OrderMaxBranches:
+			if c > bestCount {
+				best, bestCount = x, c
+			}
+		case c < bestCount:
+			best, bestCount = x, c
+		case c == bestCount && h == OrderMinBranchesTieDegree:
+			if deg[x] > deg[best] {
+				best, bestCount = x, c
+			}
+		}
+	}
+	return best
+}
+
+// refEnumerate is a direct recursive transcription of Algorithm 1 using the
+// reference selection rule and fresh admissibility scans everywhere.
+func refEnumerate(tr *terrace.Terrace, h OrderHeuristic, deg []int, c *Counters, trees *[]string) {
+	x := refNextTaxon(tr, h, deg)
+	br := tr.AllowedBranches(x)
+	if len(br) == 0 {
+		c.DeadEnds++
+		return
+	}
+	for _, e := range br {
+		tr.ExtendTaxon(x, e)
+		if tr.Taxa().Len() == tr.Agile().NumLeaves() {
+			c.StandTrees++
+			*trees = append(*trees, tr.Agile().Newick())
+		} else {
+			c.IntermediateStates++
+			refEnumerate(tr, h, deg, c, trees)
+		}
+		tr.RemoveTaxon()
+	}
+}
+
+// TestIncrementalSelectionEquivalence verifies that the engine built on the
+// incremental admissible-branch accounting produces exactly the counters and
+// stand of the full-recount reference, for all three order heuristics.
+func TestIncrementalSelectionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8311))
+	heuristics := []OrderHeuristic{OrderMinBranches, OrderMinBranchesTieDegree, OrderMaxBranches}
+	for trial := 0; trial < 12; trial++ {
+		cons := randomScenario(rng, 8+rng.Intn(5), 2+rng.Intn(3), 4, 0.5+0.3*rng.Float64())
+		for _, h := range heuristics {
+			refT, err := terrace.New(cons, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var refC Counters
+			var refTrees []string
+			if refT.Taxa().Len() == refT.Agile().NumLeaves() {
+				refC.StandTrees++
+				refTrees = append(refTrees, refT.Agile().Newick())
+			} else {
+				refEnumerate(refT, h, refConstraintDegree(refT), &refC, &refTrees)
+			}
+
+			engT, err := terrace.New(cons, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewEngine(engT)
+			eng.Heuristic = h
+			var engTrees []string
+			eng.OnTree = func(nw string) { engTrees = append(engTrees, nw) }
+			for eng.Step() != EvDone {
+			}
+
+			if eng.Counters() != refC {
+				t.Fatalf("trial %d %v: engine %+v != reference %+v",
+					trial, h, eng.Counters(), refC)
+			}
+			sort.Strings(refTrees)
+			sort.Strings(engTrees)
+			if len(refTrees) != len(engTrees) {
+				t.Fatalf("trial %d %v: %d trees != reference %d", trial, h, len(engTrees), len(refTrees))
+			}
+			for i := range refTrees {
+				if refTrees[i] != engTrees[i] {
+					t.Fatalf("trial %d %v: stand differs at %d", trial, h, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStepSteadyStateAllocs pins the allocation-free step loop: once the
+// frame stack and terrace buffers have warmed up, thousands of further state
+// transitions must allocate (essentially) nothing.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4099))
+	cons := randomScenario(rng, 60, 8, 5, 0.4)
+	tr, err := terrace.New(cons, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(tr)
+	const steps = 2000
+	run := func() {
+		for i := 0; i < steps; i++ {
+			if eng.Step() == EvDone {
+				t.Fatal("search space exhausted mid-measurement; enlarge the scenario")
+			}
+		}
+	}
+	// AllocsPerRun performs one warm-up call before measuring, which grows
+	// every stack and buffer to its steady-state capacity.
+	avg := testing.AllocsPerRun(1, run)
+	if perStep := avg / steps; perStep > 0.01 {
+		t.Fatalf("steady-state step loop allocates %.4f allocs/step (%v allocs per %d steps); want ~0",
+			perStep, avg, steps)
+	}
+}

@@ -137,6 +137,11 @@ type Result struct {
 	// 'W' working, 'R' replaying/rewinding, 'F' stalled on a counter flush,
 	// '.' idle (busy-waiting).
 	Timeline []string
+	// Heuristic aggregates the incremental admissible-branch accounting
+	// work (terrace layer) across the coordinator prefix walk and every
+	// virtual worker — the simulator's view of the counters the parallel
+	// engine exports as gentrius_heuristic_* metrics.
+	Heuristic terrace.HeuristicStats
 }
 
 // RenderTimeline formats the timeline rows for display.
@@ -269,6 +274,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
 			res.Trees = append(res.Trees, t0.Agile().Newick())
 		}
+		res.Heuristic.Add(t0.HeuristicStats())
 		return res, nil
 	}
 
@@ -337,11 +343,13 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if s.stop {
 		res.Stop = s.reason
 	}
+	res.Heuristic.Add(t0.HeuristicStats())
 	for _, w := range s.workers {
 		res.PerWorker = append(res.PerWorker, w.stats)
 		if opt.TraceEvery > 0 {
 			res.Timeline = append(res.Timeline, string(w.trace))
 		}
+		res.Heuristic.Add(w.t.HeuristicStats())
 	}
 	return res, nil
 }

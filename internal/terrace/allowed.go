@@ -9,19 +9,30 @@ package terrace
 // |S_i| >= 2) of the preimage of x's target common edge under the agile-side
 // mapping; it is enumerated from the constraint with the smallest preimage
 // and filtered by O(1) mapping lookups against the rest. The hot paths are
-// written without escaping closures: the taxon-selection heuristic calls
-// CountAllowedBranches for every remaining taxon at every state.
+// written without escaping closures; the taxon-selection heuristic reads
+// the incrementally maintained PendingCount (incremental.go) and only
+// falls back to this scan-and-DFS path after a structural invalidation.
 func (tr *Terrace) AllowedBranches(x int) []int32 {
-	buf := tr.collectAllowed(x, -1)
-	out := make([]int32, len(buf))
-	copy(out, buf)
-	sortInt32(out)
-	return out
+	return tr.AppendAllowedBranches(nil, x)
 }
 
-// CountAllowedBranches returns len(AllowedBranches(x)) without allocating.
-// It drives the dynamic taxon insertion heuristic (pick the remaining taxon
-// with the fewest admissible branches) and dead-end detection.
+// AppendAllowedBranches appends the admissible agile edges for taxon x to
+// buf in ascending edge-id order and returns the extended slice. It is the
+// allocation-free form of AllowedBranches: the search engine's frame stack
+// passes recycled buffers, so the steady-state step loop never allocates.
+// The sort happens in the shared scratch buffer; the result is copied out
+// exactly once.
+func (tr *Terrace) AppendAllowedBranches(buf []int32, x int) []int32 {
+	s := tr.collectAllowed(x, -1)
+	sortInt32(s)
+	return append(buf, s...)
+}
+
+// CountAllowedBranches returns len(AllowedBranches(x)) without allocating,
+// recomputed from scratch (constraint scan plus preimage DFS). The search
+// hot path uses the incrementally maintained PendingCount instead; this
+// remains the reference implementation that differential tests compare
+// against, and the dead-end/count query for callers outside the engine.
 func (tr *Terrace) CountAllowedBranches(x int) int {
 	return len(tr.collectAllowed(x, -1))
 }
@@ -39,12 +50,14 @@ func (tr *Terrace) collectAllowed(x int, max int) []int32 {
 		panic("terrace: taxon already inserted")
 	}
 	out := tr.allowedBuf[:0]
-	// Gather active constraints containing x; track the smallest preimage.
+	// Gather active constraints containing x via the precomputed
+	// taxon→constraint index; track the smallest preimage.
 	active := tr.activeBuf[:0]
 	var best *constraintState
 	bestCnt := int32(0)
-	for _, cs := range tr.constraints {
-		if cs.sCount < 2 || !cs.y.Has(x) {
+	for _, ci := range tr.byTaxon[x] {
+		cs := tr.constraints[ci]
+		if cs.sCount < 2 {
 			continue
 		}
 		active = append(active, cs)

@@ -71,6 +71,50 @@ func BenchmarkAllowedBranches(b *testing.B) {
 	}
 }
 
+// BenchmarkPendingCount measures the incremental count query the dynamic
+// insertion heuristic issues for every pending taxon at every state — the
+// replacement for the fresh scan of BenchmarkAllowedBranches' inner call.
+func BenchmarkPendingCount(b *testing.B) {
+	tr, taxa, branches := buildBench(b, 60, 8)
+	half := len(taxa) / 2
+	for j := 0; j < half; j++ {
+		tr.ExtendTaxon(taxa[j], branches[j][0])
+	}
+	rest := taxa[half:]
+	if len(rest) == 0 {
+		b.Skip("nothing left to query")
+	}
+	// Warm the caches so the loop measures the steady state (hits + O(1)).
+	for _, x := range rest {
+		tr.PendingCount(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PendingCount(rest[i%len(rest)])
+	}
+}
+
+// BenchmarkAppendAllowedBranches measures the frame-fill path of the search
+// engine: enumerate-and-sort into a caller-owned buffer, zero allocations.
+func BenchmarkAppendAllowedBranches(b *testing.B) {
+	tr, taxa, branches := buildBench(b, 60, 8)
+	half := len(taxa) / 2
+	for j := 0; j < half; j++ {
+		tr.ExtendTaxon(taxa[j], branches[j][0])
+	}
+	rest := taxa[half:]
+	if len(rest) == 0 {
+		b.Skip("nothing left to query")
+	}
+	buf := make([]int32, 0, tr.Agile().NumEdges())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.AppendAllowedBranches(buf[:0], rest[i%len(rest)])
+	}
+}
+
 // BenchmarkTerraceInit measures per-worker startup (every pool worker
 // builds its own Terrace, so this bounds the parallel engine's spin-up).
 func BenchmarkTerraceInit(b *testing.B) {

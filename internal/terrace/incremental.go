@@ -1,0 +1,260 @@
+package terrace
+
+// Incremental admissible-branch accounting.
+//
+// The dynamic taxon-insertion heuristic asks, at every state transition, for
+// |AllowedBranches(y)| of every pending taxon y. Computing each count from
+// scratch rescans y's constraints and re-runs a preimage DFS; across the
+// 10^5..10^7 states of a real run that rescan dominates the entire system.
+// This layer maintains the counts incrementally instead:
+//
+//   - taxa contained in exactly one constraint tree never need a DFS: their
+//     admissible set IS the target common edge's preimage, whose size is
+//     already maintained in cs.cnt — an O(1) lookup (or NumEdges while the
+//     constraint is inactive);
+//   - for taxa in two or more constraints, a cached count is kept in sync
+//     across ExtendTaxon/RemoveTaxon. Inserting x at edge e changes a
+//     pending taxon y's admissible set in exactly one of two ways:
+//     (a) structurally, when a constraint containing both x and y splits
+//     y's target common edge, or a constraint containing y crosses the
+//     |S_i| >= 2 activation threshold — those taxa are invalidated and
+//     lazily recounted on next query; (b) additively, for every other
+//     (clean) taxon: the two edges born from the insertion (the far half of
+//     e and x's pendant) inherit e's mapping in every constraint not
+//     containing x, so they are admissible for y iff e is — the cached
+//     count gains exactly +2 or +0, decided by O(deg(y)) mapping lookups
+//     with no traversal.
+//
+// RemoveTaxon applies the exact mirror (same invalidation rule read from
+// the undo frame, -2/-0 evaluated in the restored state), so counts after a
+// remove are byte-identical to the counts before the matching insert — the
+// property that keeps stolen-task path replay deterministic. The taxon
+// being removed needs no repair at all: LIFO discipline means its cached
+// count was frozen at insertion time against exactly the state the removal
+// restores.
+
+// HeuristicStats tallies the work performed by the admissible-branch
+// accounting layer of one Terrace. All counters are monotonic; a Terrace is
+// single-goroutine, so plain int64s suffice.
+type HeuristicStats struct {
+	// CountQueries is the number of PendingCount calls — the taxa scanned
+	// by the dynamic insertion heuristic.
+	CountQueries int64
+	// O1Counts is how many queries resolved in O(1) through a single
+	// constraint's maintained preimage size.
+	O1Counts int64
+	// CacheHits is how many queries were served from the incrementally
+	// maintained per-taxon count.
+	CacheHits int64
+	// Recounts is how many queries had to re-run the full constraint scan
+	// plus preimage DFS after a dirty invalidation.
+	Recounts int64
+	// Invalidations counts pending-taxon cache entries invalidated by state
+	// transitions (target splits and constraint activations).
+	Invalidations int64
+	// IncUpdates counts the ±2 incremental count adjustments applied.
+	IncUpdates int64
+}
+
+// Add accumulates o into s (aggregation across worker terraces).
+func (s *HeuristicStats) Add(o HeuristicStats) {
+	s.CountQueries += o.CountQueries
+	s.O1Counts += o.O1Counts
+	s.CacheHits += o.CacheHits
+	s.Recounts += o.Recounts
+	s.Invalidations += o.Invalidations
+	s.IncUpdates += o.IncUpdates
+}
+
+// HeuristicStats returns the accounting-layer work counters accumulated by
+// this Terrace since construction.
+func (tr *Terrace) HeuristicStats() HeuristicStats { return tr.hstats }
+
+// initIncremental builds the taxon→constraint index, the per-constraint
+// pending-taxon lists, and the pending-count cache. Called once by New,
+// after tr.missing is computed.
+func (tr *Terrace) initIncremental() {
+	n := tr.taxa.Len()
+	tr.byTaxon = make([][]int32, n)
+	for ci, cs := range tr.constraints {
+		cs.y.ForEach(func(y int) {
+			tr.byTaxon[y] = append(tr.byTaxon[y], int32(ci))
+		})
+		cs.pendIdx = make([]int32, n)
+		for i := range cs.pendIdx {
+			cs.pendIdx[i] = -1
+		}
+	}
+	// Complement lists let the inherit paths of ExtendTaxon/RemoveTaxon walk
+	// exactly the constraints that need the +2/-2 patch, with no per-constraint
+	// membership test.
+	tr.notByTaxon = make([][]int32, n)
+	for x := 0; x < n; x++ {
+		in := tr.byTaxon[x]
+		k := 0
+		for ci := range tr.constraints {
+			if k < len(in) && in[k] == int32(ci) {
+				k++
+				continue
+			}
+			tr.notByTaxon[x] = append(tr.notByTaxon[x], int32(ci))
+		}
+	}
+	tr.pendCnt = make([]int32, n)
+	tr.pendOK = make([]bool, n)
+	tr.pendListed = make([]bool, n)
+	tr.cacheIdx = make([]int32, n)
+	for i := range tr.cacheIdx {
+		tr.cacheIdx[i] = -1
+	}
+	multi := 0
+	for _, x := range tr.missing {
+		if len(tr.byTaxon[x]) > 1 {
+			multi++
+		}
+		for _, ci := range tr.byTaxon[x] {
+			cs := tr.constraints[ci]
+			cs.pendIdx[x] = int32(len(cs.pending))
+			cs.pending = append(cs.pending, int32(x))
+		}
+	}
+	// The pending lists never grow past their initial size (LIFO removal
+	// restores exactly the taxa that were taken out), and cacheLive never
+	// holds more than the multi-constraint missing taxa — so neither
+	// allocates after construction.
+	tr.cacheLive = make([]int32, 0, multi)
+}
+
+// PendingCount returns len(AllowedBranches(x)) for a pending taxon x using
+// the incremental accounting: O(1) for single-constraint taxa, a cached
+// value kept exact across ExtendTaxon/RemoveTaxon for the rest, and a full
+// recount only when the taxon was invalidated by a structural change. The
+// result is always identical to a fresh CountAllowedBranches(x).
+func (tr *Terrace) PendingCount(x int) int {
+	tr.hstats.CountQueries++
+	cons := tr.byTaxon[x]
+	if len(cons) == 1 {
+		tr.hstats.O1Counts++
+		cs := tr.constraints[cons[0]]
+		if cs.sCount < 2 {
+			// The lone constraint is inactive: every agile edge is allowed.
+			return tr.agile.NumEdges()
+		}
+		return int(cs.cnt[cs.target[x]])
+	}
+	if tr.pendOK[x] {
+		tr.hstats.CacheHits++
+		return int(tr.pendCnt[x])
+	}
+	tr.hstats.Recounts++
+	c := len(tr.collectAllowed(x, -1))
+	tr.pendCnt[x] = int32(c)
+	tr.pendOK[x] = true
+	if !tr.pendListed[x] {
+		tr.pendListed[x] = true
+		tr.cacheIdx[x] = int32(len(tr.cacheLive))
+		tr.cacheLive = append(tr.cacheLive, int32(x))
+	}
+	return c
+}
+
+// unlistCached removes an about-to-be-attached taxon's cacheLive slot (its
+// frozen count stays in pendCnt/pendOK for the LIFO undo). Keeping attached
+// taxa out of the list means the per-transition sweep never has to ask the
+// agile tree whether an entry is still pending.
+func (tr *Terrace) unlistCached(x int) {
+	if !tr.pendListed[x] {
+		return
+	}
+	i := tr.cacheIdx[x]
+	last := int32(len(tr.cacheLive) - 1)
+	lt := tr.cacheLive[last]
+	tr.cacheLive[i] = lt
+	tr.cacheIdx[lt] = i
+	tr.cacheLive = tr.cacheLive[:last]
+	tr.cacheIdx[x] = -1
+}
+
+// relistCached restores the cacheLive slot dropped by unlistCached once the
+// matching RemoveTaxon has made the taxon pending again.
+func (tr *Terrace) relistCached(x int) {
+	if !tr.pendListed[x] {
+		return
+	}
+	tr.cacheIdx[x] = int32(len(tr.cacheLive))
+	tr.cacheLive = append(tr.cacheLive, int32(x))
+}
+
+// HasPendingBranch reports whether pending taxon x has at least one
+// admissible branch, without materialising the set. Single-constraint taxa
+// and cached taxa answer in O(1); otherwise an early-exiting scan runs (and
+// is NOT cached — a bounded scan does not produce a full count).
+func (tr *Terrace) HasPendingBranch(x int) bool {
+	cons := tr.byTaxon[x]
+	if len(cons) == 1 {
+		cs := tr.constraints[cons[0]]
+		if cs.sCount < 2 {
+			return tr.agile.NumEdges() > 0
+		}
+		return cs.cnt[cs.target[x]] > 0
+	}
+	if tr.pendOK[x] {
+		return tr.pendCnt[x] > 0
+	}
+	return len(tr.collectAllowed(x, 1)) > 0
+}
+
+// invalidate drops taxon y's cached count (no-op if none is cached).
+func (tr *Terrace) invalidate(y int) {
+	if tr.pendOK[y] {
+		tr.pendOK[y] = false
+		tr.hstats.Invalidations++
+	}
+}
+
+// edgeAdmissible reports whether agile edge e is admissible for pending
+// taxon y in the current state: every active constraint containing y must
+// map e to y's target common edge.
+func (tr *Terrace) edgeAdmissible(e int32, y int) bool {
+	for _, ci := range tr.byTaxon[y] {
+		cs := tr.constraints[ci]
+		if cs.sCount < 2 {
+			continue
+		}
+		if cs.m[e] != cs.target[y] {
+			return false
+		}
+	}
+	return true
+}
+
+// adjustPendingCounts applies the additive half of the accounting after a
+// state transition at edge e: every still-valid cached count changes by
+// delta (+2 on insert, -2 on remove) iff e is admissible for the taxon.
+// Structurally affected taxa were already invalidated by the per-constraint
+// handlers, and the transitioning taxon itself is skipped because it is
+// still attached to the agile tree when this runs.
+func (tr *Terrace) adjustPendingCounts(e int32, delta int32) {
+	// Sweep only pending taxa that actually hold a cache entry (attached taxa
+	// were unlisted at insertion). Invalidated entries are compacted out of
+	// cacheLive in passing (and unflagged so a future recount re-registers
+	// them).
+	live := tr.cacheLive
+	k := int32(0)
+	for _, y := range live {
+		yi := int(y)
+		if !tr.pendOK[yi] {
+			tr.pendListed[yi] = false
+			tr.cacheIdx[yi] = -1
+			continue
+		}
+		live[k] = y
+		tr.cacheIdx[yi] = k
+		k++
+		if tr.edgeAdmissible(e, yi) {
+			tr.pendCnt[yi] += delta
+			tr.hstats.IncUpdates++
+		}
+	}
+	tr.cacheLive = live[:k]
+}

@@ -1,0 +1,209 @@
+package terrace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkPendingCounts asserts that the incrementally maintained count of
+// every pending taxon matches a fresh from-scratch recount, and that the
+// count agrees with the enumerated branch list.
+func checkPendingCounts(t *testing.T, tr *Terrace, ctx string) {
+	t.Helper()
+	for _, x := range tr.MissingTaxa() {
+		if tr.agile.HasTaxon(x) {
+			continue
+		}
+		fresh := tr.CountAllowedBranches(x)
+		inc := tr.PendingCount(x)
+		if inc != fresh {
+			t.Fatalf("%s: taxon %d: incremental count %d != fresh count %d", ctx, x, inc, fresh)
+		}
+		if n := len(tr.AllowedBranches(x)); n != fresh {
+			t.Fatalf("%s: taxon %d: AllowedBranches len %d != count %d", ctx, x, n, fresh)
+		}
+	}
+}
+
+// TestIncrementalCountsRandomWalk drives random insert/remove walks over
+// random scenarios and verifies after every single state transition that
+// PendingCount is bit-identical to the from-scratch CountAllowedBranches.
+func TestIncrementalCountsRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 25; trial++ {
+		n := 9 + rng.Intn(9)
+		m := 2 + rng.Intn(5)
+		_, cons := randomScenario(rng, n, m, 4, 0.55+0.3*rng.Float64())
+		tr, err := New(cons, rng.Intn(m))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkPendingCounts(t, tr, "initial")
+		for step := 0; step < 220; step++ {
+			// Bias toward inserting so walks reach depth, but also rewind.
+			if tr.Depth() > 0 && (rng.Intn(3) == 0 || !anyInsertable(tr)) {
+				tr.RemoveTaxon()
+				checkPendingCounts(t, tr, "after remove")
+				continue
+			}
+			x, ok := randomInsertable(tr, rng)
+			if !ok {
+				if tr.Depth() == 0 {
+					break
+				}
+				tr.RemoveTaxon()
+				checkPendingCounts(t, tr, "after remove (stuck)")
+				continue
+			}
+			br := tr.AllowedBranches(x)
+			tr.ExtendTaxon(x, br[rng.Intn(len(br))])
+			checkPendingCounts(t, tr, "after insert")
+		}
+	}
+}
+
+// TestLocateStrategiesInterchangeable cross-checks the production
+// anchor-path-bit split location against the search-based reference
+// (locateSplitPoint), forcing each reference strategy in turn (preimage
+// flood vs rooted-chain walks) over the same random walks: every split
+// panics on any disagreement about (q, succEdge, xEdge), and the full state
+// signatures must be identical at every transition.
+func TestLocateStrategiesInterchangeable(t *testing.T) {
+	old := locateDFSMax
+	crossCheckSplit = true
+	defer func() { locateDFSMax = old; crossCheckSplit = false }()
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(31000 + int64(trial)))
+		n := 12 + rng.Intn(10)
+		m := 2 + rng.Intn(4)
+		_, cons := randomScenario(rng, n, m, 4, 0.6)
+		var sigs [2][]string
+		for s, max := range []int32{-1, 1 << 30} { // always-walk vs always-flood
+			locateDFSMax = max
+			walkRng := rand.New(rand.NewSource(555 + int64(trial)))
+			tr, err := New(cons, 0)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for step := 0; step < 70; step++ {
+				if tr.Depth() > 0 && walkRng.Intn(4) == 0 {
+					tr.RemoveTaxon()
+				} else if x, ok := randomInsertable(tr, walkRng); ok {
+					br := tr.AllowedBranches(x)
+					tr.ExtendTaxon(x, br[walkRng.Intn(len(br))])
+				} else if tr.Depth() > 0 {
+					tr.RemoveTaxon()
+				} else {
+					break
+				}
+				sigs[s] = append(sigs[s], tr.Signature())
+			}
+		}
+		if len(sigs[0]) != len(sigs[1]) {
+			t.Fatalf("trial %d: walk lengths diverge (%d vs %d)", trial, len(sigs[0]), len(sigs[1]))
+		}
+		for i := range sigs[0] {
+			if sigs[0][i] != sigs[1][i] {
+				t.Fatalf("trial %d: state diverges at step %d under forced locate strategies", trial, i)
+			}
+		}
+	}
+}
+
+// TestIncrementalCountsUndoExact verifies the undo property the stolen-task
+// replay relies on: a deep insert run followed by a full rewind leaves every
+// pending count (and the full signature) byte-identical to the start state.
+func TestIncrementalCountsUndoExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99177))
+	for trial := 0; trial < 10; trial++ {
+		_, cons := randomScenario(rng, 10+rng.Intn(6), 3, 4, 0.65)
+		tr, err := New(cons, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		before := tr.Signature()
+		counts := map[int]int{}
+		for _, x := range tr.MissingTaxa() {
+			counts[x] = tr.PendingCount(x)
+		}
+		for depth := 0; depth < 64; depth++ {
+			x, ok := randomInsertable(tr, rng)
+			if !ok {
+				break
+			}
+			br := tr.AllowedBranches(x)
+			tr.ExtendTaxon(x, br[rng.Intn(len(br))])
+		}
+		for tr.Depth() > 0 {
+			tr.RemoveTaxon()
+		}
+		if got := tr.Signature(); got != before {
+			t.Fatalf("trial %d: signature changed across insert/rewind", trial)
+		}
+		for _, x := range tr.MissingTaxa() {
+			if got := tr.PendingCount(x); got != counts[x] {
+				t.Fatalf("trial %d: taxon %d count %d != pre-walk %d", trial, x, got, counts[x])
+			}
+		}
+	}
+}
+
+func anyInsertable(tr *Terrace) bool {
+	for _, x := range tr.MissingTaxa() {
+		if !tr.agile.HasTaxon(x) && tr.HasAllowedBranch(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomInsertable(tr *Terrace, rng *rand.Rand) (int, bool) {
+	var cand []int
+	for _, x := range tr.MissingTaxa() {
+		if !tr.agile.HasTaxon(x) && tr.HasAllowedBranch(x) {
+			cand = append(cand, x)
+		}
+	}
+	if len(cand) == 0 {
+		return 0, false
+	}
+	return cand[rng.Intn(len(cand))], true
+}
+
+// TestHeuristicStats sanity-checks the accounting-layer counters: queries
+// split across the three service classes, and incremental updates occur.
+func TestHeuristicStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, cons := randomScenario(rng, 14, 4, 4, 0.7)
+	tr, err := New(cons, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for depth := 0; depth < 8; depth++ {
+		var pick int = -1
+		for _, x := range tr.MissingTaxa() {
+			if !tr.agile.HasTaxon(x) && tr.PendingCount(x) > 0 {
+				pick = x
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		tr.ExtendTaxon(pick, tr.AllowedBranches(pick)[0])
+	}
+	st := tr.HeuristicStats()
+	if st.CountQueries == 0 {
+		t.Fatal("no count queries recorded")
+	}
+	if st.O1Counts+st.CacheHits+st.Recounts != st.CountQueries {
+		t.Fatalf("service classes %d+%d+%d do not sum to queries %d",
+			st.O1Counts, st.CacheHits, st.Recounts, st.CountQueries)
+	}
+	var agg HeuristicStats
+	agg.Add(st)
+	agg.Add(st)
+	if agg.CountQueries != 2*st.CountQueries {
+		t.Fatal("HeuristicStats.Add broken")
+	}
+}

@@ -26,31 +26,79 @@ func (tr *Terrace) ExtendTaxon(x int, e int32) {
 	}
 	frame := &tr.undo[n]
 	frame.taxon = x
+	frame.edge = e
 
-	_, half, pendant := tr.agile.AttachLeaf(x, e)
-	for ci, cs := range tr.constraints {
-		if !cs.y.Has(x) {
-			if cs.sCount >= 2 {
-				ce := cs.m[e]
-				cs.growM(pendant)
-				cs.m[half] = ce
-				cs.m[pendant] = ce
-				cs.cnt[ce] += 2
-				frame.cs = append(frame.cs, cUndo{kind: cInherit, ci: int32(ci), inheritCE: ce})
+	v, half, pendant := tr.agile.AttachLeaf(x, e)
+	frame.half, frame.pendant = half, pendant
+	// Maintain the rooted orientation: e=(a,b) became (a,v); exactly one of
+	// a,b had e as its parent edge, and that side's chain now runs through v.
+	tr.growScratch()
+	l := tr.agile.LeafNode(x)
+	aNode := tr.agile.Other(e, v)
+	bNode := tr.agile.Other(half, v)
+	if tr.rootedE[bNode] == e {
+		tr.rootedV[v], tr.rootedE[v] = aNode, e
+		tr.rootedV[bNode], tr.rootedE[bNode] = v, half
+	} else {
+		tr.rootedV[aNode], tr.rootedE[aNode] = v, e
+		tr.rootedV[v], tr.rootedE[v] = bNode, half
+	}
+	tr.rootedV[l], tr.rootedE[l] = v, pendant
+	// x is no longer pending: swap-remove it from each containing
+	// constraint's pending list (restored by RemoveTaxon; list order is
+	// immaterial — every consumer treats entries independently).
+	for _, ci := range tr.byTaxon[x] {
+		cs := tr.constraints[ci]
+		i := cs.pendIdx[x]
+		last := int32(len(cs.pending) - 1)
+		lt := cs.pending[last]
+		cs.pending[i] = lt
+		cs.pendIdx[lt] = i
+		cs.pending = cs.pending[:last]
+		cs.pendIdx[x] = -1
+	}
+	tr.unlistCached(x)
+	for _, ci := range tr.notByTaxon[x] {
+		cs := tr.constraints[ci]
+		if cs.sCount >= 2 {
+			// The new edges inherit e's mapping; no undo entry is needed
+			// (RemoveTaxon reads the inherited id back from cs.m[half]).
+			ce := cs.m[e]
+			cs.growM(pendant)
+			cs.m[half] = ce
+			cs.m[pendant] = ce
+			cs.cnt[ce] += 2
+			// The pendant hangs off the path; the subdivided edge keeps
+			// its path status, shared with the half nearer the ab anchor.
+			cs.dir[pendant] = tree.NoNode
+			if cs.dir[e] != tree.NoNode {
+				if cs.dir[e] == bNode {
+					cs.dir[e] = v
+					cs.dir[half] = bNode
+				} else {
+					cs.dir[half] = v
+				}
+			} else {
+				cs.dir[half] = tree.NoNode
 			}
-			continue
 		}
+	}
+	for _, ci := range tr.byTaxon[x] {
+		cs := tr.constraints[ci]
 		switch cs.sCount {
 		case 0:
 			cs.s.Add(x)
 			cs.sCount = 1
-			frame.cs = append(frame.cs, cUndo{kind: cS0, ci: int32(ci)})
+			frame.cs = append(frame.cs, cUndo{kind: cS0, ci: ci})
 		case 1:
-			frame.cs = append(frame.cs, tr.firstCommonEdge(int32(ci), cs, x))
+			frame.cs = append(frame.cs, tr.firstCommonEdge(ci, cs, x))
 		default:
-			frame.cs = append(frame.cs, tr.splitCommonEdge(int32(ci), cs, x, e, half, pendant))
+			frame.cs = append(frame.cs, tr.splitCommonEdge(ci, cs, x, e, half, pendant, v, bNode))
 		}
 	}
+	// Structurally affected taxa were invalidated by the handlers above;
+	// every other cached count gains the two new edges iff e was admissible.
+	tr.adjustPendingCounts(e, 2)
 }
 
 // RemoveTaxon undoes the most recent ExtendTaxon, restoring the exact prior
@@ -60,12 +108,29 @@ func (tr *Terrace) RemoveTaxon() int {
 		panic("terrace: RemoveTaxon at depth 0")
 	}
 	frame := &tr.undo[len(tr.undo)-1]
+	l := tr.agile.LeafNode(frame.taxon)
+	v := tr.rootedV[l]
+	bNode := tr.agile.Other(frame.half, v)
+	// Constraints not containing the taxon recorded no undo entry: their only
+	// change was inheriting e's mapping onto the two new edges. Under LIFO
+	// discipline cs.m[half] still holds the inherited id, and their sCount is
+	// unchanged since the insert, so the insert-time condition re-evaluates
+	// identically here. The path-direction fixup is the exact inverse of the
+	// insert-time endpoint rewrite (b -> v becomes v -> b; the half's own
+	// entries die with its id).
+	for _, ci := range tr.notByTaxon[frame.taxon] {
+		cs := tr.constraints[ci]
+		if cs.sCount >= 2 {
+			cs.cnt[cs.m[frame.half]] -= 2
+			if cs.dir[frame.edge] == v {
+				cs.dir[frame.edge] = bNode
+			}
+		}
+	}
 	for i := len(frame.cs) - 1; i >= 0; i-- {
 		u := &frame.cs[i]
 		cs := tr.constraints[u.ci]
 		switch u.kind {
-		case cInherit:
-			cs.cnt[u.inheritCE] -= 2
 		case cS0:
 			cs.s.Remove(frame.taxon)
 			cs.sCount = 0
@@ -74,6 +139,12 @@ func (tr *Terrace) RemoveTaxon() int {
 			cs.cnt = cs.cnt[:0]
 			cs.s.Remove(frame.taxon)
 			cs.sCount = 1
+			// The constraint deactivates: it stops restricting its pending
+			// taxa, whose cached counts are therefore stale. (The taxon being
+			// removed is still attached, hence not in the pending list.)
+			for _, y := range cs.pending {
+				tr.invalidate(int(y))
+			}
 		case cSplit:
 			for _, edge := range tr.moveLog[u.movedStart:u.movedEnd] {
 				cs.m[edge] = u.che
@@ -88,12 +159,52 @@ func (tr *Terrace) RemoveTaxon() int {
 				cs.target[y] = u.che
 			}
 			tr.tgLog = tr.tgLog[:u.tgStart]
+			// Path membership a split turned on reverts to off; the ab-ward
+			// endpoint of the insertion edge reverts from the vanishing
+			// vertex, as in the inherit case.
+			for _, ed := range tr.pathLog[u.pbStart:u.pbEnd] {
+				cs.dir[ed] = tree.NoNode
+			}
+			tr.pathLog = tr.pathLog[:u.pbStart]
+			if cs.dir[frame.edge] == v {
+				cs.dir[frame.edge] = bNode
+			}
 			cs.s.Remove(frame.taxon)
 			cs.sCount--
+			// Mirror of the insert-time invalidation: the taxa whose target
+			// common edge the insert split are exactly those targeting ĉ in
+			// the restored state.
+			for _, y := range cs.pending {
+				if cs.target[y] == u.che {
+					tr.invalidate(int(y))
+				}
+			}
 		}
 	}
+	// Mirror of the insert-time +2 sweep, evaluated against the restored
+	// mappings (the removed taxon is still attached, so it is skipped; its
+	// own cached count was frozen against exactly the state this restores).
+	tr.adjustPendingCounts(frame.edge, -2)
 	taxon := frame.taxon
+	// The taxon becomes pending again: re-append to each containing
+	// constraint's pending list (inverse of the insert-time swap-removal).
+	for _, ci := range tr.byTaxon[taxon] {
+		cs := tr.constraints[ci]
+		cs.pendIdx[taxon] = int32(len(cs.pending))
+		cs.pending = append(cs.pending, int32(taxon))
+	}
+	tr.relistCached(taxon)
 	tr.undo = tr.undo[:len(tr.undo)-1]
+	// Restore the rooted orientation (exact inverse of the insert-time case
+	// split; entries for the two vanishing nodes become don't-cares).
+	{
+		a := tr.agile.Other(frame.edge, v)
+		if tr.rootedE[v] == frame.edge {
+			tr.rootedV[bNode], tr.rootedE[bNode] = a, frame.edge
+		} else {
+			tr.rootedV[a], tr.rootedE[a] = bNode, frame.edge
+		}
+	}
 	tr.agile.DetachLeaf(taxon)
 	return taxon
 }
@@ -110,13 +221,38 @@ func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
 	cs.growM(int32(tr.agile.NumEdges() - 1))
 	for i := 0; i < tr.agile.NumEdges(); i++ {
 		cs.m[i] = 0
+		cs.dir[i] = tree.NoNode
 	}
 	cs.cnt = append(cs.cnt, int32(tr.agile.NumEdges()))
-	cs.y.ForEach(func(y int) {
-		if y != x && y != s0 && !tr.agile.HasTaxon(y) {
-			cs.target[y] = 0
-		}
-	})
+	// The newborn common edge's anchor path is the tree path between the two
+	// shared leaves, read off the rooted orientation (aa's chain to the root
+	// is stamped, ab's chain is walked to the junction, both chain prefixes
+	// are the path). No undo data is needed: re-activation rebuilds all bits.
+	aa := tr.agile.LeafNode(s0)
+	ab := tr.agile.LeafNode(x)
+	tr.stamp++
+	vis := tr.stamp
+	for u := aa; u != tree.NoNode; u = tr.rootedV[u] {
+		tr.mark[u] = vis
+	}
+	j := ab
+	for tr.mark[j] != vis {
+		j = tr.rootedV[j]
+	}
+	for u := ab; u != j; u = tr.rootedV[u] {
+		cs.dir[tr.rootedE[u]] = u
+	}
+	for u := aa; u != j; u = tr.rootedV[u] {
+		cs.dir[tr.rootedE[u]] = tr.rootedV[u]
+	}
+	// Every pending taxon of this constraint now targets the newborn common
+	// edge (x and s0 are attached, hence absent from the pending list).
+	for _, y := range cs.pending {
+		cs.target[y] = 0
+		// The constraint just became active and now restricts y for the
+		// first time: y's cached count is stale.
+		tr.invalidate(int(y))
+	}
 	cs.s.Add(x)
 	cs.sCount = 2
 	return cUndo{kind: cFirst, ci: ci}
@@ -125,9 +261,11 @@ func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
 // splitCommonEdge handles the general |S_i| >= 2 insertion: the target
 // common edge ĉ of x splits into three (ta-side part keeping id ĉ, far part
 // c1, and x's pendant part c2) on both the constraint side (via a median
-// query on the static tree) and the agile side (via a local traversal of
-// ĉ's preimage subgraph), and pending taxa targeting ĉ are re-resolved.
-func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half, pendant int32) cUndo {
+// query on the static tree) and the agile side (via the anchor-path bits,
+// with no searching beyond the regions actually relabeled), and pending taxa
+// targeting ĉ are re-resolved. v is the insertion vertex subdividing e and
+// bNode the far endpoint of the half edge.
+func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half, pendant, v, bNode int32) cUndo {
 	che := cs.target[x]
 	if che == NoCE {
 		panic(fmt.Sprintf("terrace: taxon %d has no target for constraint %d", x, ci))
@@ -140,6 +278,7 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 	u.oldTB, u.oldAB, u.oldCnt = ce.tb, ce.ab, cs.cnt[che]
 	u.movedStart = int32(len(tr.moveLog))
 	u.tgStart = int32(len(tr.tgLog))
+	u.pbStart = int32(len(tr.pathLog))
 
 	// New edges provisionally extend ĉ's preimage.
 	cs.growM(pendant)
@@ -163,24 +302,77 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 	ce = &cs.cedges[che] // reacquire: append may have moved the backing array
 	ce.tb = p
 
-	// Agile side: locate q (where x's branch meets the aa..ab path inside
-	// ĉ's preimage subgraph) and reassign the far and x-side regions.
-	q, succEdge, xEdge := tr.locateSplitPoint(cs, che, ce.aa, u.oldAB, tr.agile.LeafNode(x))
+	// Agile side: identify q (where x's branch meets the aa..ab anchor path
+	// inside ĉ's preimage) and relabel the x-side region to c2 and the far
+	// region to c1. The anchor-path bits make this search-free: if the
+	// insertion edge carried a path bit, the insertion vertex IS q and the
+	// x-side region is exactly {pendant}; otherwise one bounded sweep of the
+	// x-side region finds q while relabeling it.
+	xl := tr.agile.LeafNode(x)
+	var crossQ, crossS, crossX int32
+	if crossCheckSplit {
+		crossQ, crossS, crossX = tr.locateSplitPoint(cs, che, ce.aa, u.oldAB, xl)
+	}
+	var q, succEdge, xEdge, moved2 int32
+	if cs.dir[e] != tree.NoNode {
+		q = v
+		xEdge = pendant
+		if cs.dir[e] == bNode {
+			// ab lies beyond b: the far region is entered through the half.
+			cs.dir[e] = v
+			cs.dir[half] = bNode
+			succEdge = half
+		} else {
+			// ab lies beyond a: e keeps pointing at it; the half joins the
+			// aa-side path.
+			cs.dir[half] = v
+			succEdge = e
+		}
+		cs.m[pendant] = c2
+		tr.moveLog = append(tr.moveLog, pendant)
+		moved2 = 1
+		cs.dir[pendant] = xl
+	} else {
+		// Clear the newborn edges' stale directions before the sweep reads them.
+		cs.dir[half] = tree.NoNode
+		cs.dir[pendant] = tree.NoNode
+		q, xEdge, moved2 = tr.relabelXRegion(cs, che, c2, xl)
+		succEdge = tree.NoEdge
+		adj, deg := tr.agile.Adjacency(q)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if d := cs.dir[ed]; cs.m[ed] == che && d != tree.NoNode && d != q {
+				succEdge = ed
+				break
+			}
+		}
+		if succEdge == tree.NoEdge {
+			panic("terrace: no ab-ward anchor-path edge at split vertex")
+		}
+	}
+	if crossCheckSplit && (q != crossQ || succEdge != crossS || xEdge != crossX) {
+		panic(fmt.Sprintf("terrace: split location mismatch: bits (%d,%d,%d) vs reference (%d,%d,%d)",
+			q, succEdge, xEdge, crossQ, crossS, crossX))
+	}
 	moved1 := tr.assignRegion(cs, che, c1, q, succEdge)
-	moved2 := tr.assignRegion(cs, che, c2, q, xEdge)
 	cs.cnt[c1] = moved1
 	cs.cnt[c2] = moved2
 	cs.cnt[che] -= moved1 + moved2
 	cs.cedges[c1].aa, cs.cedges[c1].ab = q, u.oldAB
-	cs.cedges[c2].aa, cs.cedges[c2].ab = q, tr.agile.LeafNode(x)
+	cs.cedges[c2].aa, cs.cedges[c2].ab = q, xl
 	cs.cedges[che].ab = q
 	u.movedEnd = int32(len(tr.moveLog))
+	u.pbEnd = int32(len(tr.pathLog))
 
 	// Re-resolve pending taxa that targeted ĉ, against the OLD anchors.
 	ta := cs.cedges[che].ta
 	distAP := cs.ix.Dist(ta, p)
+	lab := cs.ix.LCA(ta, u.oldTB)
 	for _, y := range cs.pendingOn(tr, che, x) {
-		py := cs.ix.Median(ta, u.oldTB, cs.t.LeafNode(int(y)))
+		// y's target common edge is being split: its admissible set changed
+		// structurally, so the cached count cannot be patched additively.
+		tr.invalidate(int(y))
+		py := cs.ix.MedianPre(lab, ta, u.oldTB, cs.t.LeafNode(int(y)))
 		var nt int32
 		switch {
 		case py == p:
@@ -204,25 +396,149 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 
 // pendingOn collects (into a shared scratch buffer) the taxa of the
 // constraint that are still missing from the agile tree, differ from x, and
-// currently target common edge che.
+// currently target common edge che. The pending list already excludes
+// attached taxa (x among them — ExtendTaxon swap-removes it before the
+// constraint handlers run), so only the target filter remains.
 func (cs *constraintState) pendingOn(tr *Terrace, che int32, x int) []int32 {
 	buf := tr.pendBuf[:0]
-	cs.y.ForEach(func(y int) {
-		if y != x && cs.target[y] == che && !tr.agile.HasTaxon(y) {
-			buf = append(buf, int32(y))
+	for _, y := range cs.pending {
+		if cs.target[y] == che {
+			buf = append(buf, y)
 		}
-	})
+	}
 	tr.pendBuf = buf
 	return buf
 }
+
+// relabelXRegion sweeps the x-side region of ĉ's preimage — the component of
+// the new leaf after removing the (not yet known) split vertex q — relabeling
+// its edges to c2 and recording them in the move log. The region meets the
+// anchor path only at q, and every ĉ-mapped edge incident to q is either the
+// region edge just traversed or one of q's two path edges — so a popped
+// vertex carrying a ĉ-mapped anchor-path edge IS q, and the sweep stops there
+// without expanding past it. Afterwards the q..leaf chain becomes c2's anchor
+// path; pre-existing edges whose bits turn on are logged so the undo can
+// clear them (bits of the two newborn edges die with their ids).
+func (tr *Terrace) relabelXRegion(cs *constraintState, che, c2, xl int32) (q, xEdge, moved int32) {
+	a := tr.agile
+	parentV, parentE := tr.parentV, tr.parentE
+	stack := append(tr.dfsBuf[:0], xl)
+	q, xEdge = tree.NoNode, tree.NoEdge
+	// No visited marks: relabeling an edge out of ĉ is the mark — the only
+	// way back to a visited vertex is the edge it was discovered through.
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := a.Adjacency(w)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if cs.m[ed] != che {
+				continue
+			}
+			if cs.dir[ed] != tree.NoNode {
+				q, xEdge = w, parentE[w]
+				break // region boundary: q's remaining ĉ-edges are the path
+			}
+			cs.m[ed] = c2
+			tr.moveLog = append(tr.moveLog, ed)
+			moved++
+			z := a.Other(ed, w)
+			parentV[z], parentE[z] = w, ed
+			stack = append(stack, z)
+		}
+	}
+	tr.dfsBuf = stack[:0]
+	if q == tree.NoNode {
+		panic("terrace: x-side region does not reach the anchor path")
+	}
+	// Mark c2's anchor path (q .. xl), directed leaf-ward (= ab-ward).
+	newEdges := int32(a.NumEdges() - 2) // first newborn edge id (the half)
+	for w := q; w != xl; w = parentV[w] {
+		ed := parentE[w]
+		cs.dir[ed] = parentV[w]
+		if ed < newEdges {
+			tr.pathLog = append(tr.pathLog, ed)
+		}
+	}
+	return q, xEdge, moved
+}
+
+// crossCheckSplit, when set by tests, re-derives every split location with
+// the search-based reference (locateSplitPoint) and panics on any mismatch
+// with the anchor-path-bit derivation.
+var crossCheckSplit bool
 
 // locateSplitPoint finds, within ĉ's preimage subgraph of the (already
 // extended) agile tree, the vertex q where the new leaf's branch meets the
 // aa..ab anchor path, the path edge leaving q toward ab, and the edge
 // leaving q toward the new leaf.
+//
+// The preimage of a common edge is a connected subtree of the agile tree, so
+// the tree path between any two of its vertices stays inside it. That lets q
+// be located from the rooted orientation alone, in three parent-chain walks
+// (aa→root, ab→first aa-marked vertex, xLeaf→first marked vertex) — O(tree
+// depth) instead of flooding the whole preimage. For small preimages the
+// flood is cheaper than three depth-length walks, so it is kept as the
+// small-side path.
 func (tr *Terrace) locateSplitPoint(cs *constraintState, che int32, aa, ab, xLeaf int32) (q, succEdge, xEdge int32) {
+	if cs.cnt[che] <= locateDFSMax {
+		return tr.locateSplitPointDFS(cs, che, aa, ab, xLeaf)
+	}
+	rv, re := tr.rootedV, tr.rootedE
+	orderA := tr.parentV // chain position, valid where mark==visA
+	arrB := tr.parentE   // edge toward ab, valid where mark2==visB (plus at L)
+	tr.stamp++
+	visA := tr.stamp
+	idx := int32(0)
+	for u := aa; u != tree.NoNode; u = rv[u] {
+		tr.mark[u] = visA
+		orderA[u] = idx
+		idx++
+	}
+	tr.stamp++
+	visB := tr.stamp
+	L := ab // becomes the junction of the two chains: LCA(aa, ab)
+	arrive := tree.NoEdge
+	for tr.mark[L] != visA {
+		tr.mark2[L] = visB
+		arrB[L] = arrive
+		arrive = re[L]
+		L = rv[L]
+	}
+	arrB[L] = arrive
+	// Walk from the new leaf up to the first vertex on either chain.
+	z := xLeaf
+	xArr := tree.NoEdge
+	for tr.mark[z] != visA && tr.mark2[z] != visB {
+		xArr = re[z]
+		z = rv[z]
+	}
+	switch {
+	case tr.mark2[z] == visB:
+		// On ab's chain strictly below L: that whole segment is on the
+		// anchor path, and arrB points from z toward ab.
+		return z, arrB[z], xArr
+	case z == L:
+		return L, arrB[L], xArr
+	case orderA[z] < orderA[L]:
+		// On aa's chain strictly below L: the parent edge points toward ab.
+		return z, re[z], xArr
+	default:
+		// Met aa's chain above L, i.e. off the anchor path: the three paths
+		// meet at L itself, and the leaf lies beyond L's parent edge.
+		return L, arrB[L], re[L]
+	}
+}
+
+// locateDFSMax is the preimage size up to which locateSplitPoint floods the
+// preimage subgraph instead of walking root chains. A variable so tests can
+// force either strategy and check they are interchangeable.
+var locateDFSMax = int32(16)
+
+// locateSplitPointDFS is the preimage-flood variant of locateSplitPoint,
+// cheaper when ĉ's preimage is small.
+func (tr *Terrace) locateSplitPointDFS(cs *constraintState, che int32, aa, ab, xLeaf int32) (q, succEdge, xEdge int32) {
 	a := tr.agile
-	tr.growScratch()
 	tr.stamp++
 	onPath := tr.stamp
 	// DFS from ab through preimage edges toward aa, recording parents; stop
@@ -330,14 +646,17 @@ func (tr *Terrace) assignRegion(cs *constraintState, che, newCE, q, startEdge in
 	return moved
 }
 
-// growM extends the agile-side mapping array to cover edge id e.
+// growM extends the agile-side mapping array (and the parallel anchor-path
+// arrays) to cover edge id e.
 func (cs *constraintState) growM(e int32) {
 	for int32(len(cs.m)) <= e {
 		cs.m = append(cs.m, NoCE)
+		cs.dir = append(cs.dir, tree.NoNode)
 	}
 }
 
-// growScratch sizes the traversal scratch buffers to the agile tree.
+// growScratch sizes the traversal scratch buffers (and the rooted-orientation
+// arrays) to the agile tree.
 func (tr *Terrace) growScratch() {
 	n := tr.agile.NumNodes() + 2
 	for len(tr.mark) < n {
@@ -345,6 +664,7 @@ func (tr *Terrace) growScratch() {
 		tr.mark2 = append(tr.mark2, 0)
 		tr.parentV = append(tr.parentV, tree.NoNode)
 		tr.parentE = append(tr.parentE, tree.NoEdge)
-		tr.succEdge = append(tr.succEdge, tree.NoEdge)
+		tr.rootedV = append(tr.rootedV, tree.NoNode)
+		tr.rootedE = append(tr.rootedE, tree.NoEdge)
 	}
 }

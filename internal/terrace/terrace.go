@@ -65,6 +65,26 @@ type constraintState struct {
 	cnt    []int32 // preimage size per common edge id
 	m      []int32 // agile edge id -> common edge id (entries beyond the live agile edge prefix are stale)
 	target []int32 // taxon id -> common edge id for pending taxa (stale for inserted/foreign taxa)
+
+	// Anchor-path structure over the agile-side mapping, maintained alongside
+	// m: dir[e] is tree.NoNode when live edge e does not lie on the aa..ab
+	// anchor path of its common edge m[e], and otherwise the endpoint on the
+	// ab-ward side. The array parallels m and is meaningful only while the
+	// constraint is active and m[e] is live. This is what makes splits
+	// search-free: the split vertex q is the insertion vertex itself whenever
+	// the insertion edge lies on the path, and otherwise is found by one
+	// bounded sweep of the (typically tiny) x-side region.
+	dir []int32
+
+	// pending is the compact, unordered list of this constraint's taxa still
+	// missing from the agile tree (maintained by ExtendTaxon/RemoveTaxon via
+	// swap-removal; pendIdx maps taxon id -> position, -1 when absent). The
+	// hot paths that previously swept the whole leaf-set bitset — split
+	// re-targeting, first-activation, and the undo-side invalidations —
+	// iterate this list instead. Its order is scramble-prone but no observable
+	// state depends on it: every element is handled independently.
+	pending []int32
+	pendIdx []int32
 }
 
 // Terrace is the full algorithm state.
@@ -78,26 +98,46 @@ type Terrace struct {
 
 	// scratch buffers reused across operations (per agile node/edge)
 	mark       []int32 // DFS visit stamps
-	mark2      []int32 // on-anchor-path stamps
+	mark2      []int32 // second family of visit stamps
 	parentV    []int32
 	parentE    []int32
-	succEdge   []int32 // per path vertex: edge toward the far anchor
 	stamp      int32
 	dfsBuf     []int32
 	allowedBuf []int32
 	activeBuf  []*constraintState
 	pendBuf    []int32
 
+	// rooted orientation of the agile tree (root = node 0, which predates
+	// every insertion and is never detached): parent vertex and parent edge
+	// per node, maintained O(1) by ExtendTaxon/RemoveTaxon. Split-point
+	// location walks these chains instead of flooding a preimage subgraph.
+	rootedV []int32
+	rootedE []int32
+
 	// flat undo logs (see cUndo)
 	moveLog []int32 // agile edge ids re-mapped by splits
 	tgLog   []int32 // taxon ids re-targeted by splits
+	pathLog []int32 // pre-existing agile edge ids a split put onto an anchor path
+
+	// incremental admissible-branch accounting (see incremental.go)
+	byTaxon    [][]int32 // taxon id -> indices of constraints containing it
+	notByTaxon [][]int32 // taxon id -> indices of constraints NOT containing it
+	pendCnt    []int32   // cached |AllowedBranches(y)| per multi-constraint taxon
+	pendOK     []bool    // cache validity per taxon
+	cacheLive  []int32   // pending taxa with a (possibly stale) cache entry; compacted lazily
+	cacheIdx   []int32   // taxon id -> position in cacheLive (-1 when absent)
+	pendListed []bool    // taxon holds a cache slot (re-listed on LIFO undo while attached)
+	hstats     HeuristicStats
 }
 
-// cUndo records what ExtendTaxon did to one constraint. Variable-length
-// undo data (edges re-mapped away from ĉ, pending taxa re-targeted) lives in
-// the Terrace's flat moveLog/tgLog; cUndo holds the ranges.
+// cUndo records what ExtendTaxon did to one constraint containing the
+// inserted taxon. Variable-length undo data (edges re-mapped away from ĉ,
+// pending taxa re-targeted) lives in the Terrace's flat moveLog/tgLog; cUndo
+// holds the ranges. Constraints NOT containing the taxon need no entry at
+// all: their only change is the +2 preimage inheritance, which RemoveTaxon
+// reconstructs from cs.m[frame.half] (still valid under LIFO discipline).
 type cUndo struct {
-	kind                 int8 // cNone, cInherit, cS0, cFirst, cSplit
+	kind                 int8 // cS0, cFirst, cSplit
 	ci                   int32
 	che                  int32 // the split common edge ĉ (cSplit)
 	oldTB                int32 // ĉ's old t-side far anchor (cSplit)
@@ -105,20 +145,20 @@ type cUndo struct {
 	oldCnt               int32 // ĉ's old preimage count (cSplit)
 	movedStart, movedEnd int32 // moveLog range (cSplit)
 	tgStart, tgEnd       int32 // tgLog range (cSplit)
-	inheritCE            int32 // common edge inherited by the new edges (cInherit)
+	pbStart, pbEnd       int32 // pathLog range (cSplit)
 }
 
 const (
-	cNone int8 = iota
-	cInherit
-	cS0 // |S_i| went 0 -> 1: only membership changed
+	cS0 int8 = iota // |S_i| went 0 -> 1: only membership changed
 	cFirst
 	cSplit
 )
 
 type undoFrame struct {
-	taxon int
-	cs    []cUndo
+	taxon         int
+	edge          int32 // insertion edge (RemoveTaxon's count-accounting mirror)
+	half, pendant int32 // the two edges born from the insertion
+	cs            []cUndo
 }
 
 // New builds a Terrace from a set of constraint trees over a shared taxon
@@ -173,12 +213,36 @@ func New(constraints []*tree.Tree, initialIdx int) (*Terrace, error) {
 	miss := tr.agile.LeafSet().Clone()
 	miss.ComplementWithin()
 	tr.missing = miss.Elements()
+	tr.initIncremental()
 	for _, cs := range tr.constraints {
 		if err := tr.initConstraint(cs); err != nil {
 			return nil, err
 		}
 	}
+	tr.initRooted()
 	return tr, nil
+}
+
+// initRooted orients the initial agile tree away from node 0 (the root).
+func (tr *Terrace) initRooted() {
+	tr.growScratch()
+	tr.rootedV[0], tr.rootedE[0] = tree.NoNode, tree.NoEdge
+	stack := append(tr.dfsBuf[:0], 0)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj, deg := tr.agile.Adjacency(v)
+		for i := 0; i < deg; i++ {
+			ed := adj[i]
+			if ed == tr.rootedE[v] {
+				continue
+			}
+			w := tr.agile.Other(ed, v)
+			tr.rootedV[w], tr.rootedE[w] = v, ed
+			stack = append(stack, w)
+		}
+	}
+	tr.dfsBuf = stack[:0]
 }
 
 // Agile returns the current agile tree. Callers must not modify it.
@@ -225,8 +289,13 @@ func (tr *Terrace) initConstraint(cs *constraintState) error {
 	cs.cnt = cs.cnt[:0]
 	if cap(cs.m) < tr.agile.NumEdges() {
 		cs.m = make([]int32, tr.agile.NumEdges(), 2*tr.taxa.Len())
+		cs.dir = make([]int32, tr.agile.NumEdges(), 2*tr.taxa.Len())
 	} else {
 		cs.m = cs.m[:tr.agile.NumEdges()]
+		cs.dir = cs.dir[:tr.agile.NumEdges()]
+	}
+	for i := range cs.dir {
+		cs.dir[i] = tree.NoNode
 	}
 	if cs.sCount < 2 {
 		return nil
@@ -267,6 +336,18 @@ func (tr *Terrace) initConstraint(cs *constraintState) error {
 			cs.cedges[ce].aa, cs.cedges[ce].ab = ch.u, ch.v
 		} else {
 			cs.cedges[ce].aa, cs.cedges[ce].ab = ch.v, ch.u
+		}
+		// The chain's path edges are exactly the anchor path of this common
+		// edge; orient dir toward the ab anchor.
+		cur := ch.u
+		for _, pe := range ch.path {
+			nxt := tr.agile.Other(pe, cur)
+			if cs.cedges[ce].aa == ch.u {
+				cs.dir[pe] = nxt
+			} else {
+				cs.dir[pe] = cur
+			}
+			cur = nxt
 		}
 	}
 	// Agile-side mapping: every agile edge belongs to exactly one chain
@@ -327,8 +408,9 @@ type chainResult struct {
 
 type chainInfo struct {
 	u, v     int32
-	splitKey string // normalized (orientation-free) key of the S-split
-	uSideKey string // key of the S-taxa on u's side (orientation marker)
+	splitKey string  // normalized (orientation-free) key of the S-split
+	uSideKey string  // key of the S-taxa on u's side (orientation marker)
+	path     []int32 // the chain's path edges in walk order from u to v
 }
 
 // chainDecompose computes the chain decomposition. If onChain is non-nil it
@@ -425,7 +507,7 @@ func chainDecompose(t *tree.Tree, s *bitset.Set, onChain func(id int, u, v int32
 			if ok := other.Key(); ok < key {
 				key = ok
 			}
-			res.chains = append(res.chains, chainInfo{u: v, v: far, splitKey: key, uSideKey: uKey})
+			res.chains = append(res.chains, chainInfo{u: v, v: far, splitKey: key, uSideKey: uKey, path: pathEdges})
 			for _, pe := range pathEdges {
 				res.edgeChain[pe] = id
 			}
@@ -500,6 +582,12 @@ func (tr *Terrace) Signature() string {
 		if cs.sCount >= 2 {
 			for e := int32(0); e < int32(tr.agile.NumEdges()); e++ {
 				sig += fmt.Sprintf("%d,", cs.m[e])
+			}
+			sig += ":"
+			for e := int32(0); e < int32(tr.agile.NumEdges()); e++ {
+				if cs.dir[e] != tree.NoNode {
+					sig += fmt.Sprintf("p%d>%d,", e, cs.dir[e])
+				}
 			}
 			sig += ":"
 			for _, c := range cs.cnt {

@@ -5,14 +5,21 @@ package tree
 // is built. Gentrius builds one per constraint tree: the constraint-side
 // half of the double-edge mapping resolves pending-taxon targets with
 // median queries against the static constraint tree.
+//
+// LCA queries run in O(1) via an Euler tour and a sparse-table range-minimum
+// structure over tour depths: the LCA of u and v is the unique minimum-depth
+// vertex between their first tour occurrences. Each sparse-table entry packs
+// (depth, node) into one int64 so a range minimum is a single integer min.
 type StaticIndex struct {
 	t      *Tree
 	root   int32
 	parent []int32
 	pedge  []int32 // edge to parent
 	depth  []int32
-	up     [][]int32 // binary lifting table: up[k][v] = 2^k-th ancestor
-	order  []int32   // preorder for iteration if needed
+	order  []int32 // preorder for iteration if needed
+	first  []int32 // first occurrence of each node in the Euler tour
+	sp     [][]int64
+	logs   []int8 // logs[i] = floor(log2 i), for query-width lookup
 }
 
 // NewStaticIndex builds the index, rooting the tree at node 0.
@@ -55,26 +62,53 @@ func NewStaticIndex(t *Tree) *StaticIndex {
 			stack = append(stack, u)
 		}
 	}
-	// Binary lifting.
-	levels := 1
-	for (1 << levels) < n {
-		levels++
-	}
-	ix.up = make([][]int32, levels+1)
-	ix.up[0] = ix.parent
-	for k := 1; k <= levels; k++ {
-		prev := ix.up[k-1]
-		cur := make([]int32, n)
-		for v := 0; v < n; v++ {
-			if prev[v] == NoNode {
-				cur[v] = NoNode
-			} else {
-				cur[v] = prev[prev[v]]
-			}
-		}
-		ix.up[k] = cur
-	}
+	ix.buildEuler(n)
 	return ix
+}
+
+// buildEuler records the Euler tour (2n-1 visits), first occurrences, and the
+// sparse table of packed (depth, node) range minima.
+func (ix *StaticIndex) buildEuler(n int) {
+	t := ix.t
+	m := 2*n - 1
+	tour := make([]int64, 0, m) // packed (depth<<32 | node), tour order
+	ix.first = make([]int32, n)
+	var walk func(v int32)
+	walk = func(v int32) {
+		pv := int64(ix.depth[v])<<32 | int64(v)
+		ix.first[v] = int32(len(tour))
+		tour = append(tour, pv)
+		nd := &t.nodes[v]
+		for i := int8(0); i < nd.deg; i++ {
+			u := t.Other(nd.adj[i], v)
+			if u == ix.parent[v] {
+				continue
+			}
+			walk(u)
+			tour = append(tour, pv)
+		}
+	}
+	walk(ix.root)
+	ix.logs = make([]int8, m+1)
+	for i := 2; i <= m; i++ {
+		ix.logs[i] = ix.logs[i/2] + 1
+	}
+	levels := int(ix.logs[m]) + 1
+	ix.sp = make([][]int64, levels)
+	ix.sp[0] = tour
+	for k := 1; k < levels; k++ {
+		half := 1 << (k - 1)
+		prev := ix.sp[k-1]
+		row := make([]int64, m-2*half+1)
+		for i := range row {
+			a, b := prev[i], prev[i+half]
+			if b < a {
+				a = b
+			}
+			row[i] = a
+		}
+		ix.sp[k] = row
+	}
 }
 
 // Depth returns the depth of v below the index root.
@@ -88,26 +122,16 @@ func (ix *StaticIndex) ParentEdge(v int32) int32 { return ix.pedge[v] }
 
 // LCA returns the lowest common ancestor of u and v.
 func (ix *StaticIndex) LCA(u, v int32) int32 {
-	if ix.depth[u] < ix.depth[v] {
-		u, v = v, u
+	l, r := ix.first[u], ix.first[v]
+	if l > r {
+		l, r = r, l
 	}
-	diff := ix.depth[u] - ix.depth[v]
-	for k := 0; diff != 0; k++ {
-		if diff&1 != 0 {
-			u = ix.up[k][u]
-		}
-		diff >>= 1
+	k := ix.logs[r-l+1]
+	a, b := ix.sp[k][l], ix.sp[k][int(r)-(1<<k)+1]
+	if b < a {
+		a = b
 	}
-	if u == v {
-		return u
-	}
-	for k := len(ix.up) - 1; k >= 0; k-- {
-		if ix.up[k][u] != ix.up[k][v] {
-			u = ix.up[k][u]
-			v = ix.up[k][v]
-		}
-	}
-	return ix.parent[u]
+	return int32(a)
 }
 
 // Dist returns the number of edges on the path from u to v.
@@ -129,6 +153,19 @@ func (ix *StaticIndex) Median(u, v, w int32) int32 {
 		return b
 	}
 	return a
+}
+
+// MedianPre is Median with luv = LCA(u, v) precomputed by the caller — two
+// LCA queries instead of three, useful when u and v are fixed across a batch.
+func (ix *StaticIndex) MedianPre(luv, u, v, w int32) int32 {
+	b, c := ix.LCA(u, w), ix.LCA(v, w)
+	if luv == b {
+		return c
+	}
+	if luv == c {
+		return b
+	}
+	return luv
 }
 
 // OnPath reports whether x lies on the path from u to v (inclusive).
