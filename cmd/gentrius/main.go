@@ -15,13 +15,22 @@
 // pprof over HTTP for the duration of the run; -trace-out writes a JSONL
 // scheduler event trace; -progress prints live counters and throughput to
 // stderr on an interval; -json emits the full machine-readable result.
+//
+// Long runs are interruptible: Ctrl-C (SIGINT) or SIGTERM cancels the
+// enumeration cleanly (stop reason "cancelled"); with -checkpoint FILE a
+// serial run interrupted that way — or stopped by a rule — writes a
+// resumable snapshot, and -resume FILE continues it later on the same
+// input, reproducing exactly the counters of an uninterrupted run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gentrius"
@@ -46,6 +55,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a JSONL scheduler event trace to this file")
 		progress    = flag.Duration("progress", 0, "print live counters and throughput to stderr on this interval (e.g. 5s; 0 = off)")
 		jsonOut     = flag.Bool("json", false, "emit the full result (counters, stop reason, tasks stolen, per-worker breakdown) as JSON on stdout")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable checkpoint to this file when a serial run is interrupted (Ctrl-C) or stopped by a rule")
+		resumePath  = flag.String("resume", "", "resume a serial run from a checkpoint written by -checkpoint (requires the same input)")
 	)
 	flag.Parse()
 
@@ -54,13 +65,34 @@ func main() {
 		fatal(err)
 	}
 	opt := gentrius.Options{
-		Threads:      *threads,
-		MaxTrees:     *maxTrees,
-		MaxStates:    *maxStates,
-		MaxTime:      *maxTime,
-		InitialTree:  *initial,
-		CollectTrees: *summary,
+		Threads:          *threads,
+		MaxTrees:         *maxTrees,
+		MaxStates:        *maxStates,
+		MaxTime:          *maxTime,
+		InitialTree:      *initial,
+		CollectTrees:     *summary,
+		CheckpointOnStop: *ckptPath != "",
 	}
+	if (*ckptPath != "" || *resumePath != "") && *threads > 1 {
+		fatal(fmt.Errorf("-checkpoint/-resume require -threads 1 (parallel runs are bounded by the stopping rules instead)"))
+	}
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		cp, err := gentrius.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opt.Resume = cp
+	}
+	// Ctrl-C / SIGTERM cancel the enumeration cleanly instead of killing
+	// the process: the run returns with stop reason "cancelled" (and, with
+	// -checkpoint, a resumable snapshot). A second signal kills.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	start := time.Now()
 
 	// Observability: any of the three flags attaches a metric set; the
@@ -110,9 +142,23 @@ func main() {
 		defer outFile.Close()
 		opt.OnTree = func(nw string) { fmt.Fprintln(outFile, nw) }
 	}
-	res, err := gentrius.EnumerateStand(cons, opt)
+	res, err := gentrius.EnumerateStandContext(ctx, cons, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Checkpoint != nil && *ckptPath != "" {
+		cf, err := os.Create(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Checkpoint.Write(cf); err != nil {
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gentrius: checkpoint written to %s (resume with -resume %s)\n",
+			*ckptPath, *ckptPath)
 	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, cons, res, opt.Obs); err != nil {

@@ -1,0 +1,125 @@
+// Command gentriusd is the Gentrius enumeration daemon: a long-running HTTP
+// service that accepts stand-enumeration jobs (Newick constraint trees, or
+// a species tree plus a PAM), runs them on a bounded worker pool, streams
+// stand trees to subscribers as NDJSON, and supports cancellation and
+// graceful shutdown. Serial jobs interrupted by a cancel or by shutdown
+// write a resumable checkpoint into the data directory.
+//
+// Endpoints (see internal/service):
+//
+//	POST   /jobs             submit {"trees": ["...;", ...], "threads": N, ...}
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        job status
+//	GET    /jobs/{id}/trees  NDJSON tree stream (follows a running job)
+//	POST   /jobs/{id}/cancel cancel a job
+//	GET    /healthz          liveness
+//	GET    /metrics          Prometheus metrics (plus /debug/vars, /debug/pprof)
+//
+// SIGINT/SIGTERM trigger graceful shutdown: no new jobs, every running job
+// is cancelled (checkpointing if serial), and the process exits 0 once the
+// pool drains or the grace period ends.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gentrius"
+	"gentrius/internal/obs"
+	"gentrius/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		jobs       = flag.Int("jobs", 2, "jobs run concurrently; further jobs queue")
+		queueCap   = flag.Int("queue", 16, "queued-job capacity before submissions are rejected")
+		dataDir    = flag.String("data-dir", "", "directory for tree spools and checkpoints (default: a fresh temp dir)")
+		maxThreads = flag.Int("max-threads", 1, "cap on a job's requested thread count")
+		maxTime    = flag.Duration("max-job-time", 0, "cap on a job's wall-time limit (0 = engine default of 168h)")
+		noCkpt     = flag.Bool("no-checkpoint", false, "disable checkpoint-on-stop for serial jobs")
+		grace      = flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	if *dataDir == "" {
+		d, err := os.MkdirTemp("", "gentriusd-")
+		if err != nil {
+			fatal(err)
+		}
+		*dataDir = d
+	}
+
+	reg := obs.NewRegistry()
+	metrics := service.NewMetrics(reg)
+	sched := obs.NewSchedMetrics(reg)
+	// Per-worker engine counters are registered once, up front: concurrent
+	// jobs then only read the worker table (EnsureWorkers is a no-op).
+	sched.EnsureWorkers(*maxThreads)
+	reg.PublishExpvar("gentriusd")
+
+	mgr, err := service.New(service.Config{
+		Workers:    *jobs,
+		QueueCap:   *queueCap,
+		DataDir:    *dataDir,
+		MaxThreads: *maxThreads,
+		MaxTime:    *maxTime,
+		Checkpoint: !*noCkpt,
+		Metrics:    metrics,
+		Sink:       &gentrius.ObsSink{Metrics: sched},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mux := obs.NewMux(reg)
+	mgr.RegisterRoutes(mux)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "gentriusd: listening on %s (data dir %s, %d workers)\n",
+		ln.Addr(), *dataDir, *jobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "gentriusd: shutting down (cancelling jobs, checkpointing serial runs)")
+
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Jobs first: cancelling them closes the spools, which ends the NDJSON
+	// streams, which lets the HTTP server drain its connections.
+	if err := mgr.Shutdown(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gentriusd:", err)
+	}
+	if err := srv.Shutdown(graceCtx); err != nil {
+		srv.Close()
+	}
+	for _, j := range mgr.List() {
+		if st := j.Status(); st.CheckpointFile != "" {
+			fmt.Fprintf(os.Stderr, "gentriusd: job %s checkpointed to %s (resume with: gentrius -resume %s ...)\n",
+				st.ID, st.CheckpointFile, st.CheckpointFile)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "gentriusd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentriusd:", err)
+	os.Exit(1)
+}

@@ -20,10 +20,19 @@
 // Setting Options.Threads above 1 runs the parallel engine; the three
 // stopping rules (stand trees, intermediate states, wall time) bound runs on
 // stands of intractable size.
+//
+// Long-running enumerations are cancellable and resumable: the Context
+// variants (EnumerateStandContext, EnumerateFromSpeciesTreeContext) stop
+// with StopCancelled when the context is done, and serial runs can
+// checkpoint on stop and resume later (Options.CheckpointOnStop /
+// Options.Resume). The non-context entrypoints are one-line wrappers over
+// the context ones.
 package gentrius
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"gentrius/internal/obs"
@@ -52,7 +61,25 @@ const (
 	StopTreeLimit  = search.StopTreeLimit
 	StopStateLimit = search.StopStateLimit
 	StopTimeLimit  = search.StopTimeLimit
+	// StopCancelled reports that the caller's context ended the run. The
+	// engines poll the context at their periodic stopping-rule check, so
+	// cancellation takes effect within one check interval.
+	StopCancelled = search.StopCancelled
 )
+
+// Checkpoint is a serializable snapshot of a serial enumeration: the
+// branch-and-bound stack plus the counters. Together with the *same* input
+// (same constraint trees, same order — guarded by a fingerprint) it resumes
+// the run exactly where it stopped; see Options.CheckpointOnStop and
+// Options.Resume. Parallel runs are not checkpointable (DESIGN.md explains
+// why); use the stopping rules to bound them instead.
+type Checkpoint = search.Checkpoint
+
+// ReadCheckpoint parses a JSON checkpoint previously written with
+// Checkpoint.Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	return search.ReadCheckpoint(r)
+}
 
 // UseInitialTreeHeuristic selects the initial agile tree by the paper's
 // heuristic (the constraint sharing the most taxa with all others).
@@ -96,10 +123,26 @@ type Options struct {
 	// Result.Trees. Stands can be enormous; prefer OnTree for streaming.
 	CollectTrees bool
 
-	// OnTree, if non-nil, receives every stand tree found. With Threads == 1
-	// trees are streamed as they are found; with Threads > 1 they are
-	// delivered (in no particular order) once enumeration finishes.
+	// OnTree, if non-nil, receives every stand tree as it is found, with
+	// any number of threads. With Threads == 1 the callback runs inline in
+	// the search loop; with Threads > 1 trees stream from the workers
+	// through a bounded channel to a single collector goroutine, so calls
+	// are serialized but arrive in no particular order, concurrently with
+	// the enumeration. A slow callback applies backpressure to the workers
+	// instead of growing a buffer: with CollectTrees false no per-worker
+	// (or whole-stand) tree storage is allocated.
 	OnTree func(newick string)
+
+	// Resume restores a serial enumeration (Threads == 1) from a
+	// checkpoint taken on the same input. InitialTree and Heuristic are
+	// taken from the checkpoint; the resumed run's counters continue from
+	// it, so its final counters equal an uninterrupted run's exactly.
+	Resume *Checkpoint
+
+	// CheckpointOnStop captures the engine state into Result.Checkpoint
+	// when a serial run (Threads == 1) ends for any reason other than
+	// exhaustion — cancellation or a stopping rule.
+	CheckpointOnStop bool
 
 	// Obs attaches the observability layer (scheduler metrics and/or a
 	// JSONL event trace; see internal/obs). Nil disables it entirely; the
@@ -141,6 +184,10 @@ type Result struct {
 	// nil for serial). The sum of PerWorker plus the coordinator's
 	// deterministic-prefix work equals the run totals.
 	PerWorker []WorkerCounters
+	// Checkpoint is the resumable engine snapshot of a serial run that
+	// requested CheckpointOnStop and was cancelled or hit a stopping rule
+	// (nil when the stand was exhausted).
+	Checkpoint *Checkpoint
 }
 
 // WorkerCounters is one worker's share of the branch-and-bound work.
@@ -153,72 +200,103 @@ type WorkerCounters struct {
 // Complete reports whether the whole stand was enumerated.
 func (r *Result) Complete() bool { return r.Stop == StopExhausted }
 
-// EnumerateStand counts (and optionally collects) all trees compatible with
-// the given constraint trees. Every taxon of the universe must occur in at
-// least one constraint tree, and every constraint tree needs at least four
-// taxa. Pairwise-incompatible constraints yield an empty stand.
-func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
-	if len(constraints) == 0 {
-		return nil, fmt.Errorf("gentrius: no constraint trees")
-	}
+// engineOptions translates the public Options into both internal engines'
+// option structs — the single place where the public and internal
+// configuration vocabularies meet. Each entrypoint consumes the one its
+// thread count selects.
+func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.Options) {
 	limits := search.Limits{
 		MaxTrees:  opt.MaxTrees,
 		MaxStates: opt.MaxStates,
 		MaxTime:   opt.MaxTime,
 	}
-	if opt.Threads > 1 {
-		pres, err := parallel.Run(constraints, parallel.Options{
-			Threads:      opt.Threads,
-			Limits:       limits,
-			InitialTree:  opt.InitialTree,
-			Heuristic:    opt.Heuristic,
-			CollectTrees: opt.CollectTrees || opt.OnTree != nil,
-			Obs:          opt.Obs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{
-			StandTrees:         pres.StandTrees,
-			IntermediateStates: pres.IntermediateStates,
-			DeadEnds:           pres.DeadEnds,
-			Stop:               pres.Stop,
-			Elapsed:            pres.Elapsed,
-			InitialIndex:       pres.InitialIndex,
-			Threads:            opt.Threads,
-			TasksStolen:        pres.TasksStolen,
-		}
-		for _, wc := range pres.PerWorker {
-			res.PerWorker = append(res.PerWorker, WorkerCounters{
-				StandTrees:         wc.StandTrees,
-				IntermediateStates: wc.IntermediateStates,
-				DeadEnds:           wc.DeadEnds,
-			})
-		}
-		if opt.OnTree != nil {
-			for _, nw := range pres.Trees {
-				opt.OnTree(nw)
-			}
-		}
-		if opt.CollectTrees {
-			res.Trees = pres.Trees
-		}
-		return res, nil
-	}
 	sopt := search.Options{
+		Ctx:              ctx,
+		Limits:           limits,
+		InitialTree:      opt.InitialTree,
+		Heuristic:        opt.Heuristic,
+		CollectTrees:     opt.CollectTrees,
+		OnTree:           opt.OnTree,
+		Resume:           opt.Resume,
+		CheckpointOnStop: opt.CheckpointOnStop,
+	}
+	popt := parallel.Options{
+		Ctx:          ctx,
+		Threads:      opt.Threads,
 		Limits:       limits,
 		InitialTree:  opt.InitialTree,
 		Heuristic:    opt.Heuristic,
 		CollectTrees: opt.CollectTrees,
 		OnTree:       opt.OnTree,
+		Obs:          opt.Obs,
 	}
+	return sopt, popt
+}
+
+// EnumerateStand counts (and optionally collects) all trees compatible with
+// the given constraint trees. It is EnumerateStandContext without
+// cancellation.
+func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
+	return EnumerateStandContext(context.Background(), constraints, opt)
+}
+
+// EnumerateStandContext is the context-aware enumeration entrypoint: the
+// run ends with Stop == StopCancelled (not an error) within one
+// stopping-rule check interval of ctx being done. Every taxon of the
+// universe must occur in at least one constraint tree, and every constraint
+// tree needs at least four taxa. Pairwise-incompatible constraints yield an
+// empty stand.
+func EnumerateStandContext(ctx context.Context, constraints []*Tree, opt Options) (*Result, error) {
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("gentrius: no constraint trees")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Threads > 1 && (opt.Resume != nil || opt.CheckpointOnStop) {
+		return nil, fmt.Errorf("gentrius: checkpointing requires Threads == 1 (parallel runs are bounded by the stopping rules instead)")
+	}
+	sopt, popt := engineOptions(ctx, opt)
+	if opt.Threads > 1 {
+		return enumerateParallel(constraints, popt)
+	}
+	return enumerateSerial(constraints, sopt, opt.Obs)
+}
+
+func enumerateParallel(constraints []*Tree, popt parallel.Options) (*Result, error) {
+	pres, err := parallel.Run(constraints, popt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		StandTrees:         pres.StandTrees,
+		IntermediateStates: pres.IntermediateStates,
+		DeadEnds:           pres.DeadEnds,
+		Stop:               pres.Stop,
+		Elapsed:            pres.Elapsed,
+		InitialIndex:       pres.InitialIndex,
+		Threads:            popt.Threads,
+		TasksStolen:        pres.TasksStolen,
+		Trees:              pres.Trees,
+	}
+	for _, wc := range pres.PerWorker {
+		res.PerWorker = append(res.PerWorker, WorkerCounters{
+			StandTrees:         wc.StandTrees,
+			IntermediateStates: wc.IntermediateStates,
+			DeadEnds:           wc.DeadEnds,
+		})
+	}
+	return res, nil
+}
+
+func enumerateSerial(constraints []*Tree, sopt search.Options, sink *ObsSink) (*Result, error) {
 	// Serial runs feed the live-progress counters through the periodic
 	// stopping-rule check, so -progress and /metrics stay meaningful at
 	// one thread too.
 	var checked search.Counters
-	m := opt.Obs.SchedMetrics()
+	m := sink.SchedMetrics()
 	m.Workers.Set(1)
-	if opt.Obs != nil && opt.Obs.Metrics != nil {
+	if sink != nil && sink.Metrics != nil {
 		sopt.OnCheck = func(c search.Counters, _ time.Duration) {
 			m.Trees.Add(c.StandTrees - checked.StandTrees)
 			m.States.Add(c.IntermediateStates - checked.IntermediateStates)
@@ -243,14 +321,22 @@ func EnumerateStand(constraints []*Tree, opt Options) (*Result, error) {
 		Trees:              sres.Trees,
 		InitialIndex:       sres.InitialIndex,
 		Threads:            1,
+		Checkpoint:         sres.Checkpoint,
 	}, nil
 }
 
 // EnumerateFromSpeciesTree is Gentrius' second input mode: a complete
-// species tree plus a PAM. The per-locus constraint trees are the species
-// tree's induced subtrees on each locus' presence set (loci covering fewer
-// than four taxa are skipped, as they constrain nothing).
+// species tree plus a PAM. It is EnumerateFromSpeciesTreeContext without
+// cancellation.
 func EnumerateFromSpeciesTree(species *Tree, m *PAM, opt Options) (*Result, error) {
+	return EnumerateFromSpeciesTreeContext(context.Background(), species, m, opt)
+}
+
+// EnumerateFromSpeciesTreeContext enumerates from a complete species tree
+// plus a PAM under a cancellation context. The per-locus constraint trees
+// are the species tree's induced subtrees on each locus' presence set (loci
+// covering fewer than four taxa are skipped, as they constrain nothing).
+func EnumerateFromSpeciesTreeContext(ctx context.Context, species *Tree, m *PAM, opt Options) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -261,5 +347,5 @@ func EnumerateFromSpeciesTree(species *Tree, m *PAM, opt Options) (*Result, erro
 	if len(cons) == 0 {
 		return nil, fmt.Errorf("gentrius: no locus covers four or more taxa")
 	}
-	return EnumerateStand(cons, opt)
+	return EnumerateStandContext(ctx, cons, opt)
 }

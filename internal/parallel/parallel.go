@@ -25,6 +25,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,6 +58,10 @@ func DefaultQueueCap(threads int) int {
 // than this many remaining taxa do not submit tasks.
 const MinRemainingToSubmit = 3
 
+// DefaultTreeBuffer is the capacity of the bounded channel stand trees
+// stream through on their way from the workers to the collector goroutine.
+const DefaultTreeBuffer = 256
+
 // Options configures a parallel run.
 type Options struct {
 	Threads int
@@ -68,6 +73,25 @@ type Options struct {
 	// CollectTrees gathers every stand tree's canonical Newick (merged
 	// across workers, unordered).
 	CollectTrees bool
+
+	// OnTree, if non-nil, receives every stand tree as it is found. Trees
+	// stream from the workers through a bounded channel to one collector
+	// goroutine, so calls are serialized but arrive in no particular order,
+	// concurrently with the enumeration; a slow callback applies
+	// backpressure to the workers rather than growing a buffer. No
+	// per-worker tree storage is allocated when CollectTrees is false.
+	OnTree func(newick string)
+
+	// TreeBuffer overrides the streaming channel capacity (zero: the
+	// default of 256).
+	TreeBuffer int
+
+	// Ctx cancels the run: when it is done, the stop flag all workers poll
+	// is raised with reason StopCancelled and blocked stealers are woken,
+	// so the pool drains within about one step per worker. The run returns
+	// normally (counter conservation still holds); the context's error is
+	// not propagated.
+	Ctx context.Context
 
 	// Batch sizes for global counter flushes; zero selects the defaults.
 	// Setting a batch to 1 reproduces the unbatched ablation.
@@ -313,8 +337,14 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	m.HeuristicRecounts.Add(hs0.Recounts)
 	m.HeuristicIncUpdates.Add(hs0.IncUpdates)
 	if prefix.Terminal {
-		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
-			res.Trees = append(res.Trees, t0.Agile().Newick())
+		if prefix.Counters.StandTrees == 1 {
+			nw := t0.Agile().Newick()
+			if opt.OnTree != nil {
+				opt.OnTree(nw)
+			}
+			if opt.CollectTrees {
+				res.Trees = append(res.Trees, nw)
+			}
 		}
 		res.Elapsed = time.Since(g.started)
 		return res, nil
@@ -325,22 +355,67 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	parts := search.PartitionBranches(prefix.SplitBranches, opt.Threads)
 	q := newQueue(opt.QueueCap, opt.Threads, m)
 
+	// Cancellation: a watcher raises the stop flag and wakes blocked
+	// stealers the moment the context is done; workers notice at their
+	// next step (they poll the flag every transition).
+	var watcherDone chan struct{}
+	if opt.Ctx != nil {
+		watcherDone = make(chan struct{})
+		go func() {
+			select {
+			case <-opt.Ctx.Done():
+				g.raise(search.StopCancelled)
+				q.shutdown()
+			case <-watcherDone:
+			}
+		}()
+	}
+
+	// Streaming: workers send each stand tree into a bounded channel; one
+	// collector goroutine drains it, invoking OnTree and/or appending to
+	// the merged result. No per-worker tree buffers exist.
+	var treeCh chan string
+	var collectDone chan struct{}
+	if opt.CollectTrees || opt.OnTree != nil {
+		if opt.TreeBuffer <= 0 {
+			opt.TreeBuffer = DefaultTreeBuffer
+		}
+		treeCh = make(chan string, opt.TreeBuffer)
+		collectDone = make(chan struct{})
+		go func() {
+			defer close(collectDone)
+			for nw := range treeCh {
+				if opt.OnTree != nil {
+					opt.OnTree(nw)
+				}
+				if opt.CollectTrees {
+					res.Trees = append(res.Trees, nw)
+				}
+			}
+		}()
+	}
+
 	perWorker := make([]search.Counters, opt.Threads)
-	treeSets := make([][]string, opt.Threads)
 	var wg sync.WaitGroup
 	for w := 0; w < opt.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			runWorker(w, constraints, idx, prefix, parts[w], q, g, opt,
-				&perWorker[w], &treeSets[w])
+				&perWorker[w], treeCh)
 		}(w)
 	}
 	wg.Wait()
+	if watcherDone != nil {
+		close(watcherDone)
+	}
+	if treeCh != nil {
+		close(treeCh)
+		<-collectDone
+	}
 
 	for w := range perWorker {
 		res.Counters.Add(perWorker[w])
-		res.Trees = append(res.Trees, treeSets[w]...)
 	}
 	res.PerWorker = perWorker
 	res.TasksStolen = q.stolen
@@ -366,7 +441,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 // runWorker is the body of one pool worker.
 func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixResult,
 	myBranches []int32, q *queue, g *globals, opt Options,
-	total *search.Counters, trees *[]string) {
+	total *search.Counters, treeCh chan<- string) {
 
 	m := opt.Obs.SchedMetrics()
 	rec := opt.Obs.Recorder()
@@ -447,8 +522,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				obs.F("branches", int64(n)), obs.F("path", pathLen))
 			return n
 		}
-		if opt.CollectTrees {
-			eng.OnTree = func(nw string) { *trees = append(*trees, nw) }
+		if treeCh != nil {
+			eng.OnTree = func(nw string) { treeCh <- nw }
 		}
 		steps := 0
 		for {

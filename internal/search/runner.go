@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,8 +20,12 @@ const (
 	StopTreeLimit                    // rule 1: more than MaxTrees stand trees
 	StopStateLimit                   // rule 2: more than MaxStates intermediate states
 	StopTimeLimit                    // rule 3: wall-clock budget exceeded
-	StopExternal                     // cancelled by the caller
+	StopCancelled                    // the caller's context was cancelled
 )
+
+// StopExternal is the former name of StopCancelled, kept for callers that
+// predate the context-first API.
+const StopExternal = StopCancelled
 
 func (s StopReason) String() string {
 	switch s {
@@ -32,8 +37,8 @@ func (s StopReason) String() string {
 		return "state-limit"
 	case StopTimeLimit:
 		return "time-limit"
-	case StopExternal:
-		return "external"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int8(s))
 	}
@@ -119,6 +124,26 @@ type Options struct {
 	// OnCheck, if set, receives the live counters at every stopping-rule
 	// check (every CheckEvery steps) — the serial engine's progress hook.
 	OnCheck func(c Counters, elapsed time.Duration)
+
+	// Ctx cancels the run. It is polled only at the periodic stopping-rule
+	// check (the hot loop stays branch-cheap), so cancellation latency is
+	// bounded by one CheckEvery interval. A cancelled run returns normally
+	// with Stop == StopCancelled; the context's error is not propagated.
+	Ctx context.Context
+
+	// Resume restores the engine from a checkpoint taken on the same input
+	// (same constraint trees, same order) instead of starting fresh. The
+	// initial tree and insertion heuristic come from the checkpoint;
+	// InitialTree, Heuristic and the static-order ablation fields are
+	// ignored. The resumed run's counters continue from the checkpoint, so
+	// its final counters equal an uninterrupted run's exactly.
+	Resume *Checkpoint
+
+	// CheckpointOnStop captures the engine state into Result.Checkpoint
+	// when the run ends for any reason other than exhaustion (cancellation
+	// or a stopping rule). It requires the dynamic insertion order (the
+	// default): checkpoints do not record a static Order.
+	CheckpointOnStop bool
 }
 
 // Result is the outcome of a run.
@@ -129,6 +154,10 @@ type Result struct {
 	Trees        []string
 	InitialIndex int
 	Steps        int64 // total engine transitions (insertions + removals)
+	// Checkpoint holds the engine snapshot when Options.CheckpointOnStop
+	// was set and a stopping rule or cancellation ended the run (nil when
+	// the stand was exhausted: there is nothing left to resume).
+	Checkpoint *Checkpoint
 }
 
 // Run enumerates the stand of the given constraint trees serially.
@@ -139,40 +168,53 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if opt.CheckEvery <= 0 {
 		opt.CheckEvery = 1024
 	}
+	if (opt.Resume != nil || opt.CheckpointOnStop) && opt.DisableDynamicOrder {
+		return nil, fmt.Errorf("search: checkpointing requires the dynamic insertion order")
+	}
 	res := &Result{Stop: StopExhausted}
 	start := time.Now()
 
-	idx := opt.InitialTree
-	if idx < 0 {
-		if opt.DisableInitialTreeHeuristic {
-			idx = 0
-		} else {
-			idx = ChooseInitialTree(constraints)
+	var eng *Engine
+	if opt.Resume != nil {
+		e, err := Restore(opt.Resume, constraints)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if idx >= len(constraints) {
-		return nil, fmt.Errorf("search: initial tree index %d out of range", idx)
-	}
-	res.InitialIndex = idx
+		eng = e
+		res.InitialIndex = opt.Resume.InitialIndex
+	} else {
+		idx := opt.InitialTree
+		if idx < 0 {
+			if opt.DisableInitialTreeHeuristic {
+				idx = 0
+			} else {
+				idx = ChooseInitialTree(constraints)
+			}
+		}
+		if idx >= len(constraints) {
+			return nil, fmt.Errorf("search: initial tree index %d out of range", idx)
+		}
+		res.InitialIndex = idx
 
-	t, err := terrace.New(constraints, idx)
-	if err != nil {
-		if errors.Is(err, terrace.ErrIncompatible) {
-			res.Elapsed = time.Since(start)
-			return res, nil
+		t, err := terrace.New(constraints, idx)
+		if err != nil {
+			if errors.Is(err, terrace.ErrIncompatible) {
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			return nil, err
 		}
-		return nil, err
-	}
-	eng := NewEngine(t)
-	eng.Heuristic = opt.Heuristic
-	if opt.DisableDynamicOrder {
-		eng.DynamicOrder = false
-		eng.Order = append([]int(nil), t.MissingTaxa()...)
-		if opt.ShuffleSeed != 0 {
-			rng := rand.New(rand.NewSource(opt.ShuffleSeed))
-			rng.Shuffle(len(eng.Order), func(i, j int) {
-				eng.Order[i], eng.Order[j] = eng.Order[j], eng.Order[i]
-			})
+		eng = NewEngine(t)
+		eng.Heuristic = opt.Heuristic
+		if opt.DisableDynamicOrder {
+			eng.DynamicOrder = false
+			eng.Order = append([]int(nil), t.MissingTaxa()...)
+			if opt.ShuffleSeed != 0 {
+				rng := rand.New(rand.NewSource(opt.ShuffleSeed))
+				rng.Shuffle(len(eng.Order), func(i, j int) {
+					eng.Order[i], eng.Order[j] = eng.Order[j], eng.Order[i]
+				})
+			}
 		}
 	}
 	if opt.CollectTrees {
@@ -205,6 +247,13 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		}
 		if reason, hit := opt.Limits.Exceeded(res.Counters, time.Since(start)); hit {
 			res.Stop = reason
+		} else if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			res.Stop = StopCancelled
+		}
+		if res.Stop != StopExhausted {
+			if opt.CheckpointOnStop {
+				res.Checkpoint = eng.Snapshot(constraints, res.InitialIndex)
+			}
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}

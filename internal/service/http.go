@@ -1,0 +1,127 @@
+// HTTP front end for the job manager: submit constraint sets, poll status,
+// stream stand trees as NDJSON, cancel. cmd/gentriusd mounts these routes
+// next to the internal/obs metrics/pprof endpoints on one mux.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// RegisterRoutes mounts the job API onto mux:
+//
+//	POST   /jobs             submit a job (JobRequest JSON), 202 + Status
+//	GET    /jobs             list all jobs (Status array)
+//	GET    /jobs/{id}        one job's Status
+//	GET    /jobs/{id}/trees  NDJSON stream of stand trees, following the
+//	                         enumeration live until the job finishes
+//	POST   /jobs/{id}/cancel cancel (also: DELETE /jobs/{id})
+//	GET    /healthz          liveness probe
+func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/trees", m.handleTrees)
+	mux.HandleFunc("POST /jobs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := m.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := m.List()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !m.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	job, _ := m.Get(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// treeLine is one NDJSON record of the tree stream.
+type treeLine struct {
+	Tree string `json:"tree"`
+}
+
+// handleTrees streams the job's stand trees as NDJSON ({"tree":"..."} per
+// line), from the first tree found, following the enumeration live and
+// terminating when the job reaches a terminal state (or the client
+// disconnects). Trees are spooled to disk, so a late subscriber still
+// receives the full stand without the daemon buffering it in memory.
+func (m *Manager) handleTrees(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := job.spool.Stream(r.Context(), func(line []byte) error {
+		if err := enc.Encode(treeLine{Tree: string(line)}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	_ = err // the stream ended: spool drained, client gone, or job finished
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// spool is an append-only, file-backed log of stand trees (one canonical
+// Newick per line). The job's OnTree callback appends as trees are found;
+// any number of readers stream from the beginning and then follow the tail
+// until the spool is closed. Streaming a 10^6-tree stand therefore never
+// holds more than one read chunk in memory, and a subscriber that connects
+// late still sees every tree.
+type spool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	f      *os.File // append handle; nil after Close
+	path   string
+	size   int64 // bytes of complete lines written (file size is always == size)
+	lines  int64
+	closed bool
+	buf    []byte // append scratch, reused per line
+}
+
+func newSpool(path string) (*spool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: spool: %w", err)
+	}
+	s := &spool{f: f, path: path}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Append writes one line and wakes every follower. Lines are written whole
+// under the lock, so readers never observe a partial line.
+func (s *spool) Append(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.buf = append(append(s.buf[:0], line...), '\n')
+	n, err := s.f.Write(s.buf)
+	if err != nil {
+		// A full disk must not kill the enumeration; followers simply stop
+		// receiving new lines. The job's final counters remain authoritative.
+		return
+	}
+	s.size += int64(n)
+	s.lines++
+	s.cond.Broadcast()
+}
+
+// Lines returns how many trees have been spooled so far.
+func (s *spool) Lines() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lines
+}
+
+// Close marks the spool complete (no more appends) and releases every
+// blocked follower.
+func (s *spool) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.cond.Broadcast()
+}
+
+// Remove closes the spool and deletes its backing file.
+func (s *spool) Remove() {
+	s.Close()
+	os.Remove(s.path)
+}
+
+// Stream delivers every complete line from the start of the spool, then
+// follows the tail, blocking until more lines arrive or the spool closes.
+// It returns nil after delivering all lines of a closed spool, ctx.Err()
+// on cancellation, or fn's error. The line slice is only valid during fn.
+func (s *spool) Stream(ctx context.Context, fn func(line []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// cond.Wait cannot select on the context, so a watcher broadcasts when
+	// the context dies; the wait loop below rechecks ctx.Err().
+	stopWatch := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stopWatch()
+
+	var off int64
+	buf := make([]byte, 64<<10)
+	var carry []byte // prefix of a line split across read chunks
+	for {
+		s.mu.Lock()
+		for s.size <= off && !s.closed && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		size, closed := s.size, s.closed
+		s.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for off < size {
+			n := size - off
+			if n > int64(len(buf)) {
+				n = int64(len(buf))
+			}
+			m, err := f.ReadAt(buf[:n], off)
+			if err != nil && err != io.EOF {
+				return err
+			}
+			if m == 0 {
+				return fmt.Errorf("service: spool truncated at %d", off)
+			}
+			off += int64(m)
+			data := buf[:m]
+			for {
+				i := bytes.IndexByte(data, '\n')
+				if i < 0 {
+					carry = append(carry, data...)
+					break
+				}
+				line := data[:i]
+				if len(carry) > 0 {
+					carry = append(carry, line...)
+					line = carry
+				}
+				if err := fn(line); err != nil {
+					return err
+				}
+				carry = carry[:0]
+				data = data[i+1:]
+			}
+		}
+		if closed && off >= size {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package simsched
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gentrius/internal/search"
+	"gentrius/internal/tree"
+)
+
+// cancelConstraints builds two caterpillar constraint trees whose private
+// chains interleave combinatorially: far too large to exhaust, so only the
+// context can end the run.
+func cancelConstraints(t *testing.T) []*tree.Tree {
+	t.Helper()
+	all := []string{"A", "B", "C", "D"}
+	for i := 0; i < 10; i++ {
+		all = append(all, fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	taxa := tree.MustTaxa(all)
+	cat := func(leaves []string) string {
+		s := "(" + leaves[0] + "," + leaves[1] + ")"
+		for _, n := range leaves[2:] {
+			s = "(" + s + "," + n + ")"
+		}
+		return s + ";"
+	}
+	c1, c2 := []string{"A", "B"}, []string{"A", "B"}
+	for i := 0; i < 10; i++ {
+		c1 = append(c1, fmt.Sprintf("x%d", i))
+		c2 = append(c2, fmt.Sprintf("y%d", i))
+	}
+	c1 = append(c1, "C", "D")
+	c2 = append(c2, "C", "D")
+	return []*tree.Tree{tree.MustParse(cat(c1), taxa), tree.MustParse(cat(c2), taxa)}
+}
+
+// TestSimCancelled: a pre-cancelled context stops the simulation at the
+// first poll (within 1024 virtual ticks of the prefix end), with reason
+// StopCancelled — deterministically, since virtual time never reads clocks.
+func TestSimCancelled(t *testing.T) {
+	cons := cancelConstraints(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var first *Result
+	for i := 0; i < 2; i++ {
+		res, err := Run(cons, Options{
+			Workers: 4,
+			Limits:  Limits{MaxTrees: -1, MaxStates: -1, MaxTicks: -1},
+			Ctx:     ctx,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stop != search.StopCancelled {
+			t.Fatalf("stop = %v, want %v", res.Stop, search.StopCancelled)
+		}
+		if i == 0 {
+			first = res
+		} else if res.Ticks != first.Ticks || res.Counters != first.Counters {
+			t.Fatalf("cancelled simulation not deterministic: %d/%+v vs %d/%+v",
+				res.Ticks, res.Counters, first.Ticks, first.Counters)
+		}
+	}
+	if slack := first.Ticks - int64(first.PrefixLen); slack <= 0 || slack > 1024 {
+		t.Fatalf("cancellation latency %d ticks beyond the prefix, want within one 1024-tick poll interval", slack)
+	}
+}
+
+// TestSimUncancelledCtxIsDeterministic: passing a live context must not
+// perturb the simulation — same makespan and counters as no context at all.
+func TestSimUncancelledCtxIsDeterministic(t *testing.T) {
+	cons := cancelConstraints(t)
+	lim := Limits{MaxTrees: 500, MaxStates: -1, MaxTicks: -1}
+	bare, err := Run(cons, Options{Workers: 3, Limits: lim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := Run(cons, Options{Workers: 3, Limits: lim, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Ticks != withCtx.Ticks || bare.Counters != withCtx.Counters || bare.Stop != withCtx.Stop {
+		t.Fatalf("live context changed the simulation: %d/%+v/%v vs %d/%+v/%v",
+			withCtx.Ticks, withCtx.Counters, withCtx.Stop, bare.Ticks, bare.Counters, bare.Stop)
+	}
+}

@@ -20,6 +20,7 @@
 package simsched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -90,6 +91,12 @@ type Options struct {
 	// is single-threaded and advances workers in id order, so repeated
 	// runs on the same input produce byte-identical traces.
 	Trace *obs.Recorder
+
+	// Ctx cancels the simulation. It is polled every 1024 virtual ticks
+	// (mirroring the real engines' periodic stopping-rule checks), after
+	// which the run stops with reason StopCancelled. Uncancelled runs stay
+	// deterministic: the poll reads no clocks and emits no events.
+	Ctx context.Context
 }
 
 // SplitPolicy is the task-granularity design choice (DESIGN.md ablations).
@@ -324,6 +331,14 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		if lim.MaxTicks > 0 && s.tick >= lim.MaxTicks && !s.stop {
 			s.stop = true
 			s.reason = search.StopTimeLimit
+			opt.Trace.EmitAt(s.tick, obs.EvStop, -1,
+				obs.F("reason", int64(s.reason)),
+				obs.F("trees", s.g.StandTrees),
+				obs.F("states", s.g.IntermediateStates))
+		}
+		if opt.Ctx != nil && s.tick&1023 == 0 && !s.stop && opt.Ctx.Err() != nil {
+			s.stop = true
+			s.reason = search.StopCancelled
 			opt.Trace.EmitAt(s.tick, obs.EvStop, -1,
 				obs.F("reason", int64(s.reason)),
 				obs.F("trees", s.g.StandTrees),

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Smoke test for cmd/gentriusd, exercised by CI: start the daemon, submit
+# the examples/ dataset, wait for it, stream the stand as NDJSON, cancel a
+# long-running job mid-flight, then SIGTERM the daemon and require a
+# graceful exit 0 (with a checkpoint for the interrupted serial job).
+# Needs only a Go toolchain, curl and POSIX sh.
+set -eu
+
+ADDR="127.0.0.1:${GENTRIUSD_PORT:-18080}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+say() { echo "smoke: $*"; }
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+# Poll until "$1" appears in the output of `curl $2`, up to ~30s.
+wait_for() {
+    i=0
+    while [ "$i" -lt 300 ]; do
+        if curl -sf "$2" 2>/dev/null | grep -q "$1"; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "timed out waiting for $1 at $2"
+}
+
+go build -o "$WORK/gentriusd" ./cmd/gentriusd
+"$WORK/gentriusd" -addr "$ADDR" -jobs 2 -data-dir "$WORK/data" \
+    2>"$WORK/daemon.log" &
+DAEMON_PID=$!
+wait_for '"ok"' "$BASE/healthz"
+say "daemon up on $ADDR"
+
+# 1. Submit the examples dataset (Newick lines -> JSON array) and run it to
+#    completion.
+TREES=$(sed 's/\\/\\\\/g; s/"/\\"/g; s/^/"/; s/$/",/' examples/data/quickstart.nwk)
+BODY="{\"trees\": [${TREES%,}]}"
+OUT=$(curl -sf "$BASE/jobs" -d "$BODY") || fail "submit: $OUT"
+JOB=$(echo "$OUT" | grep -o '"id": *"[^"]*"' | head -1 | grep -o 'j[0-9]*')
+[ -n "$JOB" ] || fail "no job id in: $OUT"
+wait_for '"state": *"done"' "$BASE/jobs/$JOB"
+say "job $JOB done"
+
+STAND=$(curl -sf "$BASE/jobs/$JOB" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*')
+LINES=$(curl -sf "$BASE/jobs/$JOB/trees" | grep -c '"tree"')
+[ "$LINES" = "$STAND" ] || fail "streamed $LINES trees, status says $STAND"
+say "streamed all $LINES stand trees as NDJSON"
+
+# 2. Submit a job that would run forever (two interleaving caterpillar
+#    chains, all stopping rules disabled), watch it stream, cancel it.
+LONG='(((((((((((((A,B),x0),x1),x2),x3),x4),x5),x6),x7),x8),x9),C),D);'
+LONG2=$(echo "$LONG" | tr x y)
+OUT=$(curl -sf "$BASE/jobs" -d \
+    "{\"trees\": [\"$LONG\", \"$LONG2\"], \"max_trees\": -1, \"max_states\": -1, \"max_time_seconds\": -1}")
+JOB2=$(echo "$OUT" | grep -o '"id": *"[^"]*"' | head -1 | grep -o 'j[0-9]*')
+[ -n "$JOB2" ] || fail "no job id in: $OUT"
+wait_for '"trees_spooled": *[1-9]' "$BASE/jobs/$JOB2"
+curl -sf -X POST "$BASE/jobs/$JOB2/cancel" >/dev/null
+wait_for '"state": *"cancelled"' "$BASE/jobs/$JOB2"
+say "job $JOB2 cancelled mid-flight"
+
+# 3. A third long job is mid-flight when the daemon shuts down: graceful
+#    shutdown must cancel it, checkpoint it, and exit 0.
+OUT=$(curl -sf "$BASE/jobs" -d \
+    "{\"trees\": [\"$LONG\", \"$LONG2\"], \"max_trees\": -1, \"max_states\": -1, \"max_time_seconds\": -1}")
+JOB3=$(echo "$OUT" | grep -o '"id": *"[^"]*"' | head -1 | grep -o 'j[0-9]*')
+wait_for '"trees_spooled": *[1-9]' "$BASE/jobs/$JOB3"
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+[ "$STATUS" = "0" ] || { cat "$WORK/daemon.log" >&2; fail "daemon exited $STATUS"; }
+say "daemon exited 0 after SIGTERM"
+
+[ -f "$WORK/data/$JOB2.ckpt" ] || fail "no checkpoint for cancelled job $JOB2"
+[ -f "$WORK/data/$JOB3.ckpt" ] || fail "no checkpoint for interrupted job $JOB3"
+grep -q "checkpointed to" "$WORK/daemon.log" || fail "shutdown log missing checkpoint notice"
+say "checkpoints present for $JOB2 and $JOB3"
+say "PASS"
