@@ -20,12 +20,17 @@
 // enumeration cleanly (stop reason "cancelled"); with -checkpoint FILE a
 // serial run interrupted that way — or stopped by a rule — writes a
 // resumable snapshot, and -resume FILE continues it later on the same
-// input, reproducing exactly the counters of an uninterrupted run.
+// input, reproducing exactly the counters of an uninterrupted run. Adding
+// -checkpoint-every N persists the snapshot periodically (atomically, with
+// a .bak rotation), so even a hard crash is resumable. A failed -resume
+// explains itself: corrupt files, version mismatches and wrong inputs each
+// get a distinct hint.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/search"
 )
@@ -56,6 +62,7 @@ func main() {
 		progress    = flag.Duration("progress", 0, "print live counters and throughput to stderr on this interval (e.g. 5s; 0 = off)")
 		jsonOut     = flag.Bool("json", false, "emit the full result (counters, stop reason, tasks stolen, per-worker breakdown) as JSON on stdout")
 		ckptPath    = flag.String("checkpoint", "", "write a resumable checkpoint to this file when a serial run is interrupted (Ctrl-C) or stopped by a rule")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint: also write the checkpoint every N stopping-rule checks, so a crash (not just Ctrl-C) is resumable (0 = only on stop)")
 		resumePath  = flag.String("resume", "", "resume a serial run from a checkpoint written by -checkpoint (requires the same input)")
 	)
 	flag.Parse()
@@ -63,6 +70,10 @@ func main() {
 	cons, err := loadConstraints(*treesPath, *speciesPath, *pamPath)
 	if err != nil {
 		fatal(err)
+	}
+	fault, err := faultinject.FromEnv()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", faultinject.EnvVar, err))
 	}
 	opt := gentrius.Options{
 		Threads:          *threads,
@@ -72,19 +83,28 @@ func main() {
 		InitialTree:      *initial,
 		CollectTrees:     *summary,
 		CheckpointOnStop: *ckptPath != "",
+		Fault:            fault,
 	}
 	if (*ckptPath != "" || *resumePath != "") && *threads > 1 {
 		fatal(fmt.Errorf("-checkpoint/-resume require -threads 1 (parallel runs are bounded by the stopping rules instead)"))
 	}
-	if *resumePath != "" {
-		f, err := os.Open(*resumePath)
-		if err != nil {
-			fatal(err)
+	if *ckptEvery > 0 {
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-checkpoint-every requires -checkpoint FILE"))
 		}
-		cp, err := gentrius.ReadCheckpoint(f)
-		f.Close()
+		opt.CheckpointEvery = *ckptEvery
+		opt.OnCheckpoint = func(cp *gentrius.Checkpoint) {
+			// Atomic write with .bak rotation: a crash mid-write leaves
+			// the previous snapshot readable.
+			if err := cp.WriteFile(*ckptPath); err != nil {
+				fmt.Fprintln(os.Stderr, "gentrius: checkpoint:", err)
+			}
+		}
+	}
+	if *resumePath != "" {
+		cp, err := gentrius.ReadCheckpointFile(*resumePath)
 		if err != nil {
-			fatal(err)
+			fatal(checkpointHint(err))
 		}
 		opt.Resume = cp
 	}
@@ -144,17 +164,10 @@ func main() {
 	}
 	res, err := gentrius.EnumerateStandContext(ctx, cons, opt)
 	if err != nil {
-		fatal(err)
+		fatal(checkpointHint(err))
 	}
 	if res.Checkpoint != nil && *ckptPath != "" {
-		cf, err := os.Create(*ckptPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.Checkpoint.Write(cf); err != nil {
-			fatal(err)
-		}
-		if err := cf.Close(); err != nil {
+		if err := res.Checkpoint.WriteFile(*ckptPath); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "gentrius: checkpoint written to %s (resume with -resume %s)\n",
@@ -289,6 +302,23 @@ func writeJSON(w *os.File, cons []*gentrius.Tree, res *gentrius.Result, sink *ge
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// checkpointHint appends an actionable hint to the typed checkpoint errors
+// so a failed -resume tells the user what to do, not just what broke.
+func checkpointHint(err error) error {
+	var hint string
+	switch {
+	case errors.Is(err, gentrius.ErrChecksum):
+		hint = "the checkpoint file is corrupt (checksum mismatch); the .bak rotation next to it was already tried — re-run from scratch"
+	case errors.Is(err, gentrius.ErrVersion):
+		hint = "the checkpoint was written by an incompatible gentrius version; re-run from scratch with this binary"
+	case errors.Is(err, gentrius.ErrFingerprint):
+		hint = "the checkpoint belongs to a different input: pass the same constraint files in the same order as the run that wrote it"
+	default:
+		return err
+	}
+	return fmt.Errorf("%w\n  hint: %s", err, hint)
 }
 
 func fatal(err error) {

@@ -18,6 +18,14 @@
 // SIGINT/SIGTERM trigger graceful shutdown: no new jobs, every running job
 // is cancelled (checkpointing if serial), and the process exits 0 once the
 // pool drains or the grace period ends.
+//
+// Crash recovery: job submissions and state transitions are journaled to
+// <data-dir>/journal.ndjson, and -checkpoint-every makes running serial
+// jobs checkpoint periodically. Restarting the daemon with the same
+// -data-dir after a crash (even SIGKILL) re-adopts finished jobs, resumes
+// interrupted serial jobs from their latest checkpoint, and requeues jobs
+// that never started. GENTRIUS_FAULTS (see internal/faultinject) injects
+// deterministic faults for recovery drills.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/service"
 )
@@ -41,10 +50,16 @@ func main() {
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		jobs       = flag.Int("jobs", 2, "jobs run concurrently; further jobs queue")
 		queueCap   = flag.Int("queue", 16, "queued-job capacity before submissions are rejected")
-		dataDir    = flag.String("data-dir", "", "directory for tree spools and checkpoints (default: a fresh temp dir)")
+		dataDir    = flag.String("data-dir", "", "directory for tree spools, checkpoints and the job journal (default: a fresh temp dir); reuse it to recover jobs after a restart")
 		maxThreads = flag.Int("max-threads", 1, "cap on a job's requested thread count")
 		maxTime    = flag.Duration("max-job-time", 0, "cap on a job's wall-time limit (0 = engine default of 168h)")
 		noCkpt     = flag.Bool("no-checkpoint", false, "disable checkpoint-on-stop for serial jobs")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint running serial jobs every N stopping-rule checks (0 = only on stop); required for crash resumption")
+		maxBody    = flag.Int64("max-body", 8<<20, "POST /jobs body size limit in bytes (0 = unlimited)")
+		maxTaxa    = flag.Int("max-taxa", 0, "reject jobs whose taxon universe is larger (0 = unlimited)")
+		maxCons    = flag.Int("max-constraints", 0, "reject jobs with more constraint trees (0 = unlimited)")
+		readTO     = flag.Duration("read-timeout", 30*time.Second, "HTTP request read timeout (0 = none)")
+		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP response write timeout; tree streams extend it per write (0 = none)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown budget")
 	)
 	flag.Parse()
@@ -57,6 +72,15 @@ func main() {
 		*dataDir = d
 	}
 
+	fault, err := faultinject.FromEnv()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", faultinject.EnvVar, err))
+	}
+	if fault != nil {
+		fmt.Fprintf(os.Stderr, "gentriusd: fault injection active (%s, seed %d)\n",
+			faultinject.EnvVar, fault.Seed())
+	}
+
 	reg := obs.NewRegistry()
 	metrics := service.NewMetrics(reg)
 	sched := obs.NewSchedMetrics(reg)
@@ -66,17 +90,27 @@ func main() {
 	reg.PublishExpvar("gentriusd")
 
 	mgr, err := service.New(service.Config{
-		Workers:    *jobs,
-		QueueCap:   *queueCap,
-		DataDir:    *dataDir,
-		MaxThreads: *maxThreads,
-		MaxTime:    *maxTime,
-		Checkpoint: !*noCkpt,
-		Metrics:    metrics,
-		Sink:       &gentrius.ObsSink{Metrics: sched},
+		Workers:            *jobs,
+		QueueCap:           *queueCap,
+		DataDir:            *dataDir,
+		MaxThreads:         *maxThreads,
+		MaxTime:            *maxTime,
+		Checkpoint:         !*noCkpt,
+		CheckpointEvery:    *ckptEvery,
+		MaxConstraintTrees: *maxCons,
+		MaxTaxa:            *maxTaxa,
+		MaxBodyBytes:       *maxBody,
+		Fault:              fault,
+		Metrics:            metrics,
+		Sink:               &gentrius.ObsSink{Metrics: sched},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rec := mgr.Recovery(); rec != (service.RecoveryStats{}) {
+		fmt.Fprintf(os.Stderr,
+			"gentriusd: recovered previous run: %d finished adopted, %d resumed from checkpoints, %d requeued, %d interrupted\n",
+			rec.Adopted, rec.Resumed, rec.Requeued, rec.Interrupted)
 	}
 
 	mux := obs.NewMux(reg)
@@ -85,7 +119,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatal(err)

@@ -35,6 +35,7 @@ import (
 	"io"
 	"time"
 
+	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/pam"
 	"gentrius/internal/parallel"
@@ -65,7 +66,34 @@ const (
 	// engines poll the context at their periodic stopping-rule check, so
 	// cancellation takes effect within one check interval.
 	StopCancelled = search.StopCancelled
+	// StopFailed reports that the run died before draining — e.g. a worker
+	// panic exhausted its retry budget (the error is a
+	// *parallel.WorkerPanicError in that case).
+	StopFailed = search.StopFailed
 )
+
+// Typed checkpoint-load failures, re-exported so callers can branch with
+// errors.Is and give actionable resume diagnostics.
+var (
+	// ErrChecksum: the checkpoint file is torn or corrupted (CRC mismatch).
+	ErrChecksum = search.ErrChecksum
+	// ErrVersion: the checkpoint was written by an incompatible version.
+	ErrVersion = search.ErrVersion
+	// ErrFingerprint: the checkpoint belongs to different input files (or
+	// the same files in a different order).
+	ErrFingerprint = search.ErrFingerprint
+)
+
+// FaultInjector is the deterministic, seeded fault-injection registry from
+// internal/faultinject, re-exported so operators and failure tests can aim
+// reproducible panics, I/O errors and stalls at the engine's hook points
+// (see Options.Fault and the GENTRIUS_FAULTS spec accepted by the daemon).
+type FaultInjector = faultinject.Injector
+
+// ParseFaults builds a FaultInjector from the compact spec syntax, e.g.
+// "seed=42;taskexec.every=50;spoolwrite.nth=3". An empty spec yields nil
+// (no faults).
+func ParseFaults(spec string) (*FaultInjector, error) { return faultinject.Parse(spec) }
 
 // Checkpoint is a serializable snapshot of a serial enumeration: the
 // branch-and-bound stack plus the counters. Together with the *same* input
@@ -75,10 +103,19 @@ const (
 // why); use the stopping rules to bound them instead.
 type Checkpoint = search.Checkpoint
 
-// ReadCheckpoint parses a JSON checkpoint previously written with
-// Checkpoint.Write.
+// ReadCheckpoint parses a checkpoint previously written with
+// Checkpoint.Write (both the checksummed envelope and the legacy bare-JSON
+// format are accepted).
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return search.ReadCheckpoint(r)
+}
+
+// ReadCheckpointFile loads a checkpoint persisted with Checkpoint.WriteFile,
+// falling back to the ".bak" rotation when the primary file is torn or
+// missing. Failures wrap the typed errors (ErrChecksum, ErrVersion) for
+// errors.Is.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	return search.ReadCheckpointFile(path)
 }
 
 // UseInitialTreeHeuristic selects the initial agile tree by the paper's
@@ -144,10 +181,27 @@ type Options struct {
 	// exhaustion — cancellation or a stopping rule.
 	CheckpointOnStop bool
 
+	// CheckpointEvery hands OnCheckpoint a resumable snapshot every this
+	// many stopping-rule checks of a serial run (Threads == 1) — the
+	// survival mechanism for hard crashes, where CheckpointOnStop never
+	// gets to run. Zero disables periodic checkpointing.
+	CheckpointEvery int
+
+	// OnCheckpoint receives each periodic snapshot (typically persisted
+	// with Checkpoint.WriteFile). The callback owns persistence and any
+	// retry policy; the search loop does no file I/O.
+	OnCheckpoint func(cp *Checkpoint)
+
 	// Obs attaches the observability layer (scheduler metrics and/or a
 	// JSONL event trace; see internal/obs). Nil disables it entirely; the
 	// disabled hot path costs one branch per instrument.
 	Obs *ObsSink
+
+	// Fault attaches deterministic fault injection for failure testing
+	// (nil: no faults, zero overhead beyond one branch per hook). Parallel
+	// runs honour the taskexec panic site — recovered transparently up to
+	// a retry budget — and the treestream stall site.
+	Fault *FaultInjector
 }
 
 // ObsSink bundles an optional metric set and trace recorder for a run —
@@ -219,6 +273,8 @@ func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.O
 		OnTree:           opt.OnTree,
 		Resume:           opt.Resume,
 		CheckpointOnStop: opt.CheckpointOnStop,
+		CheckpointEvery:  opt.CheckpointEvery,
+		OnCheckpoint:     opt.OnCheckpoint,
 	}
 	popt := parallel.Options{
 		Ctx:          ctx,
@@ -229,6 +285,7 @@ func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.O
 		CollectTrees: opt.CollectTrees,
 		OnTree:       opt.OnTree,
 		Obs:          opt.Obs,
+		Fault:        opt.Fault,
 	}
 	return sopt, popt
 }
@@ -253,7 +310,7 @@ func EnumerateStandContext(ctx context.Context, constraints []*Tree, opt Options
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if opt.Threads > 1 && (opt.Resume != nil || opt.CheckpointOnStop) {
+	if opt.Threads > 1 && (opt.Resume != nil || opt.CheckpointOnStop || opt.CheckpointEvery > 0) {
 		return nil, fmt.Errorf("gentrius: checkpointing requires Threads == 1 (parallel runs are bounded by the stopping rules instead)")
 	}
 	sopt, popt := engineOptions(ctx, opt)

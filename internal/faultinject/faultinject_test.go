@@ -1,0 +1,239 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// firingSet runs n occurrences of site through a fresh injector configured
+// by mk and returns the set of occurrence numbers that fired.
+func firingSet(mk func() *Injector, site Site, n int) map[int64]bool {
+	in := mk()
+	fired := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		if k, f := in.Fire(site); f {
+			fired[k] = true
+		}
+	}
+	return fired
+}
+
+func TestNilInjectorIsQuiet(t *testing.T) {
+	var in *Injector
+	if n, f := in.Fire(TaskExec); n != 0 || f {
+		t.Fatalf("nil Fire = (%d, %v)", n, f)
+	}
+	in.MaybePanic(TaskExec) // must not panic
+	if err := in.Err(SpoolWrite, "write"); err != nil {
+		t.Fatalf("nil Err = %v", err)
+	}
+	in.Stall(TreeStream)
+	if in.Count(TaskExec) != 0 || in.Fired(TaskExec) != 0 || in.Seed() != 0 {
+		t.Fatal("nil accessors should be zero")
+	}
+}
+
+func TestEveryFiresMultiples(t *testing.T) {
+	got := firingSet(func() *Injector {
+		return New(1).Set(TaskExec, Rule{Every: 50})
+	}, TaskExec, 175)
+	want := map[int64]bool{50: true, 100: true, 150: true}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("occurrence %d did not fire; got %v", k, got)
+		}
+	}
+}
+
+func TestNthFiresExactly(t *testing.T) {
+	got := firingSet(func() *Injector {
+		return New(1).Set(SpoolWrite, Rule{Nth: []int64{3, 7}})
+	}, SpoolWrite, 20)
+	if len(got) != 2 || !got[3] || !got[7] {
+		t.Fatalf("fired %v, want {3, 7}", got)
+	}
+}
+
+func TestProbDeterministicBySeed(t *testing.T) {
+	mk := func(seed int64) func() *Injector {
+		return func() *Injector {
+			return New(seed).Set(CheckpointWrite, Rule{Prob: 0.3})
+		}
+	}
+	a := firingSet(mk(42), CheckpointWrite, 1000)
+	b := firingSet(mk(42), CheckpointWrite, 1000)
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d occurrences", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("same seed disagrees at occurrence %d", k)
+		}
+	}
+	// The rate should be loosely near 0.3 and a different seed should give
+	// a different firing set.
+	if len(a) < 200 || len(a) > 400 {
+		t.Fatalf("prob 0.3 fired %d/1000 times", len(a))
+	}
+	c := firingSet(mk(43), CheckpointWrite, 1000)
+	same := 0
+	for k := range a {
+		if c[k] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical firing sets")
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	in := New(9).Set(JournalWrite, Rule{Every: 2, Limit: 3})
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if _, f := in.Fire(JournalWrite); f {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("fired %d times, limit 3", fires)
+	}
+	if in.Fired(JournalWrite) != 3 {
+		t.Fatalf("Fired() = %d, want 3", in.Fired(JournalWrite))
+	}
+}
+
+func TestConcurrentDeterministicSet(t *testing.T) {
+	// Concurrency may reorder which goroutine sees which occurrence, but
+	// the set of fired occurrence numbers must equal the sequential set.
+	mk := func() *Injector { return New(7).Set(TaskExec, Rule{Every: 10, Prob: 0.05}) }
+	seq := firingSet(mk, TaskExec, 2000)
+
+	in := mk()
+	var mu sync.Mutex
+	conc := map[int64]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if k, f := in.Fire(TaskExec); f {
+					mu.Lock()
+					conc[k] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(conc) != len(seq) {
+		t.Fatalf("concurrent fired %d occurrences, sequential %d", len(conc), len(seq))
+	}
+	for k := range conc {
+		if !seq[k] {
+			t.Fatalf("concurrent fired %d, sequential did not", k)
+		}
+	}
+}
+
+func TestMaybePanicThrowsTypedValue(t *testing.T) {
+	in := New(1).Set(TaskExec, Rule{Nth: []int64{1}})
+	defer func() {
+		v := recover()
+		p, ok := v.(Panic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want Panic", v, v)
+		}
+		if p.Site != TaskExec || p.N != 1 {
+			t.Fatalf("recovered %+v", p)
+		}
+	}()
+	in.MaybePanic(TaskExec)
+	t.Fatal("MaybePanic did not panic")
+}
+
+func TestErrTypedAndDetectable(t *testing.T) {
+	in := New(1).Set(SpoolWrite, Rule{Nth: []int64{1}})
+	err := in.Err(SpoolWrite, "write")
+	if err == nil {
+		t.Fatal("expected injected error")
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Site != SpoolWrite || ie.Op != "write" {
+		t.Fatalf("error = %#v", err)
+	}
+	if !IsInjected(fmt.Errorf("spool: %w", err)) {
+		t.Fatal("IsInjected missed a wrapped injected error")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("IsInjected false-positive")
+	}
+	if err := in.Err(SpoolWrite, "write"); err != nil {
+		t.Fatalf("occurrence 2 should not fire: %v", err)
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	in := New(1).Set(TreeStream, Rule{Nth: []int64{1}, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	in.Stall(TreeStream)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+	start = time.Now()
+	in.Stall(TreeStream) // occurrence 2: no fire, no sleep
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("non-firing stall slept %v", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("seed=42; taskexec.every=50; spoolwrite.nth=7,3; ckptwrite.prob=0.1; treestream.delay=10ms; spoolwrite.limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Fatalf("seed = %d", in.Seed())
+	}
+	if r := in.rules[TaskExec]; r.Every != 50 {
+		t.Fatalf("taskexec rule = %+v", r)
+	}
+	if r := in.rules[SpoolWrite]; len(r.Nth) != 2 || r.Nth[0] != 3 || r.Nth[1] != 7 || r.Limit != 2 {
+		t.Fatalf("spoolwrite rule = %+v", r)
+	}
+	if r := in.rules[CheckpointWrite]; r.Prob != 0.1 {
+		t.Fatalf("ckptwrite rule = %+v", r)
+	}
+	if r := in.rules[TreeStream]; r.Delay != 10*time.Millisecond {
+		t.Fatalf("treestream rule = %+v", r)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if in, err := Parse("  "); in != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v)", in, err)
+	}
+	if in, err := Parse("seed=5"); in != nil || err != nil {
+		t.Fatalf("seed-only spec = (%v, %v), want nil injector", in, err)
+	}
+	for _, bad := range []string{
+		"nonsense",
+		"nosite.every=1",
+		"taskexec.bogus=1",
+		"taskexec.every=x",
+		"ckptwrite.prob=1.5",
+		"seed=abc",
+		"taskexec=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -22,6 +22,11 @@ type SchedMetrics struct {
 	QueueDepth     *Gauge
 	StealWait      *Histogram // seconds an idle worker blocked before a steal
 
+	// Fault-tolerance instruments: panics recovered at the task-execution
+	// boundary and the panicked tasks put back on the queue for retry.
+	WorkerPanics  *Counter
+	TasksRequeued *Counter
+
 	// Flush-size histograms (paper Sec. III-B counter batching): the
 	// local-counter deltas moved into the shared atomics per flush.
 	FlushTrees    *Histogram
@@ -73,6 +78,9 @@ func NewSchedMetrics(reg *Registry) *SchedMetrics {
 		TasksStolen:    reg.Counter("gentrius_tasks_stolen_total", "tasks dequeued by idle workers"),
 		QueueDepth:     reg.Gauge("gentrius_task_queue_depth", "tasks currently queued"),
 		StealWait:      reg.Histogram("gentrius_steal_wait_seconds", "seconds idle workers blocked before a steal", waitBuckets),
+
+		WorkerPanics:  reg.Counter("gentrius_worker_panics_recovered_total", "worker panics recovered mid-task"),
+		TasksRequeued: reg.Counter("gentrius_tasks_requeued_total", "panicked tasks requeued for retry"),
 
 		FlushTrees:    reg.Histogram("gentrius_flush_trees", "stand-tree delta per counter flush", sizeBuckets),
 		FlushStates:   reg.Histogram("gentrius_flush_states", "intermediate-state delta per counter flush", sizeBuckets),

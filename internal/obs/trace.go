@@ -33,6 +33,8 @@ const (
 	EvSteal       = "steal"        // an idle worker dequeued a task
 	EvFlush       = "flush"        // local counters flushed to the globals
 	EvStop        = "stop"         // a stopping rule fired
+	EvPanic       = "worker-panic" // a worker recovered from a panic mid-task
+	EvRequeue     = "task-requeue" // a panicked task was put back for retry
 )
 
 // Field is one numeric key/value of a trace event. All scheduler payloads

@@ -1,0 +1,56 @@
+package pam
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPAMRead checks that Read never panics or hangs on arbitrary input,
+// and that any accepted matrix round-trips exactly through Write and Read.
+func FuzzPAMRead(f *testing.F) {
+	for _, s := range []string{
+		"0 0\n",
+		"2 1\nA 1\nB 0\n",
+		"3 2\nA 1 0\nB 1 1\nC 0 1\n",
+		"2 3\n\nA 1 0 1\n\nB 0 1 0\n",
+		"  2 2 \nx 0 0\ny 1 1\n",
+		"0 -1\n",
+		"-1 0\n",
+		"1 1\nA 2\n",
+		"2 2\nA 1 0\nA 0 1\n",
+		"1 1\nA 1 1\n",
+		"999999999999999999999 1\n",
+		"1048577 0\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in), nil)
+		if err != nil {
+			return // rejected input; only a panic or hang is a bug
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		m2, err := Read(bytes.NewReader(buf.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("reread of %q: %v", buf.String(), err)
+		}
+		if m2.NumTaxa() != m.NumTaxa() || m2.NumLoci() != m.NumLoci() {
+			t.Fatalf("dimensions changed: %dx%d -> %dx%d",
+				m.NumTaxa(), m.NumLoci(), m2.NumTaxa(), m2.NumLoci())
+		}
+		for i := 0; i < m.NumTaxa(); i++ {
+			if a, b := m.Taxa().Name(i), m2.Taxa().Name(i); a != b {
+				t.Fatalf("taxon %d renamed %q -> %q", i, a, b)
+			}
+			for j := 0; j < m.NumLoci(); j++ {
+				if m.Has(i, j) != m2.Has(i, j) {
+					t.Fatalf("entry (%d,%d) flipped on round-trip", i, j)
+				}
+			}
+		}
+	})
+}

@@ -14,6 +14,11 @@ import (
 	"gentrius/internal/tree"
 )
 
+// maxDim caps the taxon and locus counts Read accepts: header values are
+// untrusted input that drive allocations, and a dimension beyond this is a
+// malformed (or hostile) file, not a dataset.
+const maxDim = 1 << 20
+
 // Matrix is a presence–absence matrix over a taxon universe. Column j holds
 // the set of taxa with data for locus j.
 type Matrix struct {
@@ -155,12 +160,17 @@ func Read(r io.Reader, taxa *tree.Taxa) (*Matrix, error) {
 	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d %d", &nt, &nl); err != nil {
 		return nil, fmt.Errorf("pam: bad header: %w", err)
 	}
+	if nt < 0 || nl < 0 || nt > maxDim || nl > maxDim {
+		return nil, fmt.Errorf("pam: header %d %d out of range [0, %d]", nt, nl, maxDim)
+	}
 	fresh := taxa == nil
 	if fresh {
 		taxa = tree.MustTaxa(nil)
 	}
-	rows := make([][]bool, 0, nt)
-	ids := make([]int, 0, nt)
+	// The header is untrusted: cap the preallocation hint and let append
+	// grow the slices if a huge nt turns out to be honest.
+	rows := make([][]bool, 0, min(nt, 4096))
+	ids := make([]int, 0, min(nt, 4096))
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {

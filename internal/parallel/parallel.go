@@ -28,15 +28,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/search"
 	"gentrius/internal/terrace"
 	"gentrius/internal/tree"
 )
+
+// DefaultMaxTaskRetries bounds how often one task may panic and be retried
+// before the run fails with a WorkerPanicError.
+const DefaultMaxTaskRetries = 3
 
 // Default flush batch sizes (paper Sec. III-B).
 const (
@@ -113,6 +119,33 @@ type Options struct {
 	// stop-rule overshoot) and/or a JSONL event trace. Nil disables both;
 	// the disabled hot path costs one predictable branch per instrument.
 	Obs *obs.Sink
+
+	// Fault attaches deterministic fault injection (nil: no faults). The
+	// pool honours the TaskExec site (panic at the start of the Nth task
+	// execution — exercised by the recovery path) and the TreeStream site
+	// (stall in the collector, simulating a slow consumer).
+	Fault *faultinject.Injector
+
+	// MaxTaskRetries bounds how many times a single task may panic and be
+	// requeued before the run fails with a *WorkerPanicError. Zero selects
+	// DefaultMaxTaskRetries; negative disables recovery (first panic is
+	// fatal).
+	MaxTaskRetries int
+}
+
+// WorkerPanicError is the fatal outcome when one task's panics exhaust the
+// retry budget: the run stops (reason StopFailed) and Run returns this
+// error carrying the last panic value and its stack.
+type WorkerPanicError struct {
+	Worker   int    // worker that observed the final panic
+	Value    any    // the panic value (a faultinject.Panic for injected faults)
+	Stack    []byte // stack captured at the final recover
+	Attempts int    // executions of the task, all panicked
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked in %d attempt(s), last on worker %d: %v",
+		e.Attempts, e.Worker, e.Value)
 }
 
 // Result of a parallel run.
@@ -132,11 +165,15 @@ type Result struct {
 	Flushes int64
 }
 
-// task is a unit of stealable work (paper Sec. III-A).
+// task is a unit of stealable work (paper Sec. III-A). The replay triple
+// (path from I_0, taxon, branches) is self-contained and never mutated by
+// execution, so a task that panicked on one worker can be re-executed on
+// any other; retries counts those recovery attempts.
 type task struct {
 	path     []search.PathStep
 	taxon    int
 	branches []int32
+	retries  int
 }
 
 // taskPool recycles task objects together with their path and branch
@@ -151,6 +188,7 @@ func recycleTask(tk *task) {
 	tk.path = tk.path[:0]
 	tk.branches = tk.branches[:0]
 	tk.taxon = 0
+	tk.retries = 0
 	taskPool.Put(tk)
 }
 
@@ -231,6 +269,25 @@ func (q *queue) steal() (*task, bool) {
 	}
 }
 
+// requeue puts a panicked task back, bypassing the capacity bound (the
+// task is in-flight work that must not be dropped; the queue only ever
+// exceeds cap transiently, by at most one task per recovering worker) and
+// waking one stealer so recovery never deadlocks a fully-idle pool. It
+// refuses (false) after termination; the caller then owns the task again.
+func (q *queue) requeue(t *task) bool {
+	q.mu.Lock()
+	if q.done {
+		q.mu.Unlock()
+		return false
+	}
+	q.tasks = append(q.tasks, t)
+	q.m.QueueDepth.Set(int64(len(q.tasks)))
+	q.mu.Unlock()
+	q.m.TasksRequeued.Inc()
+	q.cond.Signal()
+	return true
+}
+
 // shutdown wakes all waiters and marks the pool finished (stop-rule path).
 func (q *queue) shutdown() {
 	q.mu.Lock()
@@ -250,6 +307,20 @@ type globals struct {
 	limits  search.Limits
 	started time.Time
 	rec     *obs.Recorder // nil when tracing is off
+
+	failMu  sync.Mutex
+	failErr error // first fatal error (StopFailed path)
+}
+
+// fail records the run's fatal error (first one wins) and raises the stop
+// flag with StopFailed.
+func (g *globals) fail(err error) {
+	g.failMu.Lock()
+	if g.failErr == nil {
+		g.failErr = err
+	}
+	g.failMu.Unlock()
+	g.raise(search.StopFailed)
 }
 
 func (g *globals) snapshot() search.Counters {
@@ -298,6 +369,11 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 	if opt.MinRemaining <= 0 {
 		opt.MinRemaining = MinRemainingToSubmit
+	}
+	if opt.MaxTaskRetries == 0 {
+		opt.MaxTaskRetries = DefaultMaxTaskRetries
+	} else if opt.MaxTaskRetries < 0 {
+		opt.MaxTaskRetries = -1 // first panic is fatal
 	}
 
 	res := &Result{Stop: search.StopExhausted}
@@ -385,6 +461,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		go func() {
 			defer close(collectDone)
 			for nw := range treeCh {
+				opt.Fault.Stall(faultinject.TreeStream)
 				if opt.OnTree != nil {
 					opt.OnTree(nw)
 				}
@@ -412,6 +489,14 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if treeCh != nil {
 		close(treeCh)
 		<-collectDone
+	}
+
+	if g.failErr != nil {
+		// A task exhausted its panic-retry budget: the pool has fully
+		// drained (every worker exited through the stop flag), but the
+		// enumeration is incomplete in an unquantifiable way — surface the
+		// structured error instead of misleading partial counters.
+		return nil, g.failErr
 	}
 
 	for w := range perWorker {
@@ -447,15 +532,24 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	rec := opt.Obs.Recorder()
 	wm := m.Worker(w)
 
-	t, err := terrace.New(constraints, idx)
-	if err != nil {
-		// The coordinator already built the same input successfully; a
-		// failure here is a programming error.
-		panic(fmt.Sprintf("parallel: worker %d terrace build failed: %v", w, err))
+	// buildTerrace constructs this worker's private terrace at I_0. It also
+	// runs after a recovered panic, whose unwound stack can leave the old
+	// terrace in an arbitrary mid-mutation state — rebuilding from the
+	// immutable inputs is the only state repair that needs no trust in the
+	// wreckage.
+	buildTerrace := func() *terrace.Terrace {
+		t, err := terrace.New(constraints, idx)
+		if err != nil {
+			// The coordinator already built the same input successfully; a
+			// failure here is a programming error.
+			panic(fmt.Sprintf("parallel: worker %d terrace build failed: %v", w, err))
+		}
+		for _, s := range prefix.Path {
+			t.ExtendTaxon(s.Taxon, s.Edge)
+		}
+		return t
 	}
-	for _, s := range prefix.Path {
-		t.ExtendTaxon(s.Taxon, s.Edge)
-	}
+	t := buildTerrace()
 	baseDepth := t.Depth() // I_0
 
 	var local search.Counters // since last flush
@@ -491,6 +585,16 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		if g.stop.Load() {
 			q.shutdown()
 		}
+	}
+
+	// drainStats folds a terrace's heuristic-layer stats into the metrics —
+	// at worker exit, and before a panic-wrecked terrace is discarded.
+	drainStats := func(tt *terrace.Terrace) {
+		hs := tt.HeuristicStats()
+		m.HeuristicScanTaxa.Add(hs.CountQueries)
+		m.HeuristicO1Counts.Add(hs.O1Counts)
+		m.HeuristicRecounts.Add(hs.Recounts)
+		m.HeuristicIncUpdates.Add(hs.IncUpdates)
 	}
 
 	var basePath []search.PathStep // path of the current task from I_0
@@ -556,10 +660,71 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		}
 	}
 
-	// Phase 1: the initial-split share.
+	// executeTask runs one task — replay its path from I_0, enumerate its
+	// branch share, rewind — under a recover() barrier. The task's replay
+	// triple is never mutated by execution, so on a panic the task can be
+	// requeued verbatim for any worker. The panicked attempt's unflushed
+	// local counters are dropped (they reached neither the globals nor the
+	// per-worker total, so conservation stays exact) and this worker's
+	// terrace is rebuilt from scratch: the unwound stack may have left it
+	// mid-mutation. Once a task's retries exceed the budget the run fails
+	// with a *WorkerPanicError. Returns true when the caller still owns
+	// the task (normal completion); false when recovery took it over.
+	executeTask := func(tk *task) (ok bool) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			stack := debug.Stack()
+			m.WorkerPanics.Inc()
+			rec.Emit(obs.EvPanic, w, obs.F("taxon", int64(tk.taxon)),
+				obs.F("attempt", int64(tk.retries+1)))
+			local = search.Counters{}
+			basePath = nil
+			drainStats(t)
+			t = buildTerrace()
+			tk.retries++
+			if opt.MaxTaskRetries >= 0 && tk.retries <= opt.MaxTaskRetries {
+				if q.requeue(tk) {
+					rec.Emit(obs.EvRequeue, w, obs.F("taxon", int64(tk.taxon)),
+						obs.F("attempt", int64(tk.retries)))
+					return
+				}
+				// The pool already terminated (a stopping rule,
+				// cancellation, or another worker's fatal error): the
+				// retry is moot.
+				recycleTask(tk)
+				return
+			}
+			g.fail(&WorkerPanicError{Worker: w, Value: r, Stack: stack, Attempts: tk.retries})
+			q.shutdown()
+		}()
+		opt.Fault.MaybePanic(faultinject.TaskExec)
+		basePath = tk.path
+		for _, s := range tk.path {
+			t.ExtendTaxon(s.Taxon, s.Edge)
+		}
+		runEngine(search.NewEngineWithFrame(t, tk.taxon, tk.branches))
+		for range tk.path {
+			t.RemoveTaxon()
+		}
+		basePath = nil
+		return true
+	}
+
+	// Phase 1: the initial-split share, packaged as a task (empty path,
+	// frame = the initial split) so a panic here flows through the same
+	// requeue machinery — any worker can pick up the retry.
 	rec.Emit(obs.EvWorkerStart, w, obs.F("branches", int64(len(myBranches))))
 	if len(myBranches) > 0 && !g.stop.Load() {
-		runEngine(search.NewEngineWithFrame(t, prefix.SplitTaxon, myBranches))
+		tk := taskPool.Get().(*task)
+		tk.taxon = prefix.SplitTaxon
+		tk.path = tk.path[:0]
+		tk.branches = append(tk.branches[:0], myBranches...)
+		if executeTask(tk) {
+			recycleTask(tk)
+		}
 	}
 
 	// Phase 2: stealing pool.
@@ -573,25 +738,14 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		rec.Emit(obs.EvSteal, w, obs.F("taxon", int64(tk.taxon)),
 			obs.F("branches", int64(len(tk.branches))),
 			obs.F("path", int64(len(tk.path))))
-		basePath = tk.path
-		for _, s := range tk.path {
-			t.ExtendTaxon(s.Taxon, s.Edge)
+		if executeTask(tk) {
+			recycleTask(tk)
 		}
-		runEngine(search.NewEngineWithFrame(t, tk.taxon, tk.branches))
-		for range tk.path {
-			t.RemoveTaxon()
-		}
-		basePath = nil
-		recycleTask(tk)
 	}
 	if g.stop.Load() {
 		q.shutdown()
 	}
 	flush()
-	hs := t.HeuristicStats()
-	m.HeuristicScanTaxa.Add(hs.CountQueries)
-	m.HeuristicO1Counts.Add(hs.O1Counts)
-	m.HeuristicRecounts.Add(hs.Recounts)
-	m.HeuristicIncUpdates.Add(hs.IncUpdates)
+	drainStats(t)
 	rec.Emit(obs.EvWorkerExit, w)
 }

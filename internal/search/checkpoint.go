@@ -1,7 +1,6 @@
 package search
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -84,11 +83,11 @@ func (e *Engine) Snapshot(constraints []*tree.Tree, initialIndex int) *Checkpoin
 // Restore rebuilds an engine from a checkpoint and the original input.
 func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
 	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("search: checkpoint version %d not supported", cp.Version)
+		return nil, fmt.Errorf("search: version %d: %w", cp.Version, ErrVersion)
 	}
 	if got := fingerprint(constraints); got != cp.Fingerprint {
-		return nil, fmt.Errorf("search: checkpoint was taken on different input (fingerprint %s, input %s)",
-			cp.Fingerprint, got)
+		return nil, fmt.Errorf("search: checkpoint fingerprint %s, supplied input %s: %w",
+			cp.Fingerprint, got, ErrFingerprint)
 	}
 	if cp.InitialIndex < 0 || cp.InitialIndex >= len(constraints) {
 		return nil, fmt.Errorf("search: checkpoint initial index %d out of range", cp.InitialIndex)
@@ -125,18 +124,23 @@ func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
 	return e, nil
 }
 
-// Write serializes the checkpoint as JSON.
+// Write serializes the checkpoint in the checksummed envelope format (see
+// checkpointfile.go). For crash-safe persistence to disk use WriteFile.
 func (cp *Checkpoint) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(cp)
+	data, err := cp.encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }
 
-// ReadCheckpoint parses a JSON checkpoint.
+// ReadCheckpoint parses a checkpoint, accepting both the checksummed
+// envelope and the legacy bare-JSON format.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var cp Checkpoint
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&cp); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("search: reading checkpoint: %w", err)
 	}
-	return &cp, nil
+	return decodeCheckpoint(data)
 }

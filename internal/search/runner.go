@@ -21,6 +21,7 @@ const (
 	StopStateLimit                   // rule 2: more than MaxStates intermediate states
 	StopTimeLimit                    // rule 3: wall-clock budget exceeded
 	StopCancelled                    // the caller's context was cancelled
+	StopFailed                       // the run died (e.g. a worker panic exhausted its retry budget)
 )
 
 // StopExternal is the former name of StopCancelled, kept for callers that
@@ -39,6 +40,8 @@ func (s StopReason) String() string {
 		return "time-limit"
 	case StopCancelled:
 		return "cancelled"
+	case StopFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int8(s))
 	}
@@ -144,6 +147,19 @@ type Options struct {
 	// or a stopping rule). It requires the dynamic insertion order (the
 	// default): checkpoints do not record a static Order.
 	CheckpointOnStop bool
+
+	// CheckpointEvery snapshots the engine every this many stopping-rule
+	// checks (i.e. every CheckpointEvery*CheckEvery steps) and hands the
+	// snapshot to OnCheckpoint — the survival mechanism for hard crashes,
+	// where CheckpointOnStop never gets to run. Zero disables periodic
+	// checkpointing. Requires the dynamic insertion order, like
+	// CheckpointOnStop.
+	CheckpointEvery int
+
+	// OnCheckpoint receives each periodic snapshot. The callback owns
+	// persistence (and any retry policy); the search loop itself does no
+	// file I/O. Ignored when CheckpointEvery is zero.
+	OnCheckpoint func(cp *Checkpoint)
 }
 
 // Result is the outcome of a run.
@@ -168,7 +184,8 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if opt.CheckEvery <= 0 {
 		opt.CheckEvery = 1024
 	}
-	if (opt.Resume != nil || opt.CheckpointOnStop) && opt.DisableDynamicOrder {
+	periodic := opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil
+	if (opt.Resume != nil || opt.CheckpointOnStop || periodic) && opt.DisableDynamicOrder {
 		return nil, fmt.Errorf("search: checkpointing requires the dynamic insertion order")
 	}
 	res := &Result{Stop: StopExhausted}
@@ -231,6 +248,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		}
 	}
 
+	checks := 0
 	for {
 		for i := 0; i < opt.CheckEvery; i++ {
 			if eng.Step() == EvDone {
@@ -244,6 +262,11 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		res.Counters = eng.Counters()
 		if opt.OnCheck != nil {
 			opt.OnCheck(res.Counters, time.Since(start))
+		}
+		if periodic {
+			if checks++; checks%opt.CheckpointEvery == 0 {
+				opt.OnCheckpoint(eng.Snapshot(constraints, res.InitialIndex))
+			}
 		}
 		if reason, hit := opt.Limits.Exceeded(res.Counters, time.Since(start)); hit {
 			res.Stop = reason

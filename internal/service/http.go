@@ -8,7 +8,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
+
+// streamWriteTimeout is the per-write deadline of the NDJSON tree stream.
+// The server's global WriteTimeout would kill a long-lived follower, so
+// handleTrees pushes its own deadline forward on every tree instead: a
+// healthy slow enumeration streams indefinitely, while a stuck client is
+// disconnected within one interval.
+const streamWriteTimeout = 30 * time.Second
 
 // RegisterRoutes mounts the job API onto mux:
 //
@@ -44,20 +52,40 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if m.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, m.cfg.MaxBodyBytes)
+	}
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error":          fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				"max_body_bytes": mbe.Limit,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	job, err := m.Submit(req)
+	var le *LimitError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.As(err, &le):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": le.Error(),
+			"limit": le.What,
+			"got":   le.Got,
+			"max":   le.Max,
+		})
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -113,8 +141,11 @@ func (m *Manager) handleTrees(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	err := job.spool.Stream(r.Context(), func(line []byte) error {
+		// Best-effort: unsupported on recording/test writers.
+		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout)) //nolint:errcheck
 		if err := enc.Encode(treeLine{Tree: string(line)}); err != nil {
 			return err
 		}

@@ -5,6 +5,15 @@
 // 10^6-tree) stand in memory, per-job cancellation and deadlines, and
 // graceful shutdown that checkpoints in-flight serial jobs for later
 // resumption. cmd/gentriusd exposes it over HTTP.
+//
+// Fault tolerance: every job transition is appended to an fsynced NDJSON
+// journal before it becomes externally visible, serial jobs checkpoint
+// periodically when Config.CheckpointEvery is set, and New replays the
+// journal on startup — finished jobs are re-adopted with their spools,
+// running serial jobs resume from their latest checkpoint, queued jobs
+// requeue, and everything else is marked interrupted. A SIGKILL therefore
+// loses at most the work since the last checkpoint, and never a finished
+// result.
 package service
 
 import (
@@ -17,6 +26,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 )
 
@@ -26,10 +36,13 @@ type Config struct {
 	// Further accepted jobs wait in the queue.
 	Workers int
 	// QueueCap bounds the number of queued-but-not-running jobs; Submit
-	// rejects with ErrQueueFull beyond it (default 16).
+	// rejects with ErrQueueFull beyond it (default 16). Jobs recovered
+	// from the journal never count against it.
 	QueueCap int
-	// DataDir holds the per-job tree spools and checkpoints. It must be
-	// set (cmd/gentriusd defaults it to a fresh temp directory).
+	// DataDir holds the per-job tree spools, checkpoints and the job
+	// journal. It must be set (cmd/gentriusd defaults it to a fresh temp
+	// directory); pointing a restarted daemon at the same directory
+	// recovers the previous run's jobs.
 	DataDir string
 	// MaxThreads caps a job's requested thread count (default 1 — the
 	// daemon's safe default, since only serial jobs are checkpointable).
@@ -42,6 +55,24 @@ type Config struct {
 	// job (including jobs interrupted by Shutdown) writes a resumable
 	// snapshot next to its spool.
 	Checkpoint bool
+	// CheckpointEvery additionally checkpoints running serial jobs every N
+	// stopping-rule checks (0 disables). This is what makes a job
+	// killed -9 resumable: on restart the journal replay requeues it from
+	// the latest periodic snapshot.
+	CheckpointEvery int
+	// MaxConstraintTrees rejects submissions with more constraint trees
+	// with a structured *LimitError (0 = unlimited).
+	MaxConstraintTrees int
+	// MaxTaxa rejects submissions whose taxon universe is larger (0 =
+	// unlimited).
+	MaxTaxa int
+	// MaxBodyBytes caps the POST /jobs request body; larger bodies get
+	// 413 (0 = unlimited).
+	MaxBodyBytes int64
+	// Fault attaches deterministic fault injection to the persistence
+	// paths (spool, checkpoint, journal writes) and to the jobs' engines
+	// (nil: no faults).
+	Fault *faultinject.Injector
 	// Metrics receives the service-level instruments (nil: discard).
 	Metrics *Metrics
 	// Sink is the engine observability sink shared by every job (the
@@ -60,6 +91,18 @@ type Metrics struct {
 	JobsRunning   *obs.Gauge
 	JobsQueued    *obs.Gauge
 	TreesStreamed *obs.Counter
+
+	// Fault-tolerance instruments.
+	JobsResumed       *obs.Counter
+	JobsInterrupted   *obs.Counter
+	SpoolRetries      *obs.Counter
+	SpoolDropped      *obs.Counter
+	JournalRecords    *obs.Counter
+	JournalRetries    *obs.Counter
+	JournalDropped    *obs.Counter
+	CheckpointWrites  *obs.Counter
+	CheckpointRetries *obs.Counter
+	CheckpointDropped *obs.Counter
 }
 
 // NewMetrics registers the service instruments on reg under gentriusd_*.
@@ -73,6 +116,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		JobsRunning:   reg.Gauge("gentriusd_jobs_running", "jobs currently running"),
 		JobsQueued:    reg.Gauge("gentriusd_jobs_queued", "jobs waiting for a worker"),
 		TreesStreamed: reg.Counter("gentriusd_trees_spooled_total", "stand trees written to job spools"),
+
+		JobsResumed:       reg.Counter("gentriusd_jobs_resumed_total", "jobs resumed from a checkpoint after restart"),
+		JobsInterrupted:   reg.Counter("gentriusd_jobs_interrupted_total", "jobs found unresumable after restart"),
+		SpoolRetries:      reg.Counter("gentriusd_spool_write_retries_total", "transient spool write failures retried"),
+		SpoolDropped:      reg.Counter("gentriusd_spool_lines_dropped_total", "spool lines dropped after exhausting retries"),
+		JournalRecords:    reg.Counter("gentriusd_journal_records_total", "journal records written"),
+		JournalRetries:    reg.Counter("gentriusd_journal_write_retries_total", "transient journal write failures retried"),
+		JournalDropped:    reg.Counter("gentriusd_journal_records_dropped_total", "journal records dropped after exhausting retries"),
+		CheckpointWrites:  reg.Counter("gentriusd_checkpoint_writes_total", "job checkpoints persisted"),
+		CheckpointRetries: reg.Counter("gentriusd_checkpoint_write_retries_total", "transient checkpoint write failures retried"),
+		CheckpointDropped: reg.Counter("gentriusd_checkpoint_writes_dropped_total", "checkpoint writes abandoned after exhausting retries"),
 	}
 }
 
@@ -86,7 +140,19 @@ const (
 	StateDone      State = "done"      // exhausted or a stopping rule fired
 	StateCancelled State = "cancelled" // client cancel or daemon shutdown
 	StateFailed    State = "failed"
+	// StateInterrupted marks a job that was running when the daemon died
+	// and could not be resumed on restart (parallel, or no usable
+	// checkpoint). Its spool holds whatever was found; resubmit to rerun.
+	StateInterrupted State = "interrupted"
 )
+
+func terminal(s State) bool {
+	switch s {
+	case StateDone, StateCancelled, StateFailed, StateInterrupted:
+		return true
+	}
+	return false
+}
 
 // JobRequest is a submitted enumeration: either Trees (Newick constraint
 // trees, one per entry) or Species+PAM (file contents, the CLI's second
@@ -111,6 +177,18 @@ var ErrQueueFull = fmt.Errorf("service: job queue full")
 // ErrShuttingDown is returned by Submit after Shutdown began.
 var ErrShuttingDown = fmt.Errorf("service: shutting down")
 
+// LimitError is a submission rejected by a configured size limit; the HTTP
+// layer renders it as a structured 400.
+type LimitError struct {
+	What string // "constraint trees", "taxa"
+	Got  int
+	Max  int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("service: too many %s: %d exceeds the limit of %d", e.What, e.Got, e.Max)
+}
+
 // Job is one managed enumeration.
 type Job struct {
 	mu       sync.Mutex
@@ -127,7 +205,9 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	ckptPath string
-	done     chan struct{} // closed when the job reaches a terminal state
+	resume   *gentrius.Checkpoint // restart recovery: resume from here
+	resumed  bool                 // job was recovered from the journal
+	done     chan struct{}        // closed when the job reaches a terminal state
 }
 
 // ID returns the job's identifier.
@@ -148,6 +228,7 @@ type Status struct {
 	DeadEnds        int64   `json:"dead_ends,omitempty"`
 	StopReason      string  `json:"stop_reason,omitempty"`
 	Complete        bool    `json:"complete"`
+	Resumed         bool    `json:"resumed,omitempty"`
 	ElapsedSeconds  float64 `json:"elapsed_seconds,omitempty"`
 	Error           string  `json:"error,omitempty"`
 	CheckpointFile  string  `json:"checkpoint_file,omitempty"`
@@ -166,6 +247,7 @@ func (j *Job) Status() Status {
 		ConstraintTrees: len(j.cons),
 		Threads:         j.threadsLocked(),
 		TreesSpooled:    j.spool.Lines(),
+		Resumed:         j.resumed,
 		Created:         j.created.Format(time.RFC3339Nano),
 		CheckpointFile:  j.ckptPath,
 	}
@@ -196,16 +278,34 @@ func (j *Job) threadsLocked() int {
 	return 1
 }
 
+// RecoveryStats summarizes what New found in the job journal.
+type RecoveryStats struct {
+	// Adopted is the number of finished jobs re-registered with their
+	// spooled stands (no recomputation).
+	Adopted int
+	// Resumed is the number of mid-run serial jobs requeued from their
+	// latest checkpoint.
+	Resumed int
+	// Requeued is the number of jobs that were still queued and restart
+	// from scratch.
+	Requeued int
+	// Interrupted is the number of mid-run jobs with no usable checkpoint,
+	// now terminal in state interrupted.
+	Interrupted int
+}
+
 // Manager owns the job table and the worker pool.
 type Manager struct {
 	cfg Config
 	m   *Metrics
+	jnl *journal
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for stable listings
-	nextID int
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // submission order, for stable listings
+	nextID    int
+	closed    bool
+	recovered RecoveryStats
 
 	queue   chan *Job
 	wg      sync.WaitGroup
@@ -213,7 +313,9 @@ type Manager struct {
 	stop    context.CancelFunc
 }
 
-// New starts a manager with cfg.Workers pool workers.
+// New starts a manager with cfg.Workers pool workers. If cfg.DataDir holds
+// the journal of a previous run, its jobs are recovered first: see
+// RecoveryStats.
 func New(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -233,18 +335,186 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &Metrics{}
 	}
+	jnl, records, err := openJournal(filepath.Join(cfg.DataDir, journalFile), cfg.Fault, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	m := &Manager{
-		cfg:   cfg,
-		m:     cfg.Metrics,
-		jobs:  map[string]*Job{},
-		queue: make(chan *Job, cfg.QueueCap),
+		cfg:  cfg,
+		m:    cfg.Metrics,
+		jnl:  jnl,
+		jobs: map[string]*Job{},
 	}
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	pending := m.replay(records)
+	qcap := cfg.QueueCap
+	if len(pending) > qcap {
+		qcap = len(pending) // recovered jobs must never hit ErrQueueFull
+	}
+	m.queue = make(chan *Job, qcap)
+	for _, job := range pending {
+		m.queue <- job
+		m.m.JobsQueued.Add(1)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m, nil
+}
+
+// Recovery reports what New recovered from the previous run's journal.
+func (m *Manager) Recovery() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
+}
+
+// replay rebuilds the job table from the journal records and returns the
+// jobs to requeue, in original submission order. Called from New before
+// the workers start; no locking needed.
+func (m *Manager) replay(records []journalRecord) []*Job {
+	type entry struct {
+		req  *JobRequest
+		last journalRecord // latest state record
+	}
+	byID := map[string]*entry{}
+	var order []string
+	for _, rec := range records {
+		switch rec.Op {
+		case "submit":
+			if rec.Req == nil || byID[rec.ID] != nil {
+				continue
+			}
+			byID[rec.ID] = &entry{req: rec.Req, last: journalRecord{State: StateQueued, Time: rec.Time}}
+			order = append(order, rec.ID)
+		case "state":
+			if e := byID[rec.ID]; e != nil && rec.State != "" {
+				e.last = rec
+			}
+		}
+	}
+
+	var pending []*Job
+	for _, id := range order {
+		e := byID[id]
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		job := m.recoverJob(id, e.req, e.last)
+		if job == nil {
+			continue
+		}
+		m.jobs[id] = job
+		m.order = append(m.order, id)
+		if job.state == StateQueued {
+			pending = append(pending, job)
+		}
+	}
+	return pending
+}
+
+// recoverJob reconstructs one journaled job. It returns nil only if the
+// job's spool cannot be reopened at all.
+func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Job {
+	wasTerminal := terminal(last.State)
+	sp, err := adoptSpool(filepath.Join(m.cfg.DataDir, id+".trees"), wasTerminal, m.cfg.Fault, m.m)
+	if err != nil {
+		return nil
+	}
+	job := &Job{
+		id:      id,
+		req:     *req,
+		spool:   sp,
+		resumed: true,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if t, err := time.Parse(time.RFC3339Nano, last.Time); err == nil {
+		job.created = t
+	}
+	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
+	ckptPath := filepath.Join(m.cfg.DataDir, id+".ckpt")
+
+	if wasTerminal {
+		job.state = last.State
+		job.finished = job.created
+		if last.Error != "" {
+			job.err = fmt.Errorf("%s", last.Error)
+		}
+		if last.Stop != "" {
+			job.res = &gentrius.Result{
+				StandTrees:         last.StandTrees,
+				IntermediateStates: last.States,
+				DeadEnds:           last.DeadEnds,
+				Stop:               parseStop(last.Stop),
+				Threads:            job.threadsLocked(),
+			}
+		}
+		if _, err := os.Stat(ckptPath); err == nil {
+			job.ckptPath = ckptPath
+		}
+		close(job.done)
+		m.recovered.Adopted++
+		return job
+	}
+
+	// The request was journaled before it ever ran, so it parsed once;
+	// re-parse without the size limits (tightening limits must not strand
+	// previously accepted work).
+	cons, consErr := parseRequest(*req)
+	job.cons = cons
+
+	switch {
+	case last.State == StateQueued && consErr == nil:
+		job.state = StateQueued
+		m.recovered.Requeued++
+		return job
+	case last.State == StateRunning && consErr == nil && req.Threads <= 1:
+		if cp, err := gentrius.ReadCheckpointFile(ckptPath); err == nil {
+			job.state = StateQueued
+			job.resume = cp
+			job.ckptPath = ckptPath
+			m.recovered.Resumed++
+			m.m.JobsResumed.Inc()
+			return job
+		}
+	}
+
+	// Mid-run parallel job, no readable checkpoint, or a request that no
+	// longer parses: terminal, and journaled as such so the next restart
+	// adopts it directly.
+	job.state = StateInterrupted
+	job.finished = time.Now()
+	switch {
+	case consErr != nil:
+		job.err = fmt.Errorf("service: restart recovery: request no longer parses: %w", consErr)
+	case req.Threads > 1:
+		job.err = fmt.Errorf("service: restart recovery: parallel jobs are not checkpointed; resubmit to rerun")
+	default:
+		job.err = fmt.Errorf("service: restart recovery: no usable checkpoint; resubmit to rerun")
+	}
+	sp.Close()
+	close(job.done)
+	m.jnl.append(journalRecord{Op: "state", ID: id, State: StateInterrupted, Error: job.err.Error()})
+	m.recovered.Interrupted++
+	m.m.JobsInterrupted.Inc()
+	return job
+}
+
+// parseStop maps a journaled stop-reason string back to the typed value.
+func parseStop(s string) gentrius.StopReason {
+	for _, r := range []gentrius.StopReason{
+		gentrius.StopExhausted, gentrius.StopTreeLimit, gentrius.StopStateLimit,
+		gentrius.StopTimeLimit, gentrius.StopCancelled, gentrius.StopFailed,
+	} {
+		if r.String() == s {
+			return r
+		}
+	}
+	var zero gentrius.StopReason
+	return zero
 }
 
 // parseRequest validates and compiles the request's input mode into
@@ -275,10 +545,28 @@ func parseRequest(req JobRequest) ([]*gentrius.Tree, error) {
 	}
 }
 
-// Submit validates the request, registers the job and enqueues it. The
-// returned job is already visible to Get/List in state queued.
-func (m *Manager) Submit(req JobRequest) (*Job, error) {
+// checkRequest applies the daemon's size limits on top of parseRequest.
+func (m *Manager) checkRequest(req JobRequest) ([]*gentrius.Tree, error) {
 	cons, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if max := m.cfg.MaxConstraintTrees; max > 0 && len(cons) > max {
+		return nil, &LimitError{What: "constraint trees", Got: len(cons), Max: max}
+	}
+	if max := m.cfg.MaxTaxa; max > 0 && len(cons) > 0 {
+		if n := cons[0].Taxa().Len(); n > max {
+			return nil, &LimitError{What: "taxa", Got: n, Max: max}
+		}
+	}
+	return cons, nil
+}
+
+// Submit validates the request, registers the job and enqueues it. The
+// returned job is already visible to Get/List in state queued, and its
+// submission is journaled before Submit returns.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	cons, err := m.checkRequest(req)
 	if err != nil {
 		m.m.JobsRejected.Inc()
 		return nil, err
@@ -295,7 +583,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.nextID++
 	id := fmt.Sprintf("j%06d", m.nextID)
-	sp, err := newSpool(filepath.Join(m.cfg.DataDir, id+".trees"))
+	sp, err := newSpool(filepath.Join(m.cfg.DataDir, id+".trees"), m.cfg.Fault, m.m)
 	if err != nil {
 		m.mu.Unlock()
 		m.m.JobsRejected.Inc()
@@ -322,6 +610,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.jobs[id] = job
 	m.order = append(m.order, id)
 	m.mu.Unlock()
+	m.jnl.append(journalRecord{Op: "submit", ID: id, Req: &req})
 	m.m.JobsSubmitted.Inc()
 	m.m.JobsQueued.Add(1)
 	return job, nil
@@ -386,7 +675,10 @@ func (m *Manager) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	req := job.req
+	resume := job.resume
+	job.resume = nil
 	job.mu.Unlock()
+	m.jnl.append(journalRecord{Op: "state", ID: job.id, State: StateRunning})
 	m.m.JobsRunning.Add(1)
 	defer m.m.JobsRunning.Add(-1)
 
@@ -397,13 +689,30 @@ func (m *Manager) runJob(job *Job) {
 		MaxTime:     m.clampTime(time.Duration(req.MaxTimeSeconds * float64(time.Second))),
 		InitialTree: gentrius.UseInitialTreeHeuristic,
 		Obs:         m.cfg.Sink,
+		Fault:       m.cfg.Fault,
+		Resume:      resume,
 		OnTree: func(nw string) {
+			// The treestream stall site throttles delivery for recovery
+			// drills (a fast child would finish before the drill kills it).
+			m.cfg.Fault.Stall(faultinject.TreeStream)
 			job.spool.Append(nw)
 			m.m.TreesStreamed.Inc()
 		},
 	}
-	if m.cfg.Checkpoint && req.Threads <= 1 {
-		opt.CheckpointOnStop = true
+	if serial := req.Threads <= 1; serial {
+		if m.cfg.Checkpoint {
+			opt.CheckpointOnStop = true
+		}
+		if m.cfg.CheckpointEvery > 0 {
+			opt.CheckpointEvery = m.cfg.CheckpointEvery
+			opt.OnCheckpoint = func(cp *gentrius.Checkpoint) {
+				if path, ok := m.writeCheckpointRetry(job.id, cp); ok {
+					job.mu.Lock()
+					job.ckptPath = path
+					job.mu.Unlock()
+				}
+			}
+		}
 	}
 	res, err := gentrius.EnumerateStandContext(job.ctx, job.cons, opt)
 	m.finish(job, res, err)
@@ -420,13 +729,36 @@ func (m *Manager) clampTime(d time.Duration) time.Duration {
 	return d
 }
 
-// finish records the terminal state, writes the checkpoint if one was
-// captured, and closes the spool so followers drain. It is idempotent: the
-// first caller wins (a job can race between Cancel and its pool worker).
+// writeCheckpointRetry persists cp atomically next to the job's spool,
+// retrying transient failures. It reports the checkpoint path on success.
+func (m *Manager) writeCheckpointRetry(id string, cp *gentrius.Checkpoint) (string, bool) {
+	path := filepath.Join(m.cfg.DataDir, id+".ckpt")
+	err := retryIO(4, time.Millisecond, func() error {
+		if err := m.cfg.Fault.Err(faultinject.CheckpointWrite, "write"); err != nil {
+			m.m.CheckpointRetries.Inc()
+			return err
+		}
+		if err := cp.WriteFile(path); err != nil {
+			m.m.CheckpointRetries.Inc()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		m.m.CheckpointDropped.Inc()
+		return "", false
+	}
+	m.m.CheckpointWrites.Inc()
+	return path, true
+}
+
+// finish records the terminal state, journals it, writes the checkpoint if
+// one was captured, and closes the spool so followers drain. It is
+// idempotent: the first caller wins (a job can race between Cancel and its
+// pool worker).
 func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 	job.mu.Lock()
-	switch job.state {
-	case StateDone, StateCancelled, StateFailed:
+	if terminal(job.state) {
 		job.mu.Unlock()
 		return
 	}
@@ -442,13 +774,30 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 		job.state = StateDone
 	}
 	if res != nil && res.Checkpoint != nil {
-		path := filepath.Join(m.cfg.DataDir, job.id+".ckpt")
-		if werr := writeCheckpoint(path, res.Checkpoint); werr == nil {
+		if path, ok := m.writeCheckpointRetry(job.id, res.Checkpoint); ok {
 			job.ckptPath = path
 		}
 	}
+	if res != nil && res.Complete() && job.ckptPath != "" {
+		// The stand is fully enumerated; any periodic checkpoint is
+		// obsolete and must not be offered for resumption.
+		os.Remove(job.ckptPath)
+		job.ckptPath = ""
+	}
 	state := job.state
+	rec := journalRecord{Op: "state", ID: job.id, State: state}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if res != nil {
+		rec.Stop = res.Stop.String()
+		rec.StandTrees = res.StandTrees
+		rec.States = res.IntermediateStates
+		rec.DeadEnds = res.DeadEnds
+	}
 	job.mu.Unlock()
+	// The terminal record is durable before Done() observers can act on it.
+	m.jnl.append(rec)
 	job.spool.Close()
 	close(job.done)
 	switch state {
@@ -459,18 +808,6 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 	case StateFailed:
 		m.m.JobsFailed.Inc()
 	}
-}
-
-func writeCheckpoint(path string, cp *gentrius.Checkpoint) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := cp.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // Shutdown stops accepting jobs, cancels every queued and running job and
@@ -501,6 +838,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.jnl.close()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: shutdown grace period exceeded: %w", ctx.Err())

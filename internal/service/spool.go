@@ -7,6 +7,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"gentrius/internal/faultinject"
 )
 
 // spool is an append-only, file-backed log of stand trees (one canonical
@@ -15,29 +18,88 @@ import (
 // until the spool is closed. Streaming a 10^6-tree stand therefore never
 // holds more than one read chunk in memory, and a subscriber that connects
 // late still sees every tree.
+//
+// Durability note: a resumed job re-finds the trees discovered between its
+// last checkpoint and the crash, so an adopted spool delivers those lines
+// twice — the spool is at-least-once, while the job's counters stay exact.
 type spool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	f      *os.File // append handle; nil after Close
+	f      *os.File // write handle; nil after Close
 	path   string
 	size   int64 // bytes of complete lines written (file size is always == size)
 	lines  int64
 	closed bool
 	buf    []byte // append scratch, reused per line
+
+	fault *faultinject.Injector // nil: no injected write errors
+	m     *Metrics              // never nil (zero value discards)
 }
 
-func newSpool(path string) (*spool, error) {
+func newSpool(path string, fault *faultinject.Injector, m *Metrics) (*spool, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("service: spool: %w", err)
 	}
-	s := &spool{f: f, path: path}
+	s := &spool{f: f, path: path, fault: fault, m: m}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
+// adoptSpool reopens an existing spool after a daemon restart. It counts
+// the complete lines already on disk and truncates a torn partial final
+// line (a crash mid-append). With closed true the spool is adopted
+// read-only — the historical record of a finished job; otherwise a write
+// handle is reopened so a resumed job can continue appending.
+func adoptSpool(path string, closed bool, fault *faultinject.Injector, m *Metrics) (*spool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: spool: %w", err)
+	}
+	var size, lines int64
+	buf := make([]byte, 64<<10)
+	var off int64
+	for {
+		n, err := f.ReadAt(buf, off)
+		for _, b := range buf[:n] {
+			off++
+			if b == '\n' {
+				size = off
+				lines++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: spool scan: %w", err)
+		}
+	}
+	if size < off {
+		// Torn tail from a crash mid-append: drop the partial line.
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: spool truncate: %w", err)
+		}
+	}
+	s := &spool{path: path, size: size, lines: lines, closed: closed, fault: fault, m: m}
+	s.cond = sync.NewCond(&s.mu)
+	if closed {
+		f.Close()
+	} else {
+		s.f = f
+	}
+	return s, nil
+}
+
 // Append writes one line and wakes every follower. Lines are written whole
-// under the lock, so readers never observe a partial line.
+// under the lock (via WriteAt at the logical end, so a failed partial write
+// is simply overwritten on retry) and readers never observe a partial line.
+// Transient write errors — including injected ones — are retried with
+// capped exponential backoff; a line that still cannot be written is
+// dropped and counted, never fatal: the job's final counters remain
+// authoritative even on a full disk.
 func (s *spool) Append(line string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -45,13 +107,22 @@ func (s *spool) Append(line string) {
 		return
 	}
 	s.buf = append(append(s.buf[:0], line...), '\n')
-	n, err := s.f.Write(s.buf)
+	err := retryIO(4, time.Millisecond, func() error {
+		if err := s.fault.Err(faultinject.SpoolWrite, "write"); err != nil {
+			s.m.SpoolRetries.Inc()
+			return err
+		}
+		if _, err := s.f.WriteAt(s.buf, s.size); err != nil {
+			s.m.SpoolRetries.Inc()
+			return err
+		}
+		return nil
+	})
 	if err != nil {
-		// A full disk must not kill the enumeration; followers simply stop
-		// receiving new lines. The job's final counters remain authoritative.
+		s.m.SpoolDropped.Inc()
 		return
 	}
-	s.size += int64(n)
+	s.size += int64(len(s.buf))
 	s.lines++
 	s.cond.Broadcast()
 }

@@ -1,0 +1,51 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNewickParse checks that Parse never panics or hangs, and that any
+// accepted input round-trips: the canonical Newick() rendering must reparse
+// to a tree with the same leaf count and must be a fixed point of
+// parse-then-render.
+func FuzzNewickParse(f *testing.F) {
+	for _, s := range []string{
+		"A;",
+		"(A,B);",
+		"(A,B,C);",
+		"((A,B),(C,D));",
+		"(((A,B),C),D,E);",
+		"(a,(b,(c,(d,(e,f)))));",
+		"((((((((a,b),c),d),e),f),g),h),i,j);",
+		"('a b','c''d',(x,'y:z'));",
+		"('a\nb',c,d);",
+		"(A:1.5,(B:2e-3,C):0.1,D);",
+		"(A,B)label:3;",
+		"( \t a ,\nb\r, c );",
+		"('',A,B);",
+		"((A,B),(A,C),D);",
+		strings.Repeat("(a,", 30) + "b" + strings.Repeat(")", 30) + ";",
+		strings.Repeat("(", 120000) + "a;", // rejected by the nesting cap
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		taxa := MustTaxa(nil)
+		t1, err := Parse(in, taxa, true)
+		if err != nil {
+			return // rejected input; only a panic or hang is a bug
+		}
+		out := t1.Newick()
+		t2, err := Parse(out, taxa, false)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not reparse: %v", out, in, err)
+		}
+		if got, want := t2.NumLeaves(), t1.NumLeaves(); got != want {
+			t.Fatalf("reparse of %q has %d leaves, want %d", out, got, want)
+		}
+		if got := t2.Newick(); got != out {
+			t.Fatalf("canonical form is not a fixed point: %q renders as %q", out, got)
+		}
+	})
+}

@@ -45,9 +45,16 @@ type pnode struct {
 	children []*pnode
 }
 
+// maxNesting bounds parenthesis nesting depth. The parser (and the tree
+// builder and renderer after it) recurse once per nesting level, so without
+// a cap a long run of '(' characters overflows the goroutine stack; real
+// trees nest at most once per taxon, far below this.
+const maxNesting = 100000
+
 type parser struct {
 	s       string
 	i       int
+	depth   int
 	taxa    *Taxa
 	autoAdd bool
 }
@@ -90,6 +97,10 @@ func (p *parser) subtree() (*pnode, error) {
 		return nil, p.errf("unexpected end of input")
 	}
 	if p.s[p.i] == '(' {
+		p.depth++
+		if p.depth > maxNesting {
+			return nil, p.errf("groups nested deeper than %d", maxNesting)
+		}
 		p.i++
 		n := &pnode{taxon: -1}
 		for {
@@ -119,6 +130,7 @@ func (p *parser) subtree() (*pnode, error) {
 		if err := p.branchLength(); err != nil {
 			return nil, err
 		}
+		p.depth--
 		return n, nil
 	}
 	name, err := p.label()
@@ -336,9 +348,12 @@ func (t *Tree) Newick() string {
 }
 
 // quoteIfNeeded wraps a label in single quotes when it contains characters
-// with syntactic meaning in Newick.
+// with syntactic meaning in Newick. The set must cover every byte the
+// parser's label() treats as a delimiter — including newlines, which a
+// quoted input label may legally contain — or rendered trees stop
+// round-tripping.
 func quoteIfNeeded(name string) string {
-	if !strings.ContainsAny(name, "(),:; \t'") {
+	if !strings.ContainsAny(name, "(),:; \t\n\r'") {
 		return name
 	}
 	return "'" + strings.ReplaceAll(name, "'", "''") + "'"

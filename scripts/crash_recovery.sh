@@ -1,0 +1,106 @@
+#!/bin/sh
+# Crash-recovery smoke test for cmd/gentriusd, exercised by CI: start the
+# daemon with periodic checkpointing and a deterministic per-tree stall
+# (GENTRIUS_FAULTS, so the run is slow enough to kill mid-flight), submit a
+# finite job, SIGKILL the daemon once a checkpoint exists, restart it on the
+# same data directory, and require the job to resume from the checkpoint and
+# finish with the exact full stand. A third incarnation must adopt the
+# finished job from the journal without re-running it.
+# Needs only a Go toolchain, curl and POSIX sh.
+set -eu
+
+ADDR="127.0.0.1:${GENTRIUSD_PORT:-18081}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+say() { echo "crash-recovery: $*"; }
+fail() { echo "crash-recovery: FAIL: $*" >&2; exit 1; }
+
+# Poll until "$1" appears in the output of `curl $2`, up to ~60s.
+wait_for() {
+    i=0
+    while [ "$i" -lt 600 ]; do
+        if curl -sf "$2" 2>/dev/null | grep -q "$1"; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "timed out waiting for $1 at $2"
+}
+
+go build -o "$WORK/gentriusd" ./cmd/gentriusd
+
+# Two interleaved caterpillars with an 8989-tree stand: finite, but at 1ms
+# per streamed tree the first incarnation needs ~9s — plenty to kill it
+# after the first periodic checkpoint (every stopping-rule check).
+T1='(((((((((A,B),x0),x1),x2),x3),x4),x5),C),D);'
+T2=$(echo "$T1" | tr x y)
+STAND=8989
+
+GENTRIUS_FAULTS="seed=1;treestream.every=1;treestream.delay=1ms" \
+    "$WORK/gentriusd" -addr "$ADDR" -jobs 1 -checkpoint-every 1 \
+    -data-dir "$WORK/data" 2>"$WORK/daemon1.log" &
+DAEMON_PID=$!
+wait_for '"ok"' "$BASE/healthz"
+
+OUT=$(curl -sf "$BASE/jobs" -d "{\"trees\": [\"$T1\", \"$T2\"]}") || fail "submit: $OUT"
+JOB=$(echo "$OUT" | grep -o '"id": *"[^"]*"' | head -1 | grep -o 'j[0-9]*')
+[ -n "$JOB" ] || fail "no job id in: $OUT"
+say "job $JOB submitted to throttled daemon"
+
+# Wait for a periodic checkpoint and at least one spooled tree, then
+# SIGKILL: no cleanup, no checkpoint-on-stop — recovery must come from the
+# journal, the periodic checkpoint and the spool alone.
+i=0
+while [ ! -f "$WORK/data/$JOB.ckpt" ] || [ ! -s "$WORK/data/$JOB.trees" ]; do
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon1.log" >&2; fail "daemon died before checkpointing"; }
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || fail "no periodic checkpoint after 60s"
+    sleep 0.1
+done
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+say "daemon SIGKILLed with $JOB mid-run (checkpoint + spool present)"
+
+"$WORK/gentriusd" -addr "$ADDR" -jobs 1 -data-dir "$WORK/data" \
+    2>"$WORK/daemon2.log" &
+DAEMON_PID=$!
+wait_for '"ok"' "$BASE/healthz"
+grep -q "recovered previous run" "$WORK/daemon2.log" || fail "no recovery notice in restart log"
+grep -q "1 resumed from checkpoints" "$WORK/daemon2.log" || { cat "$WORK/daemon2.log" >&2; fail "job was not resumed from its checkpoint"; }
+say "restarted daemon resumed $JOB from its checkpoint"
+
+wait_for '"state": *"done"' "$BASE/jobs/$JOB"
+STATUS=$(curl -sf "$BASE/jobs/$JOB")
+echo "$STATUS" | grep -q '"resumed": *true' || fail "status not marked resumed: $STATUS"
+GOT=$(echo "$STATUS" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*')
+[ "$GOT" = "$STAND" ] || fail "resumed run found $GOT stand trees, want $STAND"
+LINES=$(curl -sf "$BASE/jobs/$JOB/trees" | grep -c '"tree"')
+[ "$LINES" -ge "$STAND" ] || fail "spool replays $LINES trees, want >= $STAND (at-least-once)"
+say "resumed run finished with the exact stand ($GOT trees; spool replays $LINES lines)"
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+[ "$STATUS" = "0" ] || { cat "$WORK/daemon2.log" >&2; fail "daemon exited $STATUS after SIGTERM"; }
+
+# Third incarnation: the finished job must be adopted from the journal —
+# immediately done, same totals, no re-run.
+"$WORK/gentriusd" -addr "$ADDR" -jobs 1 -data-dir "$WORK/data" \
+    2>"$WORK/daemon3.log" &
+DAEMON_PID=$!
+wait_for '"ok"' "$BASE/healthz"
+grep -q "finished adopted" "$WORK/daemon3.log" || { cat "$WORK/daemon3.log" >&2; fail "finished job not adopted on restart"; }
+wait_for '"state": *"done"' "$BASE/jobs/$JOB"
+GOT=$(curl -sf "$BASE/jobs/$JOB" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*')
+[ "$GOT" = "$STAND" ] || fail "adopted job reports $GOT stand trees, want $STAND"
+say "second restart adopted finished $JOB from the journal"
+
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+[ "$STATUS" = "0" ] || { cat "$WORK/daemon3.log" >&2; fail "daemon exited $STATUS after SIGTERM"; }
+say "PASS"
