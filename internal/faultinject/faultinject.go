@@ -8,7 +8,8 @@
 // Three fault shapes cover the failure model of the enumeration stack:
 //
 //   - MaybePanic: throw a *Panic at a hook point (worker-crash simulation;
-//     internal/parallel recovers these at the task-execution boundary);
+//     internal/parallel recovers these while the attempt has published no
+//     externally visible progress, and fails the run otherwise);
 //   - Err: return a typed *Error from an I/O site (torn spool and checkpoint
 //     writes; internal/service retries these with capped backoff);
 //   - Stall: sleep the rule's Delay (slow-consumer backpressure).
@@ -41,6 +42,12 @@ const (
 	// initial-split share or a stolen task), before the first engine step —
 	// the boundary at which a panic is recoverable with exact counters.
 	TaskExec Site = iota
+	// EngineStep fires at the start of the Nth engine step inside a
+	// parallel worker's task execution — past the recoverable boundary
+	// once the attempt has flushed counters, streamed a tree, or submitted
+	// a sub-task, so internal/parallel escalates such a panic to a fatal
+	// WorkerPanicError instead of retrying.
+	EngineStep
 	// CheckpointWrite fires when a checkpoint is about to be persisted.
 	CheckpointWrite
 	// SpoolWrite fires when a tree-spool line is about to be written.
@@ -56,6 +63,7 @@ const (
 
 var siteNames = [numSites]string{
 	TaskExec:        "taskexec",
+	EngineStep:      "enginestep",
 	CheckpointWrite: "ckptwrite",
 	SpoolWrite:      "spoolwrite",
 	JournalWrite:    "journalwrite",

@@ -114,6 +114,39 @@ func TestPanicBudgetExhaustedFailsRun(t *testing.T) {
 	}
 }
 
+// TestMidEnginePanicFailsRun: a panic landing after the attempt has
+// published progress (counter flushes with batch size 1, streamed trees,
+// submitted sub-tasks) must not be requeued — retrying would re-count the
+// flushed portion and duplicate trees — so the run fails with a
+// *WorkerPanicError marked Dirty despite a generous retry budget.
+func TestMidEnginePanicFailsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(8484))
+	cons := randomScenario(rng, 12, 2, 4, 0.5)
+	inj := faultinject.New(9).Set(faultinject.EngineStep, faultinject.Rule{Every: 60})
+	_, err := Run(cons, Options{
+		Threads:     1, // single worker: deterministic step sequence
+		InitialTree: -1,
+		Limits:      unlimited(),
+		// Flush every step, so by occurrence 60 the attempt is dirty.
+		TreeBatch: 1, StateBatch: 1, DeadEndBatch: 1,
+		Fault:          inj,
+		MaxTaskRetries: 1 << 20,
+	})
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("error %T (%v), want *WorkerPanicError", err, err)
+	}
+	if !wpe.Dirty {
+		t.Fatal("mid-engine panic after flushed progress must escalate as dirty")
+	}
+	if wpe.Attempts != 1 {
+		t.Fatalf("attempts %d, want 1 (dirty panics must not retry)", wpe.Attempts)
+	}
+	if _, ok := wpe.Value.(faultinject.Panic); !ok {
+		t.Fatalf("panic value %T, want faultinject.Panic", wpe.Value)
+	}
+}
+
 // TestNoRetryModeFailsFast: MaxTaskRetries < 0 turns the first panic fatal.
 func TestNoRetryModeFailsFast(t *testing.T) {
 	rng := rand.New(rand.NewSource(8282))

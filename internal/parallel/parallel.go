@@ -122,8 +122,10 @@ type Options struct {
 
 	// Fault attaches deterministic fault injection (nil: no faults). The
 	// pool honours the TaskExec site (panic at the start of the Nth task
-	// execution — exercised by the recovery path) and the TreeStream site
-	// (stall in the collector, simulating a slow consumer).
+	// execution — exercised by the recovery path), the EngineStep site
+	// (panic at the Nth engine step — mid-task, so recovery escalates once
+	// the attempt has published progress) and the TreeStream site (stall
+	// in the collector, simulating a slow consumer).
 	Fault *faultinject.Injector
 
 	// MaxTaskRetries bounds how many times a single task may panic and be
@@ -133,17 +135,27 @@ type Options struct {
 	MaxTaskRetries int
 }
 
-// WorkerPanicError is the fatal outcome when one task's panics exhaust the
-// retry budget: the run stops (reason StopFailed) and Run returns this
+// WorkerPanicError is the fatal outcome when a task's panic cannot be
+// recovered: its retry budget is exhausted, or the panicking attempt had
+// already published externally visible progress (a counter flush, a
+// streamed tree, a submitted sub-task), so re-executing it would
+// double-count. The run stops (reason StopFailed) and Run returns this
 // error carrying the last panic value and its stack.
 type WorkerPanicError struct {
 	Worker   int    // worker that observed the final panic
 	Value    any    // the panic value (a faultinject.Panic for injected faults)
 	Stack    []byte // stack captured at the final recover
 	Attempts int    // executions of the task, all panicked
+	// Dirty marks a panic escalated because the attempt had already
+	// published progress, making a verbatim retry unsound.
+	Dirty bool
 }
 
 func (e *WorkerPanicError) Error() string {
+	if e.Dirty {
+		return fmt.Sprintf("parallel: task panicked on worker %d after publishing progress (attempt %d, not retryable): %v",
+			e.Worker, e.Attempts, e.Value)
+	}
 	return fmt.Sprintf("parallel: task panicked in %d attempt(s), last on worker %d: %v",
 		e.Attempts, e.Worker, e.Value)
 }
@@ -553,8 +565,15 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	baseDepth := t.Depth() // I_0
 
 	var local search.Counters // since last flush
+	// attemptDirty marks the current task attempt as having published
+	// externally visible progress — a counter flush, a streamed tree, or a
+	// submitted sub-task. A panic after that point must not requeue the
+	// task: the retry would re-count the flushed portion, re-emit the
+	// streamed trees, and re-explore halves another worker already owns.
+	var attemptDirty bool
 	flush := func() {
 		if local != (search.Counters{}) {
+			attemptDirty = true
 			if local.StandTrees != 0 {
 				g.trees.Add(local.StandTrees)
 			}
@@ -622,15 +641,23 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				recycleTask(tk)
 				return 0
 			}
+			attemptDirty = true
 			rec.Emit(obs.EvTaskSubmit, w, obs.F("taxon", int64(f.Taxon)),
 				obs.F("branches", int64(n)), obs.F("path", pathLen))
 			return n
 		}
 		if treeCh != nil {
-			eng.OnTree = func(nw string) { treeCh <- nw }
+			eng.OnTree = func(nw string) {
+				// The tree is externally visible the moment it is sent, so
+				// mark the attempt before the send: a panic anywhere after
+				// must not requeue-and-duplicate it.
+				attemptDirty = true
+				treeCh <- nw
+			}
 		}
 		steps := 0
 		for {
+			opt.Fault.MaybePanic(faultinject.EngineStep)
 			if eng.Step() == search.EvDone {
 				break
 			}
@@ -662,15 +689,20 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 
 	// executeTask runs one task — replay its path from I_0, enumerate its
 	// branch share, rewind — under a recover() barrier. The task's replay
-	// triple is never mutated by execution, so on a panic the task can be
-	// requeued verbatim for any worker. The panicked attempt's unflushed
-	// local counters are dropped (they reached neither the globals nor the
-	// per-worker total, so conservation stays exact) and this worker's
-	// terrace is rebuilt from scratch: the unwound stack may have left it
-	// mid-mutation. Once a task's retries exceed the budget the run fails
-	// with a *WorkerPanicError. Returns true when the caller still owns
-	// the task (normal completion); false when recovery took it over.
+	// triple is never mutated by execution, so a panic before the attempt
+	// publishes any progress (no counter flush, no streamed tree, no
+	// submitted sub-task) requeues the task verbatim for any worker: the
+	// attempt's unflushed local counters are dropped (they reached neither
+	// the globals nor the per-worker total, so conservation stays exact)
+	// and this worker's terrace is rebuilt from scratch, since the unwound
+	// stack may have left it mid-mutation. A panic after visible progress —
+	// or once a task's retries exceed the budget — fails the run with a
+	// *WorkerPanicError: re-executing a dirty attempt would re-count the
+	// flushed portion and duplicate streamed trees. Returns true when the
+	// caller still owns the task (normal completion); false when recovery
+	// took it over.
 	executeTask := func(tk *task) (ok bool) {
+		attemptDirty = false
 		defer func() {
 			r := recover()
 			if r == nil {
@@ -680,12 +712,13 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			m.WorkerPanics.Inc()
 			rec.Emit(obs.EvPanic, w, obs.F("taxon", int64(tk.taxon)),
 				obs.F("attempt", int64(tk.retries+1)))
+			dirty := attemptDirty
 			local = search.Counters{}
 			basePath = nil
 			drainStats(t)
 			t = buildTerrace()
 			tk.retries++
-			if opt.MaxTaskRetries >= 0 && tk.retries <= opt.MaxTaskRetries {
+			if !dirty && opt.MaxTaskRetries >= 0 && tk.retries <= opt.MaxTaskRetries {
 				if q.requeue(tk) {
 					rec.Emit(obs.EvRequeue, w, obs.F("taxon", int64(tk.taxon)),
 						obs.F("attempt", int64(tk.retries)))
@@ -697,7 +730,7 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				recycleTask(tk)
 				return
 			}
-			g.fail(&WorkerPanicError{Worker: w, Value: r, Stack: stack, Attempts: tk.retries})
+			g.fail(&WorkerPanicError{Worker: w, Value: r, Stack: stack, Attempts: tk.retries, Dirty: dirty})
 			q.shutdown()
 		}()
 		opt.Fault.MaybePanic(faultinject.TaskExec)

@@ -414,6 +414,160 @@ func TestRestartInterruptsUnresumableJobs(t *testing.T) {
 	}
 }
 
+// TestJournalSubmitPrecedesState: the WAL invariant — a job's submit
+// record is durable before the job can run, so no state record ever lands
+// ahead of its submit record, even for jobs that finish instantly.
+func TestJournalSubmitPrecedesState(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 4, QueueCap: 16, DataDir: dir})
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		job, err := m.Submit(smallRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := openJournal(filepath.Join(dir, journalFile), nil, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	submitted := map[string]bool{}
+	for _, rec := range recs {
+		switch rec.Op {
+		case "submit":
+			submitted[rec.ID] = true
+		case "state":
+			if !submitted[rec.ID] {
+				t.Fatalf("state record (%s) for %s precedes its submit record", rec.State, rec.ID)
+			}
+		}
+	}
+	if len(submitted) != 8 {
+		t.Fatalf("journal has %d submit records, want 8", len(submitted))
+	}
+}
+
+// TestQueueCapSurvivesRecovery: the queue channel is enlarged to hold
+// recovered jobs, but once they drain the extra capacity must not leak to
+// new submissions — cfg.QueueCap still bounds them.
+func TestQueueCapSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var recs []journalRecord
+	for i := 1; i <= 3; i++ {
+		recs = append(recs, journalRecord{Op: "submit", ID: fmt.Sprintf("j%06d", i),
+			Req: &JobRequest{Trees: smallRequest().Trees}})
+	}
+	writeJournal(t, dir, recs...)
+	m := newTestManager(t, Config{Workers: 1, QueueCap: 1, DataDir: dir})
+	if rec := m.Recovery(); rec.Requeued != 3 {
+		t.Fatalf("recovery %+v, want 3 requeued", rec)
+	}
+	for _, j := range m.List() {
+		waitDone(t, j)
+	}
+	// The recovered jobs have drained; QueueCap=1 must still hold: one
+	// running job, one queued job, and the next submission rejected.
+	blocker, err := m.Submit(hugeRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSpooled(t, blocker)
+	if _, err := m.Submit(smallRequest()); err != nil {
+		t.Fatalf("queueing within cap: %v", err)
+	}
+	if _, err := m.Submit(smallRequest()); err != ErrQueueFull {
+		t.Fatalf("Submit past QueueCap after recovery = %v, want ErrQueueFull", err)
+	}
+	m.Cancel(blocker.ID())
+}
+
+// TestRecoverySurfacesSpoolFailure: a journaled job whose spool cannot be
+// reopened must not vanish from the job table — it is registered
+// interrupted with the spool error and counted.
+func TestRecoverySurfacesSpoolFailure(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir,
+		journalRecord{Op: "submit", ID: "j000001", Req: &JobRequest{Trees: smallRequest().Trees}},
+	)
+	// A directory where the spool file should be makes adoption fail.
+	if err := os.Mkdir(filepath.Join(dir, "j000001.trees"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	m := newTestManager(t, Config{Workers: 1, DataDir: dir, Metrics: met})
+	if rec := m.Recovery(); rec.Interrupted != 1 {
+		t.Fatalf("recovery %+v, want 1 interrupted", rec)
+	}
+	job, ok := m.Get("j000001")
+	if !ok {
+		t.Fatal("job with an unusable spool vanished from the table")
+	}
+	st := job.Status()
+	if st.State != StateInterrupted || !strings.Contains(st.Error, "spool") {
+		t.Fatalf("job %+v, want interrupted with a spool explanation", st)
+	}
+	select {
+	case <-job.Done():
+	default:
+		t.Fatal("interrupted job is not terminal")
+	}
+	if got := reg.Snapshot()["gentriusd_jobs_interrupted_total"]; got != 1 {
+		t.Fatalf("JobsInterrupted metric %v, want 1", got)
+	}
+}
+
+// TestFinishedJobRemovesCheckpointRotation: a complete job discards both
+// its periodic checkpoint and the .bak rotation, so a restart cannot
+// resurrect a stale snapshot of finished work.
+func TestFinishedJobRemovesCheckpointRotation(t *testing.T) {
+	cat := func(prefix string) string {
+		s := "(A,B)"
+		for i := 0; i < 5; i++ {
+			s = "(" + s + "," + fmt.Sprintf("%s%d", prefix, i) + ")"
+		}
+		return "((" + s + ",C),D);"
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	dir := t.TempDir()
+	m := newTestManager(t, Config{
+		Workers: 1, DataDir: dir, Checkpoint: true, CheckpointEvery: 1, Metrics: met,
+	})
+	job, err := m.Submit(JobRequest{
+		Trees: []string{cat("x"), cat("y")}, MaxTrees: -1, MaxStates: -1, MaxTimeSeconds: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if st := job.Status(); st.State != StateDone || !st.Complete || st.CheckpointFile != "" {
+		t.Fatalf("job %+v, want done+complete without a checkpoint", st)
+	}
+	// At least two periodic writes happened, so the .bak rotation existed.
+	if got := reg.Snapshot()["gentriusd_checkpoint_writes_total"]; got < 2 {
+		t.Fatalf("only %v checkpoint writes; the .bak rotation was never exercised", got)
+	}
+	for _, p := range []string{
+		filepath.Join(dir, "j000001.ckpt"),
+		filepath.Join(dir, "j000001.ckpt.bak"),
+	} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("obsolete checkpoint file %s survived job completion (err=%v)", p, err)
+		}
+	}
+}
+
 // TestJournalTornTailTolerated: replay stops cleanly at a half-written
 // final record and appending afterwards works.
 func TestJournalTornTailTolerated(t *testing.T) {

@@ -305,6 +305,7 @@ type Manager struct {
 	order     []string // submission order, for stable listings
 	nextID    int
 	closed    bool
+	queued    int // Submit-accepted jobs currently in the queue channel (the QueueCap budget)
 	recovered RecoveryStats
 
 	queue   chan *Job
@@ -347,11 +348,11 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
 	pending := m.replay(records)
-	qcap := cfg.QueueCap
-	if len(pending) > qcap {
-		qcap = len(pending) // recovered jobs must never hit ErrQueueFull
-	}
-	m.queue = make(chan *Job, qcap)
+	// Recovered jobs must never hit ErrQueueFull, so the channel is sized
+	// for both them and a full QueueCap of new submissions; the QueueCap
+	// budget itself is enforced by Submit via m.queued, so the enlarged
+	// capacity cannot leak to new jobs once the recovered ones drain.
+	m.queue = make(chan *Job, cfg.QueueCap+len(pending))
 	for _, job := range pending {
 		m.queue <- job
 		m.m.JobsQueued.Add(1)
@@ -403,9 +404,6 @@ func (m *Manager) replay(records []journalRecord) []*Job {
 			m.nextID = n
 		}
 		job := m.recoverJob(id, e.req, e.last)
-		if job == nil {
-			continue
-		}
 		m.jobs[id] = job
 		m.order = append(m.order, id)
 		if job.state == StateQueued {
@@ -415,13 +413,18 @@ func (m *Manager) replay(records []journalRecord) []*Job {
 	return pending
 }
 
-// recoverJob reconstructs one journaled job. It returns nil only if the
-// job's spool cannot be reopened at all.
+// recoverJob reconstructs one journaled job; it never returns nil — a job
+// whose spool cannot be reopened is registered as interrupted, carrying
+// the spool error, instead of silently vanishing from the job table.
 func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Job {
 	wasTerminal := terminal(last.State)
-	sp, err := adoptSpool(filepath.Join(m.cfg.DataDir, id+".trees"), wasTerminal, m.cfg.Fault, m.m)
-	if err != nil {
-		return nil
+	spoolPath := filepath.Join(m.cfg.DataDir, id+".trees")
+	sp, spErr := adoptSpool(spoolPath, wasTerminal, m.cfg.Fault, m.m)
+	if spErr != nil {
+		// Stand in a closed, empty spool so Status and streaming stay
+		// well-defined; the job goes terminal with the error below.
+		sp = &spool{path: spoolPath, closed: true, m: m.m}
+		sp.cond = sync.NewCond(&sp.mu)
 	}
 	job := &Job{
 		id:      id,
@@ -436,6 +439,17 @@ func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Jo
 	}
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
 	ckptPath := filepath.Join(m.cfg.DataDir, id+".ckpt")
+
+	if spErr != nil {
+		job.state = StateInterrupted
+		job.finished = time.Now()
+		job.err = fmt.Errorf("service: restart recovery: spool unusable: %w", spErr)
+		close(job.done)
+		m.jnl.append(journalRecord{Op: "state", ID: id, State: StateInterrupted, Error: job.err.Error()})
+		m.recovered.Interrupted++
+		m.m.JobsInterrupted.Inc()
+		return job
+	}
 
 	if wasTerminal {
 		job.state = last.State
@@ -581,6 +595,11 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		m.m.JobsRejected.Inc()
 		return nil, ErrShuttingDown
 	}
+	if m.queued >= m.cfg.QueueCap {
+		m.mu.Unlock()
+		m.m.JobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
 	m.nextID++
 	id := fmt.Sprintf("j%06d", m.nextID)
 	sp, err := newSpool(filepath.Join(m.cfg.DataDir, id+".trees"), m.cfg.Fault, m.m)
@@ -599,18 +618,18 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		done:    make(chan struct{}),
 	}
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
-	select {
-	case m.queue <- job:
-	default:
-		m.mu.Unlock()
-		sp.Remove()
-		m.m.JobsRejected.Inc()
-		return nil, ErrQueueFull
-	}
+	// WAL invariant: the submit record is durable before the job can run
+	// or be observed, so a pool worker cannot journal a state transition
+	// ahead of the submission it belongs to. The capacity check above
+	// reserved a queue slot under m.mu (only workers remove from the
+	// channel, and recovered jobs were budgeted into its capacity), so
+	// the send below cannot block.
+	m.jnl.append(journalRecord{Op: "submit", ID: id, Req: &req})
 	m.jobs[id] = job
 	m.order = append(m.order, id)
+	m.queued++
+	m.queue <- job
 	m.mu.Unlock()
-	m.jnl.append(journalRecord{Op: "submit", ID: id, Req: &req})
 	m.m.JobsSubmitted.Inc()
 	m.m.JobsQueued.Add(1)
 	return job, nil
@@ -659,8 +678,20 @@ func (m *Manager) Cancel(id string) bool {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {
-		m.m.JobsQueued.Add(-1)
+		m.dequeued(job)
 		m.runJob(job)
+	}
+}
+
+// dequeued releases the accounting a queued job holds: the JobsQueued
+// gauge and — for jobs that arrived through Submit — the QueueCap budget.
+// Recovered jobs never counted against the budget.
+func (m *Manager) dequeued(job *Job) {
+	m.m.JobsQueued.Add(-1)
+	if !job.resumed {
+		m.mu.Lock()
+		m.queued--
+		m.mu.Unlock()
 	}
 }
 
@@ -778,10 +809,15 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 			job.ckptPath = path
 		}
 	}
+	var staleCkpt string
 	if res != nil && res.Complete() && job.ckptPath != "" {
-		// The stand is fully enumerated; any periodic checkpoint is
-		// obsolete and must not be offered for resumption.
-		os.Remove(job.ckptPath)
+		// The stand is fully enumerated; the periodic checkpoint (and its
+		// .bak rotation) is obsolete and must not be offered for
+		// resumption. Deletion waits until the terminal journal record is
+		// durable: a crash in between must not leave a running-state
+		// journal whose replay resumes the finished job from a stale
+		// snapshot.
+		staleCkpt = job.ckptPath
 		job.ckptPath = ""
 	}
 	state := job.state
@@ -796,8 +832,13 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 		rec.DeadEnds = res.DeadEnds
 	}
 	job.mu.Unlock()
-	// The terminal record is durable before Done() observers can act on it.
+	// The terminal record is durable before Done() observers can act on it
+	// and before the obsolete checkpoint files disappear.
 	m.jnl.append(rec)
+	if staleCkpt != "" {
+		os.Remove(staleCkpt)
+		os.Remove(staleCkpt + ".bak")
+	}
 	job.spool.Close()
 	close(job.done)
 	switch state {
@@ -831,7 +872,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		// Queued jobs a worker never picked up (the queue was closed with
 		// entries still buffered) are finished here.
 		for job := range m.queue {
-			m.m.JobsQueued.Add(-1)
+			m.dequeued(job)
 			m.finish(job, nil, nil)
 		}
 		close(done)
