@@ -116,13 +116,23 @@ func main() {
 	start := time.Now()
 
 	// Observability: any of the three flags attaches a metric set; the
-	// trace recorder is separate so each costs nothing when off.
+	// trace recorder is separate so each costs nothing when off. The
+	// progress reporter additionally attaches a search-space estimator so
+	// its ETA works with no limits set.
 	var metrics *obs.SchedMetrics
 	var registry *obs.Registry
+	var estimator *obs.Estimator
 	if *metricsAddr != "" || *progress > 0 || *traceOut != "" {
 		registry = obs.NewRegistry()
 		metrics = obs.NewSchedMetrics(registry)
 		opt.Obs = &gentrius.ObsSink{Metrics: metrics}
+		if *progress > 0 {
+			estimator = &obs.Estimator{}
+			opt.Obs.Estimate = estimator
+			registry.GaugeFunc("gentrius_fraction_explored",
+				"estimated fraction of the search space explored (weighted backtrack estimator)",
+				estimator.Fraction)
+		}
 	}
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
@@ -149,7 +159,7 @@ func main() {
 	if *progress > 0 {
 		lim := search.Limits{MaxTrees: *maxTrees, MaxStates: *maxStates}.Normalize()
 		stop := obs.StartProgress(os.Stderr, *progress,
-			obs.ProgressFromMetrics(metrics, lim.MaxTrees, lim.MaxStates))
+			obs.ProgressFromMetrics(metrics, estimator, lim.MaxTrees, lim.MaxStates))
 		defer stop()
 	}
 

@@ -32,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -61,8 +62,15 @@ func main() {
 		readTO     = flag.Duration("read-timeout", 30*time.Second, "HTTP request read timeout (0 = none)")
 		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP response write timeout; tree streams extend it per write (0 = none)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown budget")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("-log-level: %w", err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *dataDir == "" {
 		d, err := os.MkdirTemp("", "gentriusd-")
@@ -77,8 +85,7 @@ func main() {
 		fatal(fmt.Errorf("%s: %w", faultinject.EnvVar, err))
 	}
 	if fault != nil {
-		fmt.Fprintf(os.Stderr, "gentriusd: fault injection active (%s, seed %d)\n",
-			faultinject.EnvVar, fault.Seed())
+		logger.Warn("fault injection active", "env", faultinject.EnvVar, "seed", fault.Seed())
 	}
 
 	reg := obs.NewRegistry()
@@ -103,14 +110,10 @@ func main() {
 		Fault:              fault,
 		Metrics:            metrics,
 		Sink:               &gentrius.ObsSink{Metrics: sched},
+		Logger:             logger,
 	})
 	if err != nil {
 		fatal(err)
-	}
-	if rec := mgr.Recovery(); rec != (service.RecoveryStats{}) {
-		fmt.Fprintf(os.Stderr,
-			"gentriusd: recovered previous run: %d finished adopted, %d resumed from checkpoints, %d requeued, %d interrupted\n",
-			rec.Adopted, rec.Resumed, rec.Requeued, rec.Interrupted)
 	}
 
 	mux := obs.NewMux(reg)
@@ -130,32 +133,31 @@ func main() {
 			fatal(err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "gentriusd: listening on %s (data dir %s, %d workers)\n",
-		ln.Addr(), *dataDir, *jobs)
+	logger.Info("listening", "addr", ln.Addr().String(), "data_dir", *dataDir, "workers", *jobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop()
-	fmt.Fprintln(os.Stderr, "gentriusd: shutting down (cancelling jobs, checkpointing serial runs)")
+	logger.Info("signal received: shutting down (cancelling jobs, checkpointing serial runs)")
 
 	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Jobs first: cancelling them closes the spools, which ends the NDJSON
 	// streams, which lets the HTTP server drain its connections.
 	if err := mgr.Shutdown(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "gentriusd:", err)
+		logger.Error("shutdown", "error", err.Error())
 	}
 	if err := srv.Shutdown(graceCtx); err != nil {
 		srv.Close()
 	}
 	for _, j := range mgr.List() {
 		if st := j.Status(); st.CheckpointFile != "" {
-			fmt.Fprintf(os.Stderr, "gentriusd: job %s checkpointed to %s (resume with: gentrius -resume %s ...)\n",
-				st.ID, st.CheckpointFile, st.CheckpointFile)
+			logger.Info("job checkpointed; resume with gentrius -resume",
+				"job", st.ID, "checkpoint", st.CheckpointFile)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "gentriusd: bye")
+	logger.Info("bye")
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+// Command obsreport analyzes a JSONL scheduler trace offline. It emits a
+// markdown report (per-worker utilization, steal-latency distribution, load
+// imbalance, counter-conservation audit) and optionally a Chrome
+// trace-event JSON file that opens directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	gentrius -trace run.jsonl ...            # or simsched/gentriusd traces
+//	obsreport -trace run.jsonl -perfetto run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gentrius/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSONL scheduler trace to analyze ('-' for stdin)")
+	outPath := flag.String("out", "", "write the markdown report here (default stdout)")
+	perfetto := flag.String("perfetto", "", "also write Chrome trace-event JSON here (open in Perfetto)")
+	units := flag.String("units", "ticks", "timestamp units in the trace: ticks (simulator) or ns (wall clock)")
+	flag.Parse()
+
+	if err := run(*tracePath, *outPath, *perfetto, *units); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, outPath, perfetto, units string) error {
+	if tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	var unitsPerMicro float64
+	switch units {
+	case "ticks":
+		unitsPerMicro = 1 // one virtual tick displayed as 1µs
+	case "ns":
+		unitsPerMicro = 1000
+	default:
+		return fmt.Errorf("-units must be ticks or ns, got %q", units)
+	}
+
+	var in io.Reader
+	if tracePath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadTrace(in)
+	if err != nil {
+		return err
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := obs.Analyze(events, units).WriteMarkdown(out); err != nil {
+		return err
+	}
+
+	if perfetto != "" {
+		f, err := os.Create(perfetto)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, events, unitsPerMicro); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -275,6 +275,7 @@ func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.O
 		CheckpointOnStop: opt.CheckpointOnStop,
 		CheckpointEvery:  opt.CheckpointEvery,
 		OnCheckpoint:     opt.OnCheckpoint,
+		Estimator:        opt.Obs.Estimator(),
 	}
 	popt := parallel.Options{
 		Ctx:          ctx,

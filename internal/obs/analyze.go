@@ -1,0 +1,263 @@
+// Offline trace analysis: turns a parsed scheduler trace into the summary
+// cmd/obsreport renders — per-worker utilization, steal-latency
+// distribution, load imbalance, and a counter-conservation audit that
+// cross-checks span pairing, submit/steal bookkeeping, and flushed counter
+// totals against the stop-rule snapshot.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gentrius/internal/stats"
+)
+
+// WorkerStat aggregates one worker's activity over the trace.
+type WorkerStat struct {
+	ID          int
+	Tasks       int64   // task-begin events on this worker
+	Steals      int64   // tasks it dequeued from the shared queue
+	Busy        int64   // time units inside task spans (open spans run to trace end)
+	Utilization float64 // Busy / trace span
+}
+
+// TraceReport is the analysis of one scheduler trace.
+type TraceReport struct {
+	Events   int
+	FirstTS  int64
+	LastTS   int64
+	Units    string // timestamp unit label ("ticks" or "ns")
+	ByWorker []WorkerStat
+
+	TaskBegins, TaskEnds, OpenSpans int64
+	Submits, Rejects, Steals        int64
+
+	StealLatency stats.Summary // submit→steal delay per stolen task id
+
+	// Imbalance is max/mean busy time across workers (1 = perfectly even);
+	// zero when no worker was ever busy.
+	Imbalance float64
+
+	// Flushed counter totals (sums of flush-event deltas) and, when the
+	// trace ends with a stop event, the global totals it snapshotted.
+	Flushes                            int64
+	FlushTrees, FlushStates, FlushDead int64
+	HasStop                            bool
+	StopTrees, StopStates              int64
+
+	Panics int64
+
+	// Audit lists conservation violations; an empty list means the trace is
+	// internally consistent.
+	Audit []string
+}
+
+// Span returns the trace duration in timestamp units.
+func (r *TraceReport) Span() int64 { return r.LastTS - r.FirstTS }
+
+// Analyze computes a TraceReport. units labels timestamps in the rendered
+// report ("ticks" for simulator traces, "ns" for wall-clock ones).
+func Analyze(events []TraceEvent, units string) *TraceReport {
+	if units == "" {
+		units = "units"
+	}
+	rep := &TraceReport{Events: len(events), Units: units}
+	if len(events) == 0 {
+		return rep
+	}
+	rep.FirstTS = events[0].TS
+	rep.LastTS = events[0].TS
+	for _, e := range events {
+		if e.TS < rep.FirstTS {
+			rep.FirstTS = e.TS
+		}
+		if e.TS > rep.LastTS {
+			rep.LastTS = e.TS
+		}
+	}
+
+	type wstate struct {
+		WorkerStat
+		openSince []int64 // begin timestamps of currently open spans
+	}
+	ws := map[int]*wstate{}
+	worker := func(id int) *wstate {
+		s := ws[id]
+		if s == nil {
+			s = &wstate{WorkerStat: WorkerStat{ID: id}}
+			ws[id] = s
+		}
+		return s
+	}
+
+	submitTS := map[int64]int64{} // task id -> submit timestamp
+	var latencies []float64
+	stolen := map[int64]bool{}
+
+	for _, e := range events {
+		switch e.Ev {
+		case EvTaskStart:
+			w := worker(e.Worker)
+			w.Tasks++
+			w.openSince = append(w.openSince, e.TS)
+			rep.TaskBegins++
+		case EvTaskEnd:
+			w := worker(e.Worker)
+			rep.TaskEnds++
+			if n := len(w.openSince); n > 0 {
+				w.Busy += e.TS - w.openSince[n-1]
+				w.openSince = w.openSince[:n-1]
+			} else {
+				rep.Audit = append(rep.Audit, fmt.Sprintf(
+					"task-end on worker %d at %d %s with no open span",
+					e.Worker, e.TS, units))
+			}
+		case EvTaskSubmit:
+			rep.Submits++
+			if id := e.Get("task"); id != 0 {
+				submitTS[id] = e.TS
+			}
+		case EvTaskReject:
+			rep.Rejects++
+		case EvSteal:
+			rep.Steals++
+			worker(e.Worker).Steals++
+			if id := e.Get("task"); id != 0 {
+				if sub, ok := submitTS[id]; ok {
+					latencies = append(latencies, float64(e.TS-sub))
+				} else {
+					rep.Audit = append(rep.Audit, fmt.Sprintf(
+						"steal of task %d by worker %d has no matching submit",
+						id, e.Worker))
+				}
+				if stolen[id] {
+					rep.Audit = append(rep.Audit, fmt.Sprintf(
+						"task %d stolen more than once", id))
+				}
+				stolen[id] = true
+			}
+		case EvFlush:
+			rep.Flushes++
+			rep.FlushTrees += e.Get("trees")
+			rep.FlushStates += e.Get("states")
+			rep.FlushDead += e.Get("dead")
+		case EvStop:
+			rep.HasStop = true
+			rep.StopTrees = e.Get("trees")
+			rep.StopStates = e.Get("states")
+		case EvPanic:
+			rep.Panics++
+		}
+	}
+
+	// Close spans a stopped run left open, charging busy time to trace end.
+	for _, w := range ws {
+		for _, since := range w.openSince {
+			w.Busy += rep.LastTS - since
+			rep.OpenSpans++
+		}
+	}
+
+	span := rep.Span()
+	ids := make([]int, 0, len(ws))
+	for id := range ws {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var busySum, busyMax int64
+	for _, id := range ids {
+		w := ws[id]
+		if span > 0 {
+			w.Utilization = float64(w.Busy) / float64(span)
+		}
+		busySum += w.Busy
+		if w.Busy > busyMax {
+			busyMax = w.Busy
+		}
+		rep.ByWorker = append(rep.ByWorker, w.WorkerStat)
+	}
+	if busySum > 0 && len(ids) > 0 {
+		rep.Imbalance = float64(busyMax) * float64(len(ids)) / float64(busySum)
+	}
+
+	rep.StealLatency = stats.Summarize(latencies)
+
+	// Conservation checks across the whole trace.
+	if rep.TaskBegins != rep.TaskEnds+rep.OpenSpans {
+		rep.Audit = append(rep.Audit, fmt.Sprintf(
+			"span imbalance: %d begins vs %d ends + %d open",
+			rep.TaskBegins, rep.TaskEnds, rep.OpenSpans))
+	}
+	if rep.Steals > rep.Submits {
+		rep.Audit = append(rep.Audit, fmt.Sprintf(
+			"more steals (%d) than submissions (%d)", rep.Steals, rep.Submits))
+	}
+	if rep.HasStop {
+		if rep.FlushTrees < rep.StopTrees || rep.FlushStates < rep.StopStates {
+			rep.Audit = append(rep.Audit, fmt.Sprintf(
+				"stop snapshot (trees %d, states %d) exceeds flushed totals (trees %d, states %d)",
+				rep.StopTrees, rep.StopStates, rep.FlushTrees, rep.FlushStates))
+		}
+	}
+	return rep
+}
+
+// WriteMarkdown renders the report. Output is deterministic for a given
+// trace: workers sorted by id, fixed-precision numbers.
+func (r *TraceReport) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Scheduler trace report\n\n")
+	fmt.Fprintf(&b, "- events: %d\n", r.Events)
+	fmt.Fprintf(&b, "- span: %d %s (ts %d..%d)\n", r.Span(), r.Units, r.FirstTS, r.LastTS)
+	fmt.Fprintf(&b, "- tasks: %d begun, %d ended, %d left open\n",
+		r.TaskBegins, r.TaskEnds, r.OpenSpans)
+	fmt.Fprintf(&b, "- queue: %d submitted, %d rejected, %d stolen\n",
+		r.Submits, r.Rejects, r.Steals)
+	fmt.Fprintf(&b, "- flushes: %d (trees %d, states %d, dead-ends %d)\n",
+		r.Flushes, r.FlushTrees, r.FlushStates, r.FlushDead)
+	if r.HasStop {
+		fmt.Fprintf(&b, "- stop rule fired at trees %d, states %d\n",
+			r.StopTrees, r.StopStates)
+	}
+	if r.Panics > 0 {
+		fmt.Fprintf(&b, "- worker panics: %d\n", r.Panics)
+	}
+
+	fmt.Fprintf(&b, "\n## Per-worker utilization\n\n")
+	if len(r.ByWorker) == 0 {
+		fmt.Fprintf(&b, "(no task spans in trace)\n")
+	} else {
+		fmt.Fprintf(&b, "| worker | tasks | steals | busy (%s) | utilization |\n", r.Units)
+		fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+		for _, w := range r.ByWorker {
+			fmt.Fprintf(&b, "| %d | %d | %d | %d | %.1f%% |\n",
+				w.ID, w.Tasks, w.Steals, w.Busy, 100*w.Utilization)
+		}
+		fmt.Fprintf(&b, "\nLoad imbalance (max/mean busy): %.2f\n", r.Imbalance)
+	}
+
+	fmt.Fprintf(&b, "\n## Steal latency (submit to steal, %s)\n\n", r.Units)
+	if r.StealLatency.N == 0 {
+		fmt.Fprintf(&b, "(no submit/steal pairs in trace)\n")
+	} else {
+		s := r.StealLatency
+		fmt.Fprintf(&b, "| n | min | q1 | median | q3 | max | mean |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+		fmt.Fprintf(&b, "| %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f |\n",
+			s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+	}
+
+	fmt.Fprintf(&b, "\n## Conservation audit\n\n")
+	if len(r.Audit) == 0 {
+		fmt.Fprintf(&b, "clean: spans balanced, every steal matches a submission, "+
+			"flushed totals cover the stop snapshot\n")
+	} else {
+		for _, a := range r.Audit {
+			fmt.Fprintf(&b, "- VIOLATION: %s\n", a)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

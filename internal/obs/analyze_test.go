@@ -1,0 +1,183 @@
+// Golden tests for the offline trace pipeline: a committed simulator trace
+// must regenerate byte-identically (the simulator is deterministic), the
+// analyzer's markdown report must match its golden file, and the Chrome
+// trace-event export must be valid, deterministic JSON. Regenerate the
+// testdata with `go test ./internal/obs -run Golden -update`.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gentrius/internal/gen"
+	"gentrius/internal/obs"
+	"gentrius/internal/search"
+	"gentrius/internal/simsched"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden testdata files")
+
+const (
+	goldenTrace  = "testdata/sim_small.trace.jsonl"
+	goldenReport = "testdata/sim_small.report.md"
+)
+
+// genGoldenTrace reproduces the committed trace: the first small corpus
+// dataset whose 4-worker simulated run completes with work stealing.
+func genGoldenTrace(t *testing.T) []byte {
+	t.Helper()
+	cfg := gen.Default(gen.RegimeSimulated)
+	cfg.MinTaxa, cfg.MaxTaxa = 16, 30
+	lim := simsched.Limits{MaxTrees: 50_000, MaxStates: 50_000, MaxTicks: 500_000}
+	for idx := 0; idx < 200; idx++ {
+		ds := gen.Generate(cfg, idx)
+		var buf bytes.Buffer
+		rec := obs.NewRecorder(&buf, nil)
+		res, err := simsched.Run(ds.Constraints, simsched.Options{
+			Workers: 4, InitialTree: -1, Limits: lim, Trace: rec,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Stop != search.StopExhausted || res.TasksStolen == 0 ||
+			buf.Len() < 2_000 || buf.Len() > 64_000 {
+			continue
+		}
+		return buf.Bytes()
+	}
+	t.Fatal("no small corpus dataset completed with stealing")
+	return nil
+}
+
+func TestGoldenTraceRegenerates(t *testing.T) {
+	got := genGoldenTrace(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenTrace), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTrace, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("regenerated trace differs from %s (%d vs %d bytes); "+
+			"run with -update if the scheduler intentionally changed",
+			goldenTrace, len(got), len(want))
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.Analyze(events, "ticks")
+	if len(rep.Audit) != 0 {
+		t.Fatalf("golden trace fails conservation audit: %v", rep.Audit)
+	}
+	if rep.Steals == 0 || rep.TaskBegins == 0 || rep.StealLatency.N == 0 {
+		t.Fatalf("golden trace lacks expected activity: %+v", rep)
+	}
+	var got bytes.Buffer
+	if err := rep.WriteMarkdown(&got); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenReport, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("report differs from %s; run with -update if the analyzer "+
+			"intentionally changed.\n--- got ---\n%s", goldenReport, got.String())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := obs.WriteChromeTrace(&a, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&b, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Chrome export is not deterministic")
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("export malformed: unit %q, %d events",
+			doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	begins, ends, flowStarts, flowEnds := 0, 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced duration slices: %d B vs %d E", begins, ends)
+	}
+	if flowStarts == 0 || flowEnds == 0 {
+		t.Fatalf("missing steal-chain flow events: %d s, %d f", flowStarts, flowEnds)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := obs.ReadTrace(strings.NewReader("{bad json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := obs.ReadTrace(strings.NewReader(`{"ts":1,"w":0}` + "\n")); err == nil {
+		t.Fatal("missing ev must error")
+	}
+	evs, err := obs.ReadTrace(strings.NewReader(
+		"\n" + `{"ts":5,"ev":"steal","w":2,"task":9}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].TS != 5 || evs[0].Ev != "steal" ||
+		evs[0].Worker != 2 || evs[0].Get("task") != 9 || !evs[0].Has("task") {
+		t.Fatalf("parsed %+v", evs)
+	}
+}

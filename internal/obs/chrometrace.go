@@ -1,0 +1,164 @@
+// Chrome trace-event export: converts a parsed JSONL scheduler trace into
+// the Trace Event Format JSON that chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) open directly. Task-begin/task-end pairs become
+// duration slices on per-worker tracks, submit→steal handoffs become flow
+// arrows (the steal chains), and everything else becomes instant markers.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Trace Event Format "traceEvents" array.
+// json's sorted map keys for args keep the output byte-deterministic for a
+// given input trace.
+type chromeEvent struct {
+	Name  string  `json:"name,omitempty"`
+	Cat   string  `json:"cat,omitempty"`
+	Ph    string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+	ID    int64   `json:"id,omitempty"`
+	BP    string  `json:"bp,omitempty"`
+	Args  any     `json:"args,omitempty"`
+}
+
+// poolTID is the synthetic thread id pool-level events (worker -1, e.g.
+// stop-rule firings) are displayed on.
+const poolTID = 1 << 20
+
+// WriteChromeTrace renders events as Chrome Trace Event Format JSON.
+// unitsPerMicro converts recorder timestamps to microseconds: 1 for
+// virtual-tick traces (one tick displayed as one µs), 1000 for wall-clock
+// nanosecond traces. Task spans left open when the trace ends (a stopped
+// run) are closed at the final timestamp so every track stays balanced.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, unitsPerMicro float64) error {
+	if unitsPerMicro <= 0 {
+		unitsPerMicro = 1
+	}
+	us := func(ts int64) float64 { return float64(ts) / unitsPerMicro }
+	args := func(f map[string]int64) any {
+		if len(f) == 0 {
+			return nil
+		}
+		return f
+	}
+
+	workers := map[int]bool{}
+	maxTS := int64(0)
+	hasPool := false
+	for _, e := range events {
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+		if e.Worker >= 0 {
+			workers[e.Worker] = true
+		} else {
+			hasPool = true
+		}
+	}
+
+	// Metadata: name the process and one track per worker.
+	out := []chromeEvent{{Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]string{"name": "gentrius"}}}
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: 0,
+			TID: id, Args: map[string]string{"name": fmt.Sprintf("worker %d", id)}})
+	}
+	if hasPool {
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: 0,
+			TID: poolTID, Args: map[string]string{"name": "pool"}})
+	}
+
+	open := map[int]int{} // tid -> open task-begin count
+	for _, e := range events {
+		tid := e.Worker
+		scope := "t"
+		if tid < 0 {
+			tid = poolTID
+			scope = "p"
+		}
+		switch e.Ev {
+		case EvTaskStart:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("task %d", e.Get("task")),
+				Cat:  "task", Ph: "B", TS: us(e.TS), PID: 0, TID: tid,
+				Args: args(e.Fields),
+			})
+			open[tid]++
+		case EvTaskEnd:
+			if open[tid] > 0 {
+				out = append(out, chromeEvent{Ph: "E", TS: us(e.TS), PID: 0, TID: tid})
+				open[tid]--
+			}
+		case EvTaskSubmit:
+			out = append(out, chromeEvent{
+				Name: "submit", Cat: "handoff", Ph: "i", Scope: "t",
+				TS: us(e.TS), PID: 0, TID: tid, Args: args(e.Fields),
+			})
+			if id := e.Get("task"); id != 0 {
+				out = append(out, chromeEvent{
+					Name: "handoff", Cat: "handoff", Ph: "s",
+					TS: us(e.TS), PID: 0, TID: tid, ID: id,
+				})
+			}
+		case EvSteal:
+			out = append(out, chromeEvent{
+				Name: "steal", Cat: "handoff", Ph: "i", Scope: "t",
+				TS: us(e.TS), PID: 0, TID: tid, Args: args(e.Fields),
+			})
+			if id := e.Get("task"); id != 0 {
+				out = append(out, chromeEvent{
+					Name: "handoff", Cat: "handoff", Ph: "f", BP: "e",
+					TS: us(e.TS), PID: 0, TID: tid, ID: id,
+				})
+			}
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Ev, Cat: "sched", Ph: "i", Scope: scope,
+				TS: us(e.TS), PID: 0, TID: tid, Args: args(e.Fields),
+			})
+		}
+	}
+	// Close spans a stopped run left open (tid order, for determinism).
+	tids := make([]int, 0, len(open))
+	for tid := range open {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		for n := open[tid]; n > 0; n-- {
+			out = append(out, chromeEvent{Ph: "E", TS: us(maxTS), PID: 0, TID: tid})
+		}
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i := range out {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(&out[i])
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -226,6 +226,21 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// gaugeFunc is a gauge whose value is computed at render time — the
+// collector pattern for values that live elsewhere (e.g. a per-job
+// estimator) and should not need push-style update plumbing.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// GaugeFunc registers a gauge whose value is fn(), evaluated at every
+// WritePrometheus/Snapshot call. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+}
+
 // baseName strips a label suffix ('m{w="3"}' -> 'm') for HELP/TYPE lines.
 func baseName(name string) string {
 	if i := strings.IndexByte(name, '{'); i >= 0 {
@@ -266,6 +281,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		case *Gauge:
 			header(name, m.help, "gauge")
 			fmt.Fprintf(w, "%s %d\n", name, m.Value())
+		case *gaugeFunc:
+			header(name, m.help, "gauge")
+			fmt.Fprintf(w, "%s %g\n", name, m.fn())
 		case *Histogram:
 			header(name, m.help, "histogram")
 			base, labels := splitLabels(name)
@@ -321,6 +339,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 			out[name] = float64(m.Value())
 		case *Gauge:
 			out[name] = float64(m.Value())
+		case *gaugeFunc:
+			out[name] = m.fn()
 		case *Histogram:
 			out[name+"_count"] = float64(m.Count())
 			out[name+"_sum"] = m.Sum()

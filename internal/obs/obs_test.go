@@ -274,7 +274,7 @@ func TestProgressReporter(t *testing.T) {
 	reg := NewRegistry()
 	m := NewSchedMetrics(reg)
 	m.Trees.Add(50)
-	stop := StartProgress(w, 10*time.Millisecond, ProgressFromMetrics(m, 1000, 0))
+	stop := StartProgress(w, 10*time.Millisecond, ProgressFromMetrics(m, nil, 1000, 0))
 	defer stop()
 	deadline := time.Now().Add(2 * time.Second)
 	for {

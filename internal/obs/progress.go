@@ -1,6 +1,8 @@
 // Periodic progress reporting: a background ticker prints live counters
 // and throughput to stderr (or any writer), with an ETA against the first
-// stopping rule the run is on course to hit.
+// stopping rule the run is on course to hit — or, when an Estimator is
+// attached, against the estimated end of the search space itself, which
+// needs no limit at all.
 package obs
 
 import (
@@ -18,10 +20,16 @@ type Progress struct {
 
 	// Limits for ETA estimation; <= 0 means unlimited.
 	MaxTrees, MaxStates int64
+
+	// Fraction is the estimated fraction of the search space already
+	// explored (0 when no estimator is attached). It drives the
+	// limit-free ETA and the percent display.
+	Fraction float64
 }
 
-// ProgressFromMetrics adapts a SchedMetrics set into a snapshot function.
-func ProgressFromMetrics(m *SchedMetrics, maxTrees, maxStates int64) func() Progress {
+// ProgressFromMetrics adapts a SchedMetrics set (and an optional
+// estimator, which may be nil) into a snapshot function.
+func ProgressFromMetrics(m *SchedMetrics, est *Estimator, maxTrees, maxStates int64) func() Progress {
 	return func() Progress {
 		return Progress{
 			Trees:       m.Trees.Value(),
@@ -31,21 +39,26 @@ func ProgressFromMetrics(m *SchedMetrics, maxTrees, maxStates int64) func() Prog
 			QueueDepth:  m.QueueDepth.Value(),
 			MaxTrees:    maxTrees,
 			MaxStates:   maxStates,
+			Fraction:    est.Fraction(),
 		}
 	}
 }
 
 // StartProgress prints a progress line to w every interval until the
 // returned stop function is called. Rates are computed over the previous
-// interval; the ETA is the sooner of the tree- and state-limit horizons at
-// the current rates.
+// interval; the ETA is the soonest of the tree-limit, state-limit and
+// estimated-exhaustion horizons. The stop function emits one final summary
+// line covering the last partial interval (totals + elapsed) before it
+// returns, so short runs are never silent.
 func StartProgress(w io.Writer, interval time.Duration, snap func() Progress) (stop func()) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
 	done := make(chan struct{})
+	finished := make(chan struct{})
 	var once sync.Once
 	go func() {
+		defer close(finished)
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		start := time.Now()
@@ -54,6 +67,17 @@ func StartProgress(w io.Writer, interval time.Duration, snap func() Progress) (s
 		for {
 			select {
 			case <-done:
+				// Final summary: totals for the whole run, including the
+				// partial interval the ticker never reached.
+				cur := snap()
+				elapsed := time.Since(start)
+				line := fmt.Sprintf("progress %8s  done  trees %d  states %d  dead-ends %d  stolen %d",
+					elapsed.Round(time.Millisecond),
+					cur.Trees, cur.States, cur.DeadEnds, cur.TasksStolen)
+				if cur.Fraction > 0 {
+					line += fmt.Sprintf("  explored %.1f%%", cur.Fraction*100)
+				}
+				fmt.Fprintln(w, line)
 				return
 			case now := <-tick.C:
 				cur := snap()
@@ -67,15 +91,39 @@ func StartProgress(w io.Writer, interval time.Duration, snap func() Progress) (s
 					time.Since(start).Round(time.Second),
 					cur.Trees, treeRate, cur.States, stateRate,
 					cur.DeadEnds, cur.TasksStolen, cur.QueueDepth)
-				if eta, ok := etaSeconds(cur, treeRate, stateRate); ok {
-					line += fmt.Sprintf("  eta %s", time.Duration(eta*float64(time.Second)).Round(time.Second))
+				if cur.Fraction > 0 {
+					line += fmt.Sprintf("  explored %.1f%%", cur.Fraction*100)
+				}
+				if eta, ok := progressETA(cur, treeRate, stateRate, time.Since(start)); ok {
+					line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
 				}
 				fmt.Fprintln(w, line)
 				prev, prevT = cur, now
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// progressETA combines the limit-horizon ETA (rate extrapolation toward
+// the nearest finite stopping rule) with the estimator's exhaustion ETA
+// (elapsed*(1-f)/f), returning the sooner of the two. ok is false when
+// neither source can produce an estimate — no finite limit approached and
+// the explored fraction still too small to extrapolate from.
+func progressETA(p Progress, treeRate, stateRate float64, elapsed time.Duration) (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	if sec, limOK := etaSeconds(p, treeRate, stateRate); limOK {
+		best, ok = time.Duration(sec*float64(time.Second)), true
+	}
+	if eta, estOK := EstimateETA(p.Fraction, elapsed); estOK {
+		if !ok || eta < best {
+			best, ok = eta, true
+		}
+	}
+	return best, ok
 }
 
 // etaSeconds estimates seconds until the nearest stopping rule at the

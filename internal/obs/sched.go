@@ -138,11 +138,13 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// Sink is what a run attaches to: metrics, an event trace, or both.
-// A nil *Sink, or nil fields, disable the respective layer.
+// Sink is what a run attaches to: metrics, an event trace, a search-space
+// estimator, or any combination. A nil *Sink, or nil fields, disable the
+// respective layer.
 type Sink struct {
-	Metrics *SchedMetrics
-	Trace   *Recorder
+	Metrics  *SchedMetrics
+	Trace    *Recorder
+	Estimate *Estimator
 }
 
 // nopSched has every instrument nil, so all updates are no-op branches.
@@ -168,4 +170,13 @@ func (s *Sink) Recorder() *Recorder {
 		return nil
 	}
 	return s.Trace
+}
+
+// Estimator returns the sink's search-space estimator (nil-safe; a nil
+// *Estimator is itself a no-op, so callers can use the result directly).
+func (s *Sink) Estimator() *Estimator {
+	if s == nil {
+		return nil
+	}
+	return s.Estimate
 }

@@ -35,6 +35,14 @@ const (
 	EvStop        = "stop"         // a stopping rule fired
 	EvPanic       = "worker-panic" // a worker recovered from a panic mid-task
 	EvRequeue     = "task-requeue" // a panicked task was put back for retry
+
+	// Task-lineage span events: every task (including each worker's
+	// initial-split share) carries a run-unique id, submissions carry the
+	// submitting task's id as "parent", and begin/end bracket the task's
+	// execution on a worker — so steal chains and per-task spans are
+	// reconstructible offline (see cmd/obsreport).
+	EvTaskStart = "task-begin" // a worker starts executing a task
+	EvTaskEnd   = "task-end"   // the task's execution (incl. rewind) ended
 )
 
 // Field is one numeric key/value of a trace event. All scheduler payloads
@@ -82,7 +90,32 @@ func (r *Recorder) Emit(ev string, worker int, fields ...Field) {
 	r.EmitAt(ts, ev, worker, fields...)
 }
 
-// EmitAt records an event with an explicit timestamp (virtual time).
+// safeKeyByte reports whether c may appear verbatim in an event name or
+// field key: the identifier-ish alphabet that can never break the
+// hand-formatted JSON (no quotes, no backslashes, no control bytes).
+func safeKeyByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+// appendKey appends s as a JSON-safe name. The expected case — every byte
+// identifier-ish — is a straight copy; any other byte is replaced by '_',
+// so a hostile or buggy key can corrupt its own name but never the JSONL
+// framing. Allocation-free either way (writes into buf).
+func appendKey(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; safeKeyByte(c) {
+			buf = append(buf, c)
+		} else {
+			buf = append(buf, '_')
+		}
+	}
+	return buf
+}
+
+// EmitAt records an event with an explicit timestamp (virtual time). The
+// event name and field keys must be identifier-like ([A-Za-z0-9_.-]);
+// other bytes are replaced with '_' so they cannot break the JSON framing.
 func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
 	if r == nil {
 		return
@@ -93,12 +126,12 @@ func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
 	buf = append(buf, `{"ts":`...)
 	buf = strconv.AppendInt(buf, ts, 10)
 	buf = append(buf, `,"ev":"`...)
-	buf = append(buf, ev...)
+	buf = appendKey(buf, ev)
 	buf = append(buf, `","w":`...)
 	buf = strconv.AppendInt(buf, int64(worker), 10)
 	for _, f := range fields {
 		buf = append(buf, ',', '"')
-		buf = append(buf, f.K...)
+		buf = appendKey(buf, f.K)
 		buf = append(buf, '"', ':')
 		buf = strconv.AppendInt(buf, f.V, 10)
 	}

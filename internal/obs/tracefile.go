@@ -1,0 +1,86 @@
+// Offline trace reading: the parser for the JSONL scheduler traces the
+// Recorder writes. The hot path hand-formats events; the offline path can
+// afford encoding/json.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one parsed scheduler trace event.
+type TraceEvent struct {
+	TS     int64
+	Ev     string
+	Worker int
+	Fields map[string]int64
+}
+
+// Get returns the named payload field, or 0 when absent.
+func (e *TraceEvent) Get(k string) int64 { return e.Fields[k] }
+
+// Has reports whether the event carries the named payload field.
+func (e *TraceEvent) Has(k string) bool {
+	_, ok := e.Fields[k]
+	return ok
+}
+
+// ReadTrace parses a JSONL scheduler trace. Blank lines are skipped; a
+// malformed line fails with its line number.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []TraceEvent
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", ln, err)
+		}
+		ev := TraceEvent{Fields: map[string]int64{}}
+		for k, v := range raw {
+			if k == "ev" {
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("obs: trace line %d: non-string ev", ln)
+				}
+				ev.Ev = s
+				continue
+			}
+			num, ok := v.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("obs: trace line %d: non-numeric field %q", ln, k)
+			}
+			n, err := num.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: field %q: %w", ln, k, err)
+			}
+			switch k {
+			case "ts":
+				ev.TS = n
+			case "w":
+				ev.Worker = int(n)
+			default:
+				ev.Fields[k] = n
+			}
+		}
+		if ev.Ev == "" {
+			return nil, fmt.Errorf("obs: trace line %d: missing ev", ln)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}

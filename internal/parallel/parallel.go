@@ -181,11 +181,22 @@ type Result struct {
 // (path from I_0, taxon, branches) is self-contained and never mutated by
 // execution, so a task that panicked on one worker can be re-executed on
 // any other; retries counts those recovery attempts.
+//
+// id and parent carry the task lineage for span tracing: id is run-unique
+// (initial shares get 1..Threads, submissions continue the sequence) and
+// parent is the id of the task whose execution submitted this one, so
+// steal chains are reconstructible from the trace alone. weight is the
+// per-branch leaf mass the branches carried in the originating frame,
+// preserving the weighted backtrack estimator's telescoping invariant
+// across steals (see obs.Estimator).
 type task struct {
 	path     []search.PathStep
 	taxon    int
 	branches []int32
 	retries  int
+	id       int64
+	parent   int64
+	weight   float64
 }
 
 // taskPool recycles task objects together with their path and branch
@@ -201,6 +212,7 @@ func recycleTask(tk *task) {
 	tk.branches = tk.branches[:0]
 	tk.taxon = 0
 	tk.retries = 0
+	tk.id, tk.parent, tk.weight = 0, 0, 0
 	taskPool.Put(tk)
 }
 
@@ -310,15 +322,17 @@ func (q *queue) shutdown() {
 
 // globals holds the shared atomic counters and the stop flag.
 type globals struct {
-	trees   atomic.Int64
-	states  atomic.Int64
-	dead    atomic.Int64
-	flushes atomic.Int64
-	stop    atomic.Bool
-	reason  atomic.Int32
-	limits  search.Limits
-	started time.Time
-	rec     *obs.Recorder // nil when tracing is off
+	trees    atomic.Int64
+	states   atomic.Int64
+	dead     atomic.Int64
+	flushes  atomic.Int64
+	nextTask atomic.Int64 // task-id sequence (initial shares take 1..Threads)
+	stop     atomic.Bool
+	reason   atomic.Int32
+	limits   search.Limits
+	started  time.Time
+	rec      *obs.Recorder  // nil when tracing is off
+	est      *obs.Estimator // nil when estimation is off
 
 	failMu  sync.Mutex
 	failErr error // first fatal error (StopFailed path)
@@ -392,7 +406,8 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	m := opt.Obs.SchedMetrics()
 	m.EnsureWorkers(opt.Threads)
 	m.Workers.Set(int64(opt.Threads))
-	g := &globals{limits: opt.Limits, started: time.Now(), rec: opt.Obs.Recorder()}
+	g := &globals{limits: opt.Limits, started: time.Now(),
+		rec: opt.Obs.Recorder(), est: opt.Obs.Estimator()}
 
 	idx := opt.InitialTree
 	if idx < 0 {
@@ -424,7 +439,12 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	m.HeuristicO1Counts.Add(hs0.O1Counts)
 	m.HeuristicRecounts.Add(hs0.Recounts)
 	m.HeuristicIncUpdates.Add(hs0.IncUpdates)
+	g.est.AddCounters(prefix.Counters.StandTrees,
+		prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
 	if prefix.Terminal {
+		// The deterministic prefix closed the whole space: one leaf (a
+		// single stand tree or a dead end) carrying the entire mass.
+		g.est.AddLeafMass(1, 1)
 		if prefix.Counters.StandTrees == 1 {
 			nw := t0.Agile().Newick()
 			if opt.OnTree != nil {
@@ -442,6 +462,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 
 	parts := search.PartitionBranches(prefix.SplitBranches, opt.Threads)
 	q := newQueue(opt.QueueCap, opt.Threads, m)
+	// Task ids 1..Threads are reserved for the initial-split shares (worker
+	// w's share is task w+1, parent 0); submissions continue the sequence.
+	g.nextTask.Store(int64(opt.Threads))
 
 	// Cancellation: a watcher raises the stop flag and wakes blocked
 	// stealers the moment the context is done; workers notice at their
@@ -565,6 +588,14 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	baseDepth := t.Depth() // I_0
 
 	var local search.Counters // since last flush
+	// Estimator accumulation since the last flush: closed-leaf mass and
+	// count batch locally with the counters (same contention-avoidance as
+	// the paper's counter batching) and merge on every flush.
+	var estMass float64
+	var estLeaves int64
+	// curTask is the id of the task this worker is executing — the parent
+	// stamped onto its submissions (lineage tracing).
+	var curTask int64
 	// attemptDirty marks the current task attempt as having published
 	// externally visible progress — a counter flush, a streamed tree, or a
 	// submitted sub-task. A panic after that point must not requeue the
@@ -583,6 +614,9 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			if local.DeadEnds != 0 {
 				g.dead.Add(local.DeadEnds)
 			}
+			g.est.AddLeafMass(estMass, estLeaves)
+			g.est.AddCounters(local.StandTrees, local.IntermediateStates, local.DeadEnds)
+			estMass, estLeaves = 0, 0
 			g.flushes.Add(1)
 			m.Trees.Add(local.StandTrees)
 			m.States.Add(local.IntermediateStates)
@@ -621,6 +655,9 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	runEngine := func(eng *search.Engine) {
 		eng.Heuristic = opt.Heuristic
 		var prev search.Counters
+		if g.est != nil {
+			eng.OnLeaf = func(wt float64) { estMass += wt; estLeaves++ }
+		}
 		eng.OnFramePushed = func(f *search.Frame) int {
 			if eng.RemainingTaxa() < opt.MinRemaining {
 				return 0
@@ -633,7 +670,11 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			tk.taxon = f.Taxon
 			tk.path = eng.Path(append(tk.path[:0], basePath...))
 			tk.branches = append(tk.branches[:0], f.Branches[len(f.Branches)-n:]...)
+			tk.id = g.nextTask.Add(1)
+			tk.parent = curTask
+			tk.weight = f.BranchWeight()
 			pathLen := int64(len(tk.path))
+			id, parent := tk.id, tk.parent
 			// A successful submit transfers tk's ownership to the queue: a
 			// stealer may finish and recycle it at any moment, so nothing
 			// below may touch tk.
@@ -642,7 +683,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				return 0
 			}
 			attemptDirty = true
-			rec.Emit(obs.EvTaskSubmit, w, obs.F("taxon", int64(f.Taxon)),
+			rec.Emit(obs.EvTaskSubmit, w, obs.F("task", id), obs.F("parent", parent),
+				obs.F("taxon", int64(f.Taxon)),
 				obs.F("branches", int64(n)), obs.F("path", pathLen))
 			return n
 		}
@@ -703,6 +745,11 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	// took it over.
 	executeTask := func(tk *task) (ok bool) {
 		attemptDirty = false
+		curTask = tk.id
+		rec.Emit(obs.EvTaskStart, w, obs.F("task", tk.id), obs.F("parent", tk.parent),
+			obs.F("taxon", int64(tk.taxon)), obs.F("branches", int64(len(tk.branches))),
+			obs.F("path", int64(len(tk.path))))
+		defer func() { curTask = 0 }()
 		defer func() {
 			r := recover()
 			if r == nil {
@@ -710,10 +757,12 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			}
 			stack := debug.Stack()
 			m.WorkerPanics.Inc()
-			rec.Emit(obs.EvPanic, w, obs.F("taxon", int64(tk.taxon)),
+			rec.Emit(obs.EvPanic, w, obs.F("task", tk.id), obs.F("taxon", int64(tk.taxon)),
 				obs.F("attempt", int64(tk.retries+1)))
+			rec.Emit(obs.EvTaskEnd, w, obs.F("task", tk.id), obs.F("panic", 1))
 			dirty := attemptDirty
 			local = search.Counters{}
+			estMass, estLeaves = 0, 0
 			basePath = nil
 			drainStats(t)
 			t = buildTerrace()
@@ -738,11 +787,14 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		for _, s := range tk.path {
 			t.ExtendTaxon(s.Taxon, s.Edge)
 		}
-		runEngine(search.NewEngineWithFrame(t, tk.taxon, tk.branches))
+		eng := search.NewEngineWithFrame(t, tk.taxon, tk.branches)
+		eng.SetSeedBranchWeight(tk.weight)
+		runEngine(eng)
 		for range tk.path {
 			t.RemoveTaxon()
 		}
 		basePath = nil
+		rec.Emit(obs.EvTaskEnd, w, obs.F("task", tk.id))
 		return true
 	}
 
@@ -755,6 +807,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		tk.taxon = prefix.SplitTaxon
 		tk.path = tk.path[:0]
 		tk.branches = append(tk.branches[:0], myBranches...)
+		tk.id = int64(w) + 1 // reserved lineage roots, parent 0
+		tk.weight = 1 / float64(len(prefix.SplitBranches))
 		if executeTask(tk) {
 			recycleTask(tk)
 		}
@@ -768,7 +822,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			break
 		}
 		wm.Stolen.Inc()
-		rec.Emit(obs.EvSteal, w, obs.F("taxon", int64(tk.taxon)),
+		rec.Emit(obs.EvSteal, w, obs.F("task", tk.id),
+			obs.F("taxon", int64(tk.taxon)),
 			obs.F("branches", int64(len(tk.branches))),
 			obs.F("path", int64(len(tk.path))))
 		if executeTask(tk) {

@@ -56,6 +56,14 @@ type Frame struct {
 	idx      int
 	inserted bool
 
+	// weight is the per-branch leaf mass of this frame under the weighted
+	// backtrack estimator (obs.Estimator): the parent frame's per-branch
+	// weight divided by the number of admissible branches this frame had
+	// when pushed — counted BEFORE any work stealing shrank Branches, so
+	// stolen branches carry the same weight on whichever worker explores
+	// them and the global leaf mass still telescopes to exactly 1.
+	weight float64
+
 	// buf is the engine-owned backing storage for Branches, recycled when
 	// the stack slot is reused so the steady-state step loop allocates
 	// nothing. It stays nil for frames whose Branches the engine does not
@@ -63,6 +71,11 @@ type Frame struct {
 	// shared array to different workers) and checkpoint-restored frames.
 	buf []int32
 }
+
+// BranchWeight returns the per-branch leaf mass of this frame — what each
+// branch's whole subtree contributes to the estimator's fraction-complete
+// sum. Steal callbacks stamp stolen tasks with it.
+func (f *Frame) BranchWeight() float64 { return f.weight }
 
 // Remaining returns the branches not yet tried (including the current one if
 // the taxon is inserted).
@@ -136,6 +149,14 @@ type Engine struct {
 	// EvDone is reported exactly once, on the Step that exhausts the space.
 	OnEvent func(Event)
 
+	// OnLeaf, if set, receives the random-descent probability of every leaf
+	// the engine closes — a found stand tree or a dead end — feeding the
+	// weighted backtrack estimator (see obs.Estimator). The weights summed
+	// over an exhaustive run of this engine's space total the engine's share
+	// of the global search space (1.0 for a NewEngine, the seed branch
+	// weights for a task engine).
+	OnLeaf func(weight float64)
+
 	baseDepth int // terrace depth at engine start (task replay offset)
 }
 
@@ -151,11 +172,66 @@ func NewEngine(t *terrace.Terrace) *Engine {
 // the getAllowedBranches call (paper: "skips line 2 in Algorithm 1").
 func NewEngineWithFrame(t *terrace.Terrace, taxon int, branches []int32) *Engine {
 	e := &Engine{T: t, DynamicOrder: true, baseDepth: t.Depth(), started: true}
-	e.frames = append(e.frames, Frame{Taxon: taxon, Branches: branches})
+	f := Frame{Taxon: taxon, Branches: branches}
+	if len(branches) > 0 {
+		// Default seed weight: the frame is the whole space. Task engines
+		// exploring a stolen slice of a larger space override this with
+		// SetSeedBranchWeight so their leaf masses stay globally calibrated.
+		f.weight = 1 / float64(len(branches))
+	}
+	e.frames = append(e.frames, f)
 	if len(branches) == 0 {
 		e.done = true
 	}
 	return e
+}
+
+// SetSeedBranchWeight overrides the per-branch leaf mass of the seeded root
+// frame of a NewEngineWithFrame engine. A stolen task passes the weight its
+// branches carried in the originating frame (Frame.BranchWeight at steal
+// time), so leaf masses reported via OnLeaf remain fractions of the single
+// global search space regardless of which worker explores them.
+func (e *Engine) SetSeedBranchWeight(w float64) {
+	if len(e.frames) > 0 {
+		e.frames[0].weight = w
+	}
+}
+
+// InitWeights recomputes the per-branch weights of a restored checkpoint
+// stack and returns the leaf mass already consumed by the interrupted run:
+// each frame contributes its per-branch weight times the number of branches
+// whose subtrees were fully explored before the snapshot. Seeding the
+// estimator with this mass makes a resumed run's fraction-complete exact,
+// as if the run had never been interrupted. Only meaningful for engines
+// whose frames carry complete branch lists (serial checkpoints; task-seeded
+// engines never restore).
+func (e *Engine) InitWeights() float64 {
+	consumed := 0.0
+	parentW := 1.0
+	for i := range e.frames {
+		f := &e.frames[i]
+		if len(f.Branches) == 0 {
+			// A branchless dead-end frame not yet popped: its leaf (the
+			// parent's in-flight branch) was counted before the snapshot,
+			// and the resumed run pops it without re-emitting.
+			consumed += parentW
+			return consumed
+		}
+		f.weight = parentW / float64(len(f.Branches))
+		done := f.idx
+		if f.inserted {
+			done-- // branch idx-1 is in flight, accounted for deeper down
+		}
+		consumed += f.weight * float64(done)
+		parentW = f.weight
+	}
+	// A deepest frame left inserted with no child means the snapshot was
+	// taken exactly at a found stand tree — that leaf was already counted
+	// (the resumed run backtracks over it without re-emitting).
+	if n := len(e.frames); n > 0 && e.frames[n-1].inserted {
+		consumed += e.frames[n-1].weight
+	}
+	return consumed
 }
 
 // Counters returns the transitions tallied so far by this engine.
@@ -204,6 +280,9 @@ func (e *Engine) step() Event {
 			// The input trees admit exactly the (already complete) tree.
 			e.counters.StandTrees++
 			e.emit()
+			if e.OnLeaf != nil {
+				e.OnLeaf(1) // a one-leaf decision tree: the whole space
+			}
 			e.done = true
 			return EvTreeFound
 		}
@@ -228,6 +307,9 @@ func (e *Engine) step() Event {
 			if e.RemainingTaxa() == 0 {
 				e.counters.StandTrees++
 				e.emit()
+				if e.OnLeaf != nil {
+					e.OnLeaf(f.weight)
+				}
 				return EvTreeFound
 			}
 			e.counters.IntermediateStates++
@@ -262,6 +344,15 @@ func (e *Engine) pushFrame() bool {
 	f := &e.frames[n]
 	f.buf = e.T.AppendAllowedBranches(f.buf[:0], taxon)
 	f.Taxon, f.Branches, f.idx, f.inserted = taxon, f.buf, 0, false
+	// Per-branch weight from the parent's (1 at the root): fixed before the
+	// steal callback can hand branches away, so stolen subtrees keep it.
+	parentW := 1.0
+	if n > 0 {
+		parentW = e.frames[n-1].weight
+	}
+	if len(f.Branches) > 0 {
+		f.weight = parentW / float64(len(f.Branches))
+	}
 	if len(f.Branches) >= 2 && e.OnFramePushed != nil {
 		if k := e.OnFramePushed(f); k > 0 {
 			f.Branches = f.Branches[:len(f.Branches)-k]
@@ -269,6 +360,9 @@ func (e *Engine) pushFrame() bool {
 	}
 	if len(f.Branches) == 0 {
 		e.counters.DeadEnds++
+		if e.OnLeaf != nil {
+			e.OnLeaf(parentW) // the inserted parent state is the leaf
+		}
 		return false
 	}
 	return true

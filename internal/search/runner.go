@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gentrius/internal/obs"
 	"gentrius/internal/terrace"
 	"gentrius/internal/tree"
 )
@@ -128,6 +129,14 @@ type Options struct {
 	// check (every CheckEvery steps) — the serial engine's progress hook.
 	OnCheck func(c Counters, elapsed time.Duration)
 
+	// Estimator, if set, accumulates the weighted backtrack fraction-
+	// complete measure: every closed leaf's random-descent probability is
+	// added as the engine backtracks, and the live counters are merged at
+	// every stopping-rule check. A resumed run seeds the estimator with the
+	// mass already consumed before the checkpoint, so its fraction matches
+	// an uninterrupted run's.
+	Estimator *obs.Estimator
+
 	// Ctx cancels the run. It is polled only at the periodic stopping-rule
 	// check (the hot loop stays branch-cheap), so cancellation latency is
 	// bounded by one CheckEvery interval. A cancelled run returns normally
@@ -234,6 +243,30 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 			}
 		}
 	}
+	est := opt.Estimator
+	var estPrev Counters // counters already merged into the estimator
+	if est != nil {
+		eng.OnLeaf = est.AddLeaf
+		if opt.Resume != nil {
+			// Seed with the interrupted run's consumed mass and counters so
+			// the resumed fraction-complete picks up where it left off.
+			consumed := eng.InitWeights()
+			cpc := opt.Resume.Counters
+			est.AddLeafMass(consumed, cpc.StandTrees+cpc.DeadEnds)
+			est.AddCounters(cpc.StandTrees, cpc.IntermediateStates, cpc.DeadEnds)
+			estPrev = cpc
+		}
+	}
+	flushEst := func(c Counters) {
+		if est == nil {
+			return
+		}
+		est.AddCounters(c.StandTrees-estPrev.StandTrees,
+			c.IntermediateStates-estPrev.IntermediateStates,
+			c.DeadEnds-estPrev.DeadEnds)
+		estPrev = c
+	}
+
 	if opt.CollectTrees {
 		eng.OnTree = func(nw string) { res.Trees = append(res.Trees, nw) }
 	}
@@ -255,11 +288,13 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 				res.Counters = eng.Counters()
 				res.Steps += int64(i + 1)
 				res.Elapsed = time.Since(start)
+				flushEst(res.Counters)
 				return res, nil
 			}
 		}
 		res.Steps += int64(opt.CheckEvery)
 		res.Counters = eng.Counters()
+		flushEst(res.Counters)
 		if opt.OnCheck != nil {
 			opt.OnCheck(res.Counters, time.Since(start))
 		}

@@ -23,19 +23,24 @@ const streamWriteTimeout = 30 * time.Second
 //	POST   /jobs             submit a job (JobRequest JSON), 202 + Status
 //	GET    /jobs             list all jobs (Status array)
 //	GET    /jobs/{id}        one job's Status
+//	GET    /jobs/{id}/stats  live progress: counters, estimated fraction
+//	                         of the search space explored, calibrated ETA
 //	GET    /jobs/{id}/trees  NDJSON stream of stand trees, following the
 //	                         enumeration live until the job finishes
 //	POST   /jobs/{id}/cancel cancel (also: DELETE /jobs/{id})
-//	GET    /healthz          liveness probe
+//	GET    /healthz          liveness probe: uptime, jobs by state, and the
+//	                         persistence dropped-write counters ("degraded"
+//	                         when any write was ever dropped)
 func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", m.handleSubmit)
 	mux.HandleFunc("GET /jobs", m.handleList)
 	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/stats", m.handleStats)
 	mux.HandleFunc("GET /jobs/{id}/trees", m.handleTrees)
 	mux.HandleFunc("POST /jobs/{id}/cancel", m.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", m.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, m.Health())
 	})
 }
 
@@ -110,6 +115,15 @@ func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Stats())
 }
 
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,13 +78,20 @@ type Config struct {
 	// Metrics receives the service-level instruments (nil: discard).
 	Metrics *Metrics
 	// Sink is the engine observability sink shared by every job (the
-	// aggregate gentrius_* counters across jobs); nil disables it.
+	// aggregate gentrius_* counters across jobs); nil disables it. Each job
+	// additionally gets its own work estimator, so per-job progress is
+	// observable regardless of Sink.
 	Sink *gentrius.ObsSink
+	// Logger receives structured job-lifecycle logs, every record carrying
+	// the job id (nil: discard).
+	Logger *slog.Logger
 }
 
 // Metrics is the service-level instrument set. The zero value discards
 // every update (obs instruments are nil-safe).
 type Metrics struct {
+	reg *obs.Registry // for the per-job labelled families; nil disables them
+
 	JobsSubmitted *obs.Counter
 	JobsRejected  *obs.Counter
 	JobsDone      *obs.Counter
@@ -91,6 +100,11 @@ type Metrics struct {
 	JobsRunning   *obs.Gauge
 	JobsQueued    *obs.Gauge
 	TreesStreamed *obs.Counter
+
+	// Per-job latency distributions: how long jobs waited for a pool
+	// worker, and how long they ran.
+	QueueWait *obs.Histogram
+	ExecTime  *obs.Histogram
 
 	// Fault-tolerance instruments.
 	JobsResumed       *obs.Counter
@@ -108,6 +122,8 @@ type Metrics struct {
 // NewMetrics registers the service instruments on reg under gentriusd_*.
 func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
+		reg: reg,
+
 		JobsSubmitted: reg.Counter("gentriusd_jobs_submitted_total", "jobs accepted"),
 		JobsRejected:  reg.Counter("gentriusd_jobs_rejected_total", "jobs rejected (queue full or invalid)"),
 		JobsDone:      reg.Counter("gentriusd_jobs_done_total", "jobs finished (exhausted or stopping rule)"),
@@ -116,6 +132,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		JobsRunning:   reg.Gauge("gentriusd_jobs_running", "jobs currently running"),
 		JobsQueued:    reg.Gauge("gentriusd_jobs_queued", "jobs waiting for a worker"),
 		TreesStreamed: reg.Counter("gentriusd_trees_spooled_total", "stand trees written to job spools"),
+
+		QueueWait: reg.Histogram("gentriusd_job_queue_wait_seconds",
+			"seconds jobs waited in the queue before a pool worker picked them up",
+			obs.ExpBuckets(1e-3, 4, 12)),
+		ExecTime: reg.Histogram("gentriusd_job_exec_seconds",
+			"seconds jobs ran before reaching a terminal state",
+			obs.ExpBuckets(1e-2, 4, 12)),
 
 		JobsResumed:       reg.Counter("gentriusd_jobs_resumed_total", "jobs resumed from a checkpoint after restart"),
 		JobsInterrupted:   reg.Counter("gentriusd_jobs_interrupted_total", "jobs found unresumable after restart"),
@@ -128,6 +151,30 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		CheckpointRetries: reg.Counter("gentriusd_checkpoint_write_retries_total", "transient checkpoint write failures retried"),
 		CheckpointDropped: reg.Counter("gentriusd_checkpoint_writes_dropped_total", "checkpoint writes abandoned after exhausting retries"),
 	}
+}
+
+// registerJob exports the per-job labelled gauge family, read from the
+// job's work estimator at scrape time. Instruments are never unregistered:
+// finished jobs keep exporting their final values until the process
+// restarts, so cardinality grows with the job count — acceptable for the
+// daemon's bounded queue, and it keeps terminal values scrapeable.
+func (m *Metrics) registerJob(id string, est *obs.Estimator) {
+	if m == nil || m.reg == nil || est == nil {
+		return
+	}
+	labelled := func(name string) string { return fmt.Sprintf("%s{job=%q}", name, id) }
+	m.reg.GaugeFunc(labelled("gentriusd_job_stand_trees"),
+		"stand trees this job has flushed",
+		func() float64 { return float64(est.Trees()) })
+	m.reg.GaugeFunc(labelled("gentriusd_job_intermediate_states"),
+		"intermediate states this job has flushed",
+		func() float64 { return float64(est.States()) })
+	m.reg.GaugeFunc(labelled("gentriusd_job_dead_ends"),
+		"dead ends this job has flushed",
+		func() float64 { return float64(est.DeadEnds()) })
+	m.reg.GaugeFunc(labelled("gentriusd_job_fraction_explored"),
+		"estimated fraction of this job's search space explored",
+		est.Fraction)
 }
 
 // State is a job's lifecycle phase.
@@ -208,6 +255,13 @@ type Job struct {
 	resume   *gentrius.Checkpoint // restart recovery: resume from here
 	resumed  bool                 // job was recovered from the journal
 	done     chan struct{}        // closed when the job reaches a terminal state
+
+	// est is the job's own work estimator: the engine merges flushed
+	// counters and leaf mass into it, giving the live per-job counters and
+	// the fraction-complete estimate behind GET /jobs/{id}/stats and the
+	// gentriusd_job_* gauges. Lock-free; read without j.mu.
+	est       *obs.Estimator
+	queueWait time.Duration // created→started, set when the job starts
 }
 
 // ID returns the job's identifier.
@@ -278,6 +332,73 @@ func (j *Job) threadsLocked() int {
 	return 1
 }
 
+// JobStats is the live observability snapshot behind GET /jobs/{id}/stats:
+// the job's flushed engine counters, the online estimate of the fraction of
+// its search space explored, and the ETA extrapolated from that estimate.
+type JobStats struct {
+	ID                 string  `json:"id"`
+	State              State   `json:"state"`
+	StandTrees         int64   `json:"stand_trees"`
+	IntermediateStates int64   `json:"intermediate_states"`
+	DeadEnds           int64   `json:"dead_ends"`
+	TreesSpooled       int64   `json:"trees_spooled"`
+	LeavesVisited      int64   `json:"leaves_visited"`
+	FractionExplored   float64 `json:"fraction_explored"`
+	ETASeconds         float64 `json:"eta_seconds,omitempty"`
+	ElapsedSeconds     float64 `json:"elapsed_seconds,omitempty"`
+	QueueWaitSeconds   float64 `json:"queue_wait_seconds,omitempty"`
+}
+
+// Stats snapshots the job's progress. For a running job the counters are
+// the estimator's view (updated at every engine flush); once the job is
+// terminal the engine's own totals take over.
+func (j *Job) Stats() JobStats {
+	j.mu.Lock()
+	state := j.state
+	res := j.res
+	started := j.started
+	finished := j.finished
+	wait := j.queueWait
+	j.mu.Unlock()
+
+	st := JobStats{
+		ID:                 j.id,
+		State:              state,
+		StandTrees:         j.est.Trees(),
+		IntermediateStates: j.est.States(),
+		DeadEnds:           j.est.DeadEnds(),
+		TreesSpooled:       j.spool.Lines(),
+		LeavesVisited:      j.est.Leaves(),
+		FractionExplored:   j.est.Fraction(),
+		QueueWaitSeconds:   wait.Seconds(),
+	}
+	var elapsed time.Duration
+	switch {
+	case !started.IsZero() && !finished.IsZero():
+		elapsed = finished.Sub(started)
+	case !started.IsZero():
+		elapsed = time.Since(started)
+	}
+	st.ElapsedSeconds = elapsed.Seconds()
+	if res != nil {
+		st.StandTrees = res.StandTrees
+		st.IntermediateStates = res.IntermediateStates
+		st.DeadEnds = res.DeadEnds
+		if res.Complete() {
+			st.FractionExplored = 1
+		}
+		if res.Elapsed > 0 {
+			st.ElapsedSeconds = res.Elapsed.Seconds()
+		}
+	}
+	if state == StateRunning {
+		if eta, ok := obs.EstimateETA(st.FractionExplored, elapsed); ok {
+			st.ETASeconds = eta.Seconds()
+		}
+	}
+	return st
+}
+
 // RecoveryStats summarizes what New found in the job journal.
 type RecoveryStats struct {
 	// Adopted is the number of finished jobs re-registered with their
@@ -296,9 +417,11 @@ type RecoveryStats struct {
 
 // Manager owns the job table and the worker pool.
 type Manager struct {
-	cfg Config
-	m   *Metrics
-	jnl *journal
+	cfg     Config
+	m       *Metrics
+	jnl     *journal
+	log     *slog.Logger
+	started time.Time
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -336,15 +459,20 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &Metrics{}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	jnl, records, err := openJournal(filepath.Join(cfg.DataDir, journalFile), cfg.Fault, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:  cfg,
-		m:    cfg.Metrics,
-		jnl:  jnl,
-		jobs: map[string]*Job{},
+		cfg:     cfg,
+		m:       cfg.Metrics,
+		jnl:     jnl,
+		log:     cfg.Logger,
+		started: time.Now(),
+		jobs:    map[string]*Job{},
 	}
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
 	pending := m.replay(records)
@@ -361,7 +489,49 @@ func New(cfg Config) (*Manager, error) {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if m.recovered != (RecoveryStats{}) {
+		m.log.Info("recovered previous run from journal",
+			"adopted", m.recovered.Adopted,
+			"resumed", m.recovered.Resumed,
+			"requeued", m.recovered.Requeued,
+			"interrupted", m.recovered.Interrupted)
+	}
 	return m, nil
+}
+
+// Health is the GET /healthz payload: process uptime, the job table by
+// state, and the persistence dropped-write counters. Status degrades when
+// any journal, spool or checkpoint write has ever been dropped — results
+// may be incomplete or unresumable, and the operator should look at the
+// data directory.
+type Health struct {
+	Status            string        `json:"status"` // "ok" or "degraded"
+	UptimeSeconds     float64       `json:"uptime_seconds"`
+	Jobs              map[State]int `json:"jobs"`
+	JournalDropped    int64         `json:"journal_records_dropped"`
+	SpoolDropped      int64         `json:"spool_lines_dropped"`
+	CheckpointDropped int64         `json:"checkpoint_writes_dropped"`
+}
+
+// Health snapshots the daemon's liveness view.
+func (m *Manager) Health() Health {
+	h := Health{
+		Status:            "ok",
+		UptimeSeconds:     time.Since(m.started).Seconds(),
+		Jobs:              map[State]int{},
+		JournalDropped:    m.m.JournalDropped.Value(),
+		SpoolDropped:      m.m.SpoolDropped.Value(),
+		CheckpointDropped: m.m.CheckpointDropped.Value(),
+	}
+	for _, j := range m.List() {
+		j.mu.Lock()
+		h.Jobs[j.state]++
+		j.mu.Unlock()
+	}
+	if h.JournalDropped > 0 || h.SpoolDropped > 0 || h.CheckpointDropped > 0 {
+		h.Status = "degraded"
+	}
+	return h
 }
 
 // Recovery reports what New recovered from the previous run's journal.
@@ -433,7 +603,9 @@ func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Jo
 		resumed: true,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		est:     &obs.Estimator{},
 	}
+	m.m.registerJob(id, job.est)
 	if t, err := time.Parse(time.RFC3339Nano, last.Time); err == nil {
 		job.created = t
 	}
@@ -464,6 +636,12 @@ func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Jo
 				DeadEnds:           last.DeadEnds,
 				Stop:               parseStop(last.Stop),
 				Threads:            job.threadsLocked(),
+			}
+			// Seed the estimator so the adopted job's gentriusd_job_*
+			// gauges export its journaled totals (fraction 1 if complete).
+			job.est.AddCounters(job.res.StandTrees, job.res.IntermediateStates, job.res.DeadEnds)
+			if job.res.Complete() {
+				job.est.AddLeafMass(1, job.res.StandTrees+job.res.DeadEnds)
 			}
 		}
 		if _, err := os.Stat(ckptPath); err == nil {
@@ -616,8 +794,10 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		spool:   sp,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		est:     &obs.Estimator{},
 	}
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
+	m.m.registerJob(id, job.est)
 	// WAL invariant: the submit record is durable before the job can run
 	// or be observed, so a pool worker cannot journal a state transition
 	// ahead of the submission it belongs to. The capacity check above
@@ -632,6 +812,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.mu.Unlock()
 	m.m.JobsSubmitted.Inc()
 	m.m.JobsQueued.Add(1)
+	m.log.Info("job accepted", "job", id,
+		"constraints", len(cons), "threads", max(req.Threads, 1))
 	return job, nil
 }
 
@@ -663,6 +845,7 @@ func (m *Manager) Cancel(id string) bool {
 		return false
 	}
 	j.cancel()
+	m.log.Info("job cancel requested", "job", id)
 	j.mu.Lock()
 	queued := j.state == StateQueued
 	j.mu.Unlock()
@@ -705,6 +888,8 @@ func (m *Manager) runJob(job *Job) {
 	job.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
+	job.queueWait = job.started.Sub(job.created)
+	wait := job.queueWait
 	req := job.req
 	resume := job.resume
 	job.resume = nil
@@ -712,6 +897,17 @@ func (m *Manager) runJob(job *Job) {
 	m.jnl.append(journalRecord{Op: "state", ID: job.id, State: StateRunning})
 	m.m.JobsRunning.Add(1)
 	defer m.m.JobsRunning.Add(-1)
+	m.m.QueueWait.Observe(wait.Seconds())
+	m.log.Info("job started", "job", job.id,
+		"queue_wait_seconds", wait.Seconds(), "resume", resume != nil)
+
+	// The job's sink shares the daemon-wide engine metrics and trace but
+	// owns its estimator, so /jobs/{id}/stats sees only this job's mass.
+	sink := &gentrius.ObsSink{Estimate: job.est}
+	if s := m.cfg.Sink; s != nil {
+		sink.Metrics = s.Metrics
+		sink.Trace = s.Trace
+	}
 
 	opt := gentrius.Options{
 		Threads:     req.Threads,
@@ -719,7 +915,7 @@ func (m *Manager) runJob(job *Job) {
 		MaxStates:   req.MaxStates,
 		MaxTime:     m.clampTime(time.Duration(req.MaxTimeSeconds * float64(time.Second))),
 		InitialTree: gentrius.UseInitialTreeHeuristic,
-		Obs:         m.cfg.Sink,
+		Obs:         sink,
 		Fault:       m.cfg.Fault,
 		Resume:      resume,
 		OnTree: func(nw string) {
@@ -777,6 +973,7 @@ func (m *Manager) writeCheckpointRetry(id string, cp *gentrius.Checkpoint) (stri
 	})
 	if err != nil {
 		m.m.CheckpointDropped.Inc()
+		m.log.Warn("checkpoint write dropped after retries", "job", id, "error", err.Error())
 		return "", false
 	}
 	m.m.CheckpointWrites.Inc()
@@ -821,6 +1018,10 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 		job.ckptPath = ""
 	}
 	state := job.state
+	var ran time.Duration
+	if !job.started.IsZero() {
+		ran = job.finished.Sub(job.started)
+	}
 	rec := journalRecord{Op: "state", ID: job.id, State: state}
 	if err != nil {
 		rec.Error = err.Error()
@@ -849,6 +1050,19 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 	case StateFailed:
 		m.m.JobsFailed.Inc()
 	}
+	if ran > 0 {
+		m.m.ExecTime.Observe(ran.Seconds())
+	}
+	attrs := []any{"job", job.id, "state", string(state), "exec_seconds", ran.Seconds()}
+	if res != nil {
+		attrs = append(attrs, "stand_trees", res.StandTrees, "stop", res.Stop.String())
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		m.log.Error("job finished", attrs...)
+	} else {
+		m.log.Info("job finished", attrs...)
+	}
 }
 
 // Shutdown stops accepting jobs, cancels every queued and running job and
@@ -864,6 +1078,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.closed = true
 	close(m.queue)
 	m.mu.Unlock()
+	m.log.Info("shutting down", "uptime_seconds", time.Since(m.started).Seconds())
 	m.stop() // cancels every job context derived from baseCtx
 
 	done := make(chan struct{})

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/obs"
 )
 
 // smallRequest is a 5-taxon job whose stand enumerates instantly.
@@ -359,6 +360,120 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing job: %d, want 404", resp.StatusCode)
 	}
+}
+
+// TestStatsAndHealthEndpoints: GET /jobs/{id}/stats serves the per-job
+// estimator view (counters, fraction explored, queue wait) and /healthz
+// reports uptime, jobs by state and dropped-write counters. Per-job metric
+// families appear on the registry the Metrics were built on.
+func TestStatsAndHealthEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestManager(t, Config{Workers: 1, Checkpoint: true, Metrics: NewMetrics(reg)})
+	mux := http.NewServeMux()
+	m.RegisterRoutes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	getJSON := func(path string, out any) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp
+	}
+
+	job, err := m.Submit(smallRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+
+	var stats JobStats
+	if resp := getJSON("/jobs/"+job.ID()+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	st := job.Status()
+	if stats.ID != job.ID() || stats.State != StateDone {
+		t.Fatalf("stats identify %s/%s, want %s/done", stats.ID, stats.State, job.ID())
+	}
+	if stats.StandTrees != st.StandTrees || stats.TreesSpooled != st.TreesSpooled {
+		t.Fatalf("stats counters %+v disagree with status %+v", stats, st)
+	}
+	if stats.FractionExplored != 1 {
+		t.Fatalf("exhausted job reports fraction %v, want 1", stats.FractionExplored)
+	}
+	if stats.LeavesVisited != st.StandTrees+stats.DeadEnds {
+		t.Fatalf("leaves %d, want trees %d + dead ends %d",
+			stats.LeavesVisited, st.StandTrees, stats.DeadEnds)
+	}
+	if resp := getJSON("/jobs/nope/stats", &stats); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job stats: %d, want 404", resp.StatusCode)
+	}
+
+	// A running job serves a live estimator view with an ETA.
+	long, err := m.Submit(hugeRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSpooled(t, long)
+	var live JobStats
+	if resp := getJSON("/jobs/"+long.ID()+"/stats", &live); resp.StatusCode != http.StatusOK {
+		t.Fatalf("running stats: %d", resp.StatusCode)
+	}
+	if live.State != StateRunning {
+		t.Fatalf("live stats state %s, want running", live.State)
+	}
+	if live.FractionExplored < 0 || live.FractionExplored >= 1 {
+		t.Fatalf("live fraction %v, want [0,1)", live.FractionExplored)
+	}
+	if live.ElapsedSeconds <= 0 {
+		t.Fatalf("live elapsed %v, want > 0", live.ElapsedSeconds)
+	}
+
+	// Health: ok status, positive uptime, one done + one running job, no
+	// dropped writes.
+	var h Health
+	if resp := getJSON("/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.UptimeSeconds <= 0 {
+		t.Fatalf("health %+v, want ok with positive uptime", h)
+	}
+	if h.Jobs[StateDone] != 1 || h.Jobs[StateRunning] != 1 {
+		t.Fatalf("health jobs %v, want 1 done + 1 running", h.Jobs)
+	}
+	if h.JournalDropped != 0 || h.SpoolDropped != 0 || h.CheckpointDropped != 0 {
+		t.Fatalf("health reports dropped writes on a healthy run: %+v", h)
+	}
+
+	// Per-job gauge families are live on the registry.
+	snap := reg.Snapshot()
+	key := fmt.Sprintf("gentriusd_job_stand_trees{job=%q}", job.ID())
+	if v, ok := snap[key]; !ok || v != float64(st.StandTrees) {
+		t.Fatalf("registry %s = %v (present %v), want %d", key, v, ok, st.StandTrees)
+	}
+	key = fmt.Sprintf("gentriusd_job_fraction_explored{job=%q}", job.ID())
+	if v := snap[key]; v != 1 {
+		t.Fatalf("registry %s = %v, want 1", key, v)
+	}
+	if m.m.QueueWait.Count() < 2 {
+		t.Fatalf("queue-wait histogram has %d observations, want >= 2", m.m.QueueWait.Count())
+	}
+	if m.m.ExecTime.Count() < 1 {
+		t.Fatalf("exec-time histogram has %d observations, want >= 1", m.m.ExecTime.Count())
+	}
+
+	if !m.Cancel(long.ID()) {
+		t.Fatal("cancel of the running job failed")
+	}
+	waitDone(t, long)
 }
 
 // TestResumeFromDaemonCheckpoint closes the loop the daemon advertises:

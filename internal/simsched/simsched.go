@@ -87,10 +87,18 @@ type Options struct {
 	TraceEvery int64
 
 	// Trace, if non-nil, receives scheduler events (task-submit, steal,
-	// flush, stop, worker-start) stamped with virtual time. The simulator
-	// is single-threaded and advances workers in id order, so repeated
-	// runs on the same input produce byte-identical traces.
+	// flush, stop, worker-start, and the task-begin/task-end lineage spans)
+	// stamped with virtual time. The simulator is single-threaded and
+	// advances workers in id order, so repeated runs on the same input
+	// produce byte-identical traces.
 	Trace *obs.Recorder
+
+	// Estimator, if non-nil, accumulates the weighted backtrack
+	// fraction-complete measure exactly as the parallel pool does: workers
+	// batch closed-leaf mass locally and merge it on counter flushes. The
+	// simulator's deterministic scheduling makes the fraction-over-ticks
+	// curve reproducible, which is what the convergence tests assert.
+	Estimator *obs.Estimator
 
 	// Ctx cancels the simulation. It is polled every 1024 virtual ticks
 	// (mirroring the real engines' periodic stopping-rule checks), after
@@ -181,6 +189,9 @@ type task struct {
 	path     []search.PathStep
 	taxon    int
 	branches []int32
+	id       int64   // run-unique lineage id (initial shares take 1..Workers)
+	parent   int64   // id of the task whose execution submitted this one
+	weight   float64 // per-branch leaf mass carried by branches (estimator)
 }
 
 // worker modes.
@@ -204,28 +215,35 @@ type vworker struct {
 	basePath   []search.PathStep
 	seedTaxon  int
 	seedBr     []int32
+	seedWeight float64
 	hasSeed    bool
 
-	local search.Counters // unflushed
-	prev  search.Counters // engine counters at last sample
-	stats WorkerStats
+	curTask    int64 // id of the task being executed (lineage parent)
+	parentTask int64 // parent id of the current task (span annotation)
+
+	local     search.Counters // unflushed
+	estMass   float64         // unflushed closed-leaf mass (estimator)
+	estLeaves int64           // unflushed closed-leaf count
+	prev      search.Counters // engine counters at last sample
+	stats     WorkerStats
 
 	stall int64 // remaining flush-stall ticks
 	trace []byte
 }
 
 type sim struct {
-	opt     Options
-	limits  Limits
-	g       search.Counters // flushed global counters
-	stop    bool
-	reason  search.StopReason
-	queue   []task
-	stolen  int64
-	flushes int64
-	tick    int64
-	trees   []string
-	workers []*vworker
+	opt      Options
+	limits   Limits
+	g        search.Counters // flushed global counters
+	stop     bool
+	reason   search.StopReason
+	queue    []task
+	stolen   int64
+	flushes  int64
+	tick     int64
+	nextTask int64 // task-id sequence, continued past the initial shares
+	trees    []string
+	workers  []*vworker
 }
 
 // Run simulates a parallel Gentrius execution and returns virtual-time
@@ -277,7 +295,11 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	res.PrefixLen = len(prefix.Path)
 	res.Counters.Add(prefix.Counters)
 	res.Ticks = int64(len(prefix.Path)) // every worker replays it concurrently
+	opt.Estimator.AddCounters(prefix.Counters.StandTrees,
+		prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
 	if prefix.Terminal {
+		// The prefix closed the whole space: one leaf, the entire mass.
+		opt.Estimator.AddLeafMass(1, 1)
 		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
 			res.Trees = append(res.Trees, t0.Agile().Newick())
 		}
@@ -285,7 +307,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		return res, nil
 	}
 
-	s := &sim{opt: opt, limits: lim}
+	s := &sim{opt: opt, limits: lim, nextTask: int64(opt.Workers)}
 	s.g = prefix.Counters
 	s.tick = int64(len(prefix.Path))
 	parts := search.PartitionBranches(prefix.SplitBranches, opt.Workers)
@@ -306,6 +328,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 			vw.hasSeed = true
 			vw.seedTaxon = prefix.SplitTaxon
 			vw.seedBr = parts[w]
+			vw.seedWeight = 1 / float64(len(prefix.SplitBranches))
+			vw.curTask = int64(w) + 1 // reserved lineage roots, parent 0
+			vw.parentTask = 0
 			vw.startEngine(s)
 		}
 		s.workers = append(s.workers, vw)
@@ -387,11 +412,19 @@ func (w *vworker) modeChar() byte {
 // wires the stealing hook and tree collection.
 func (w *vworker) startEngine(s *sim) {
 	w.eng = search.NewEngineWithFrame(w.t, w.seedTaxon, w.seedBr)
+	w.eng.SetSeedBranchWeight(w.seedWeight)
 	w.eng.Heuristic = s.opt.Heuristic
 	w.prev = search.Counters{}
 	w.hasSeed = false
 	w.mode = wWork
 	w.stats.Tasks++
+	s.opt.Trace.EmitAt(s.tick, obs.EvTaskStart, w.id,
+		obs.F("task", w.curTask), obs.F("parent", w.parentTask),
+		obs.F("taxon", int64(w.seedTaxon)),
+		obs.F("branches", int64(len(w.seedBr))))
+	if s.opt.Estimator != nil {
+		w.eng.OnLeaf = func(wt float64) { w.estMass += wt; w.estLeaves++ }
+	}
 	w.eng.OnFramePushed = func(f *search.Frame) int {
 		if w.eng.RemainingTaxa() < s.opt.MinRemaining {
 			return 0
@@ -413,13 +446,18 @@ func (w *vworker) startEngine(s *sim) {
 		}
 		path := append([]search.PathStep(nil), w.basePath...)
 		path = w.eng.Path(path)
+		s.nextTask++
 		s.queue = append(s.queue, task{
 			path:  path,
 			taxon: f.Taxon,
 			branches: append([]int32(nil),
 				f.Branches[len(f.Branches)-n:]...),
+			id:     s.nextTask,
+			parent: w.curTask,
+			weight: f.BranchWeight(),
 		})
 		s.opt.Trace.EmitAt(s.tick, obs.EvTaskSubmit, w.id,
+			obs.F("task", s.nextTask), obs.F("parent", w.curTask),
 			obs.F("taxon", int64(f.Taxon)), obs.F("branches", int64(n)),
 			obs.F("path", int64(len(path))))
 		return n
@@ -446,6 +484,7 @@ func (s *sim) advance(w *vworker) {
 			s.queue = s.queue[1:]
 			s.stolen++
 			s.opt.Trace.EmitAt(s.tick, obs.EvSteal, w.id,
+				obs.F("task", tk.id),
 				obs.F("taxon", int64(tk.taxon)),
 				obs.F("branches", int64(len(tk.branches))),
 				obs.F("path", int64(len(tk.path))))
@@ -454,6 +493,9 @@ func (s *sim) advance(w *vworker) {
 			w.replayPos = 0
 			w.seedTaxon = tk.taxon
 			w.seedBr = tk.branches
+			w.seedWeight = tk.weight
+			w.curTask = tk.id
+			w.parentTask = tk.parent
 			w.hasSeed = true
 			w.mode = wReplay
 			w.stats.Busy++ // the dequeue tick
@@ -480,6 +522,11 @@ func (s *sim) advance(w *vworker) {
 			return
 		}
 		w.basePath = nil
+		if w.curTask != 0 {
+			s.opt.Trace.EmitAt(s.tick, obs.EvTaskEnd, w.id,
+				obs.F("task", w.curTask))
+			w.curTask, w.parentTask = 0, 0
+		}
 		w.mode = wIdle
 		s.advance(w)
 	case wWork:
@@ -516,6 +563,10 @@ func (s *sim) flushWorker(w *vworker, charge bool) {
 		obs.F("dead", w.local.DeadEnds))
 	s.g.Add(w.local)
 	w.stats.Counters.Add(w.local)
+	s.opt.Estimator.AddLeafMass(w.estMass, w.estLeaves)
+	s.opt.Estimator.AddCounters(w.local.StandTrees,
+		w.local.IntermediateStates, w.local.DeadEnds)
+	w.estMass, w.estLeaves = 0, 0
 	w.local = search.Counters{}
 	s.flushes++
 	if charge {

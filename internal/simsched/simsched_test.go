@@ -352,6 +352,22 @@ func TestTraceByteIdentical(t *testing.T) {
 	if !strings.Contains(ta, `"ev":"`+obs.EvWorkerStart+`"`) {
 		t.Fatal("trace missing worker-start events")
 	}
+	// Task-lineage spans: every begin is matched by exactly one end, and
+	// there are at least as many spans as executed tasks (initial shares +
+	// steals).
+	begins := int64(strings.Count(ta, `"ev":"`+obs.EvTaskStart+`"`))
+	ends := int64(strings.Count(ta, `"ev":"`+obs.EvTaskEnd+`"`))
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced task spans: %d begins, %d ends", begins, ends)
+	}
+	if begins < ra.TasksStolen {
+		t.Fatalf("%d task spans traced, but %d tasks were stolen", begins, ra.TasksStolen)
+	}
+	// Lineage: submissions and steals carry task ids, submissions carry the
+	// submitting task as parent.
+	if !strings.Contains(ta, `"parent":`) {
+		t.Fatal("trace missing task lineage (no parent fields)")
+	}
 	// Every line is valid JSON with a virtual timestamp.
 	for _, line := range strings.Split(strings.TrimSpace(ta), "\n") {
 		var ev map[string]any

@@ -70,7 +70,7 @@ say "daemon SIGKILLed with $JOB mid-run (checkpoint + spool present)"
 DAEMON_PID=$!
 wait_for '"ok"' "$BASE/healthz"
 grep -q "recovered previous run" "$WORK/daemon2.log" || fail "no recovery notice in restart log"
-grep -q "1 resumed from checkpoints" "$WORK/daemon2.log" || { cat "$WORK/daemon2.log" >&2; fail "job was not resumed from its checkpoint"; }
+grep -q "recovered previous run.*resumed=1" "$WORK/daemon2.log" || { cat "$WORK/daemon2.log" >&2; fail "job was not resumed from its checkpoint"; }
 say "restarted daemon resumed $JOB from its checkpoint"
 
 wait_for '"state": *"done"' "$BASE/jobs/$JOB"
@@ -93,7 +93,7 @@ wait "$DAEMON_PID" || STATUS=$?
     2>"$WORK/daemon3.log" &
 DAEMON_PID=$!
 wait_for '"ok"' "$BASE/healthz"
-grep -q "finished adopted" "$WORK/daemon3.log" || { cat "$WORK/daemon3.log" >&2; fail "finished job not adopted on restart"; }
+grep -q "recovered previous run.*adopted=1" "$WORK/daemon3.log" || { cat "$WORK/daemon3.log" >&2; fail "finished job not adopted on restart"; }
 wait_for '"state": *"done"' "$BASE/jobs/$JOB"
 GOT=$(curl -sf "$BASE/jobs/$JOB" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*')
 [ "$GOT" = "$STAND" ] || fail "adopted job reports $GOT stand trees, want $STAND"

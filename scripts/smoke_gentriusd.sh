@@ -77,6 +77,6 @@ say "daemon exited 0 after SIGTERM"
 
 [ -f "$WORK/data/$JOB2.ckpt" ] || fail "no checkpoint for cancelled job $JOB2"
 [ -f "$WORK/data/$JOB3.ckpt" ] || fail "no checkpoint for interrupted job $JOB3"
-grep -q "checkpointed to" "$WORK/daemon.log" || fail "shutdown log missing checkpoint notice"
+grep -q "job checkpointed" "$WORK/daemon.log" || fail "shutdown log missing checkpoint notice"
 say "checkpoints present for $JOB2 and $JOB3"
 say "PASS"
