@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/buildinfo"
 	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/service"
@@ -63,8 +64,16 @@ func main() {
 		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP response write timeout; tree streams extend it per write (0 = none)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown budget")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		traceOut   = flag.String("trace-out", "", "write a JSONL serving+scheduler trace to this file (analyze with cmd/obsreport)")
+		httpWindow = flag.Duration("http-window", time.Minute, "interval behind the per-route _window_rate/_window_p* latency metrics")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("gentriusd", buildinfo.String())
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -96,6 +105,18 @@ func main() {
 	sched.EnsureWorkers(*maxThreads)
 	reg.PublishExpvar("gentriusd")
 
+	// One wall-clock recorder is shared by the HTTP middleware, the job
+	// lifecycle and the engine schedulers, so a single Perfetto view spans
+	// request arrival → queue wait → job execution → worker task spans.
+	var trace *obs.Recorder
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(fmt.Errorf("-trace-out: %w", err))
+		}
+		trace = obs.NewRecorder(f, obs.WallClock(time.Now()))
+	}
+
 	mgr, err := service.New(service.Config{
 		Workers:            *jobs,
 		QueueCap:           *queueCap,
@@ -109,14 +130,20 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		Fault:              fault,
 		Metrics:            metrics,
-		Sink:               &gentrius.ObsSink{Metrics: sched},
+		Sink:               &gentrius.ObsSink{Metrics: sched, Trace: trace},
 		Logger:             logger,
+		HTTPWindow:         *httpWindow,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	mux := obs.NewMux(reg)
+	// /metrics goes through the same middleware as the job API, so scrape
+	// latency shows up in the per-route families too; the debug endpoints
+	// stay unwrapped (pprof profiles would dominate the latency windows).
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", mgr.Middleware().Wrap("metrics", obs.MetricsHandler(reg)))
+	obs.RegisterDebug(mux)
 	mgr.RegisterRoutes(mux)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -133,7 +160,8 @@ func main() {
 			fatal(err)
 		}
 	}()
-	logger.Info("listening", "addr", ln.Addr().String(), "data_dir", *dataDir, "workers", *jobs)
+	logger.Info("listening", "addr", ln.Addr().String(), "data_dir", *dataDir,
+		"workers", *jobs, "version", buildinfo.Version, "commit", buildinfo.Commit)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -155,6 +183,13 @@ func main() {
 		if st := j.Status(); st.CheckpointFile != "" {
 			logger.Info("job checkpointed; resume with gentrius -resume",
 				"job", st.ID, "checkpoint", st.CheckpointFile)
+		}
+	}
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			logger.Error("closing trace", "error", err.Error())
+		} else {
+			logger.Info("trace written", "path", *traceOut, "events", trace.Events())
 		}
 	}
 	logger.Info("bye")

@@ -1,0 +1,514 @@
+// The load engine: open-loop arrival scheduling, the scenario mix, latency
+// accounting and the SLO verdicts. Kept apart from main so tests drive
+// runLoad directly against an in-process httptest server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gentrius/internal/obs"
+)
+
+// Config is one load run.
+type Config struct {
+	Addr         string
+	Rate         float64 // arrivals/second at t=0
+	RampTo       float64 // arrivals/second at t=Duration (0: constant)
+	Duration     time.Duration
+	Mix          string
+	Seed         int64
+	SLOP95       time.Duration
+	SLOP99       time.Duration
+	SLOErrorRate float64 // negative: no check
+	Concurrency  int
+
+	// Client overrides the HTTP client (tests); nil uses a 30s-timeout
+	// default.
+	Client *http.Client
+}
+
+// scenario names, in reporting order. Each maps 1:1 onto a gentriusd route
+// name, so per-scenario counts reconcile against the server's
+// gentriusd_http_requests_total{route=...} counters.
+var scenarioNames = []string{"submit", "stats", "get", "list", "cancel", "stream", "healthz"}
+
+// routeOf maps a scenario to the middleware route label it hits.
+func routeOf(scenario string) string {
+	if scenario == "stream" {
+		return "trees"
+	}
+	return scenario
+}
+
+// ScenarioReport is the per-scenario (or overall) latency and status
+// summary. Latencies are milliseconds, measured from the scheduled arrival
+// time (coordinated-omission-free).
+type ScenarioReport struct {
+	Name     string           `json:"name"`
+	Route    string           `json:"route"`
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"` // transport failures + 5xx
+	Status   map[string]int64 `json:"status,omitempty"`
+	P50Ms    float64          `json:"p50_ms"`
+	P95Ms    float64          `json:"p95_ms"`
+	P99Ms    float64          `json:"p99_ms"`
+	MeanMs   float64          `json:"mean_ms"`
+	MaxMs    float64          `json:"max_ms"`
+}
+
+// SLOCheck is one threshold verdict.
+type SLOCheck struct {
+	Name   string `json:"name"`
+	Got    string `json:"got"`
+	Limit  string `json:"limit"`
+	Passed bool   `json:"passed"`
+}
+
+// Report is the run's full result.
+type Report struct {
+	Addr            string           `json:"addr"`
+	RateStart       float64          `json:"rate_start"`
+	RateEnd         float64          `json:"rate_end"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Scheduled       int64            `json:"scheduled"`
+	Completed       int64            `json:"completed"`
+	Dropped         int64            `json:"dropped"` // concurrency cap hit
+	Total           ScenarioReport   `json:"total"`
+	Scenarios       []ScenarioReport `json:"scenarios"`
+	// RouteCounts is how many requests actually hit each middleware route
+	// (a job-addressed scenario falls back to the list route while no job
+	// exists yet) — the numbers to reconcile against the server's
+	// gentriusd_http_requests_total counters.
+	RouteCounts map[string]int64 `json:"route_counts"`
+	SLOPassed   bool             `json:"slo_passed"`
+	SLO         []SLOCheck       `json:"slo,omitempty"`
+}
+
+// latencyBuckets is the HDR-style grid the percentiles interpolate on:
+// 0.1ms to ~80s at ~25% resolution per step.
+var latencyBuckets = obs.ExpBuckets(1e-4, 1.25, 61)
+
+// tracker accumulates one scenario's observations.
+type tracker struct {
+	hist *obs.Histogram
+
+	mu     sync.Mutex
+	n      int64
+	errs   int64
+	sum    float64
+	max    float64
+	status map[string]int64
+}
+
+func newTracker(reg *obs.Registry, name string) *tracker {
+	return &tracker{
+		hist:   reg.Histogram("loadgen_latency_seconds{scenario="+strconv.Quote(name)+"}", "", latencyBuckets),
+		status: map[string]int64{},
+	}
+}
+
+// observe records one completed request: its latency from scheduled
+// arrival, the status code (0 = transport error).
+func (t *tracker) observe(lat time.Duration, status int, err error) {
+	s := lat.Seconds()
+	t.hist.Observe(s)
+	t.mu.Lock()
+	t.n++
+	t.sum += s
+	if s > t.max {
+		t.max = s
+	}
+	switch {
+	case err != nil:
+		t.errs++
+		t.status["error"]++
+	case status >= 500:
+		t.errs++
+		t.status[strconv.Itoa(status)]++
+	default:
+		t.status[strconv.Itoa(status)]++
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) report(name string) ScenarioReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := ScenarioReport{
+		Name:     name,
+		Route:    routeOf(name),
+		Requests: t.n,
+		Errors:   t.errs,
+		P50Ms:    t.hist.Quantile(0.50) * 1e3,
+		P95Ms:    t.hist.Quantile(0.95) * 1e3,
+		P99Ms:    t.hist.Quantile(0.99) * 1e3,
+		MaxMs:    t.max * 1e3,
+	}
+	if t.n > 0 {
+		rep.MeanMs = t.sum / float64(t.n) * 1e3
+		rep.Status = map[string]int64{}
+		for k, v := range t.status {
+			rep.Status[k] = v
+		}
+	}
+	return rep
+}
+
+// parseMix parses "submit=1,stats=4" into scenario weights.
+func parseMix(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		known := false
+		for _, n := range scenarioNames {
+			if n == name {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("mix entry %q: unknown scenario (have %s)",
+				part, strings.Join(scenarioNames, ", "))
+		}
+		out[name] += w
+	}
+	total := 0.0
+	for _, w := range out {
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return out, nil
+}
+
+// arrivalOffsets precomputes every request's scheduled arrival offset for
+// an open-loop run: constant rate, or a linear ramp from Rate to RampTo.
+// The i-th arrival is at the time t where the cumulative expected arrival
+// count reaches i (for a ramp that is a quadratic, inverted analytically).
+func arrivalOffsets(rate, rampTo float64, d time.Duration) []time.Duration {
+	T := d.Seconds()
+	end := rampTo
+	if end <= 0 {
+		end = rate
+	}
+	total := int((rate + end) / 2 * T)
+	out := make([]time.Duration, 0, total)
+	a := (end - rate) / (2 * T) // cum(t) = rate*t + a*t²
+	for i := 0; i < total; i++ {
+		var t float64
+		if math.Abs(a) < 1e-12 {
+			t = float64(i) / rate
+		} else {
+			t = (-rate + math.Sqrt(rate*rate+4*a*float64(i))) / (2 * a)
+		}
+		if t > T {
+			break
+		}
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+	return out
+}
+
+// jobPool is the shared set of job ids submits created this run, for the
+// job-addressed scenarios to sample from.
+type jobPool struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+func (p *jobPool) add(id string) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+func (p *jobPool) pick(n int64) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return "", false
+	}
+	return p.ids[int(n)%len(p.ids)], true
+}
+
+// runLoad executes one open-loop run and folds the results into a Report.
+func runLoad(cfg Config) (*Report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("duration must be positive")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 256
+	}
+	mix, err := parseMix(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	base := strings.TrimSuffix(cfg.Addr, "/")
+
+	// The whole schedule — arrival offset plus scenario — is fixed before
+	// the first request fires, so a slow server cannot warp the workload.
+	offsets := arrivalOffsets(cfg.Rate, cfg.RampTo, cfg.Duration)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := make([]string, 0, len(mix))
+	for _, n := range scenarioNames {
+		if mix[n] > 0 {
+			names = append(names, n)
+		}
+	}
+	weightTotal := 0.0
+	for _, n := range names {
+		weightTotal += mix[n]
+	}
+	plan := make([]string, len(offsets))
+	for i := range plan {
+		x := rng.Float64() * weightTotal
+		for _, n := range names {
+			if x -= mix[n]; x <= 0 {
+				plan[i] = n
+				break
+			}
+		}
+		if plan[i] == "" {
+			plan[i] = names[len(names)-1]
+		}
+	}
+
+	reg := obs.NewRegistry()
+	trackers := map[string]*tracker{}
+	for _, n := range names {
+		trackers[n] = newTracker(reg, n)
+	}
+	overall := newTracker(reg, "total")
+	pool := &jobPool{}
+
+	var (
+		wg        sync.WaitGroup
+		dropped   int64
+		completed int64
+		countMu   sync.Mutex
+	)
+	routeCounts := map[string]int64{}
+	slots := make(chan struct{}, cfg.Concurrency)
+	start := time.Now()
+	for i, off := range offsets {
+		if d := time.Until(start.Add(off)); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			// Open loop: never block on a saturated server — drop and report.
+			countMu.Lock()
+			dropped++
+			countMu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, scheduled time.Time, scenario string) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			route, status, err := fire(client, base, scenario, pool, int64(i))
+			lat := time.Since(scheduled)
+			trackers[scenario].observe(lat, status, err)
+			overall.observe(lat, status, err)
+			countMu.Lock()
+			completed++
+			if err == nil {
+				routeCounts[route]++
+			}
+			countMu.Unlock()
+		}(i, start.Add(off), plan[i])
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Addr:            cfg.Addr,
+		RateStart:       cfg.Rate,
+		RateEnd:         cfg.RampTo,
+		DurationSeconds: cfg.Duration.Seconds(),
+		Scheduled:       int64(len(offsets)),
+		Completed:       completed,
+		Dropped:         dropped,
+		Total:           overall.report("total"),
+		RouteCounts:     routeCounts,
+		SLOPassed:       true,
+	}
+	if rep.RateEnd <= 0 {
+		rep.RateEnd = cfg.Rate
+	}
+	for _, n := range names {
+		rep.Scenarios = append(rep.Scenarios, trackers[n].report(n))
+	}
+	sort.Slice(rep.Scenarios, func(i, j int) bool {
+		return rep.Scenarios[i].Name < rep.Scenarios[j].Name
+	})
+
+	check := func(name string, got, limit time.Duration) {
+		v := SLOCheck{Name: name, Got: got.Round(time.Microsecond).String(),
+			Limit: limit.String(), Passed: got <= limit}
+		if !v.Passed {
+			rep.SLOPassed = false
+		}
+		rep.SLO = append(rep.SLO, v)
+	}
+	if cfg.SLOP95 > 0 {
+		check("p95_latency", time.Duration(rep.Total.P95Ms*float64(time.Millisecond)), cfg.SLOP95)
+	}
+	if cfg.SLOP99 > 0 {
+		check("p99_latency", time.Duration(rep.Total.P99Ms*float64(time.Millisecond)), cfg.SLOP99)
+	}
+	if cfg.SLOErrorRate >= 0 {
+		rate := 0.0
+		if rep.Total.Requests > 0 {
+			rate = float64(rep.Total.Errors) / float64(rep.Total.Requests)
+		}
+		v := SLOCheck{Name: "error_rate",
+			Got:    fmt.Sprintf("%.4f", rate),
+			Limit:  fmt.Sprintf("%.4f", cfg.SLOErrorRate),
+			Passed: rate <= cfg.SLOErrorRate}
+		if !v.Passed {
+			rep.SLOPassed = false
+		}
+		rep.SLO = append(rep.SLO, v)
+	}
+	return rep, nil
+}
+
+// submitBody is a small two-constraint job that finishes in milliseconds —
+// enough to exercise the whole submit→run→finish path at load.
+var submitBody = []byte(`{"trees": ["((A,B),(C,D));", "((A,B),(C,E));"]}`)
+
+// fire executes one scenario request and returns the middleware route it
+// actually hit plus the HTTP status (0 on transport error). Job-addressed
+// scenarios fall back to the job listing while no job id is known yet —
+// the returned route is "list" in that case, so route-level reconciliation
+// against the server's counters stays exact.
+func fire(client *http.Client, base, scenario string, pool *jobPool, n int64) (string, int, error) {
+	get := func(route, url string) (string, int, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return route, 0, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return route, resp.StatusCode, nil
+	}
+	switch scenario {
+	case "submit":
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(submitBody))
+		if err != nil {
+			return "submit", 0, err
+		}
+		defer resp.Body.Close()
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err == nil && st.ID != "" {
+			pool.add(st.ID)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return "submit", resp.StatusCode, nil
+	case "list":
+		return get("list", base+"/jobs")
+	case "healthz":
+		return get("healthz", base+"/healthz")
+	}
+	id, ok := pool.pick(n)
+	if !ok {
+		// No job submitted yet: a 404 would pollute the error view, so probe
+		// the listing instead.
+		return get("list", base+"/jobs")
+	}
+	switch scenario {
+	case "stats":
+		return get("stats", base+"/jobs/"+id+"/stats")
+	case "get":
+		return get("get", base+"/jobs/"+id)
+	case "stream":
+		return get("trees", base+"/jobs/"+id+"/trees")
+	case "cancel":
+		resp, err := client.Post(base+"/jobs/"+id+"/cancel", "application/json", nil)
+		if err != nil {
+			return "cancel", 0, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return "cancel", resp.StatusCode, nil
+	}
+	return scenario, 0, fmt.Errorf("unknown scenario %q", scenario)
+}
+
+// writeReports renders the report as JSON (to path or stdout) and
+// optionally as markdown.
+func writeReports(rep *Report, jsonPath, mdPath string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonPath == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(jsonPath, data, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if mdPath == "" {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# loadgen report\n\n")
+	fmt.Fprintf(&b, "- target: %s\n- rate: %.4g -> %.4g req/s over %.4gs\n",
+		rep.Addr, rep.RateStart, rep.RateEnd, rep.DurationSeconds)
+	fmt.Fprintf(&b, "- requests: %d scheduled, %d completed, %d dropped at the concurrency cap\n\n",
+		rep.Scheduled, rep.Completed, rep.Dropped)
+	fmt.Fprintf(&b, "| scenario | route | n | errors | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) | max (ms) |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|\n")
+	rows := append([]ScenarioReport{rep.Total}, rep.Scenarios...)
+	for _, s := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+			s.Name, s.Route, s.Requests, s.Errors, s.P50Ms, s.P95Ms, s.P99Ms, s.MeanMs, s.MaxMs)
+	}
+	if len(rep.SLO) > 0 {
+		fmt.Fprintf(&b, "\n## SLO\n\n| check | got | limit | verdict |\n|---|---|---|---|\n")
+		for _, v := range rep.SLO {
+			verdict := "PASS"
+			if !v.Passed {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", v.Name, v.Got, v.Limit, verdict)
+		}
+	}
+	return os.WriteFile(mdPath, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,60 @@
+// Command loadgen is an open-loop load generator for gentriusd: it fires
+// requests at a scheduled arrival rate (constant or linearly ramping),
+// drives a weighted scenario mix against the job API, and reports
+// coordinated-omission-free latency percentiles per scenario.
+//
+// Open loop means arrival times are fixed up front: a slow server does not
+// slow the generator down, and every latency is measured from the request's
+// *scheduled* arrival, so queueing delay the server causes is charged to
+// the server (the classic closed-loop benchmarking mistake is to hide it).
+//
+//	loadgen -addr http://localhost:8080 -rate 50 -duration 10s \
+//	    -mix submit=1,stats=4,list=2,cancel=0.5,stream=0.5 \
+//	    -slo-p95 250ms -slo-error-rate 0.01 -out report.json -md report.md
+//
+// The exit code is 0 when every SLO passed, 1 on violation — wire it
+// straight into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var cfg Config
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "gentriusd base URL")
+	flag.Float64Var(&cfg.Rate, "rate", 20, "arrival rate at start, requests/second")
+	flag.Float64Var(&cfg.RampTo, "ramp-to", 0, "arrival rate at the end of the run (0 = constant rate)")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "run length")
+	flag.StringVar(&cfg.Mix, "mix", "submit=1,stats=4,list=2", "weighted scenario mix: submit, stats, get, list, cancel, stream, healthz")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "scenario-selection RNG seed")
+	flag.DurationVar(&cfg.SLOP95, "slo-p95", 0, "fail if overall p95 latency exceeds this (0 = no check)")
+	flag.DurationVar(&cfg.SLOP99, "slo-p99", 0, "fail if overall p99 latency exceeds this (0 = no check)")
+	flag.Float64Var(&cfg.SLOErrorRate, "slo-error-rate", -1, "fail if the 5xx+transport error fraction exceeds this (negative = no check)")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 256, "max in-flight requests; beyond it arrivals are dropped (and reported)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	md := flag.String("md", "", "also write a markdown report here")
+	flag.Parse()
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if err := writeReports(rep, *out, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	for _, v := range rep.SLO {
+		if !v.Passed {
+			fmt.Fprintf(os.Stderr, "loadgen: SLO violated: %s: got %s, limit %s\n",
+				v.Name, v.Got, v.Limit)
+		}
+	}
+	if !rep.SLOPassed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gentrius/internal/obs"
+	"gentrius/internal/service"
+)
+
+func contextWithTestTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("submit=1, stats=4,list=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["submit"] != 1 || mix["stats"] != 4 || mix["list"] != 2 {
+		t.Fatalf("parseMix = %v", mix)
+	}
+	for _, bad := range []string{"", "frobnicate=1", "submit", "submit=-2", "submit=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q): want error", bad)
+		}
+	}
+}
+
+func TestArrivalOffsetsConstant(t *testing.T) {
+	offs := arrivalOffsets(100, 0, time.Second)
+	if len(offs) != 100 {
+		t.Fatalf("constant 100/s over 1s: got %d arrivals", len(offs))
+	}
+	if offs[0] != 0 {
+		t.Errorf("first arrival at %v, want 0", offs[0])
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, offs[i], offs[i-1])
+		}
+	}
+	if last := offs[len(offs)-1]; last >= time.Second {
+		t.Errorf("last arrival %v outside the run", last)
+	}
+}
+
+func TestArrivalOffsetsRamp(t *testing.T) {
+	offs := arrivalOffsets(10, 90, time.Second)
+	// Average rate (10+90)/2 = 50/s over one second.
+	if len(offs) < 45 || len(offs) > 50 {
+		t.Fatalf("ramp 10→90 over 1s: got %d arrivals, want ~50", len(offs))
+	}
+	firstHalf := 0
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	for _, off := range offs {
+		if off >= time.Second {
+			t.Fatalf("arrival %v outside the run", off)
+		}
+		if off < 500*time.Millisecond {
+			firstHalf++
+		}
+	}
+	// Accelerating arrivals: the second half must hold more of them.
+	if secondHalf := len(offs) - firstHalf; secondHalf <= firstHalf {
+		t.Errorf("ramp not accelerating: %d arrivals in the first half, %d in the second",
+			firstHalf, secondHalf)
+	}
+}
+
+// newLoadTestServer wires a real Manager (with middleware metrics on reg)
+// behind an httptest server, exactly like cmd/gentriusd does.
+func newLoadTestServer(t *testing.T, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	mgr, err := service.New(service.Config{
+		Workers:  2,
+		QueueCap: 256,
+		DataDir:  t.TempDir(),
+		Metrics:  service.NewMetrics(reg),
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mgr.RegisterRoutes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := contextWithTestTimeout()
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck // best-effort cleanup
+	})
+	return srv
+}
+
+// serverRouteCounts sums gentriusd_http_requests_total{route=...,code=...}
+// across status codes, per route.
+func serverRouteCounts(reg *obs.Registry) map[string]int64 {
+	const prefix = `gentriusd_http_requests_total{route="`
+	out := map[string]int64{}
+	for name, v := range reg.Snapshot() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if i := strings.IndexByte(rest, '"'); i >= 0 {
+			out[rest[:i]] += int64(v)
+		}
+	}
+	return out
+}
+
+func formatCounts(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, m[k])
+	}
+	return b.String()
+}
+
+// TestLoadReconcilesWithServerCounters is the conservation check: every
+// request the generator reports per route must appear in the server's own
+// per-route request counters, and vice versa.
+func TestLoadReconcilesWithServerCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newLoadTestServer(t, reg)
+
+	rep, err := runLoad(Config{
+		Addr:     srv.URL,
+		Rate:     300,
+		Duration: 500 * time.Millisecond,
+		Mix:      "submit=2,stats=3,get=2,list=2,cancel=1,stream=1,healthz=1",
+		Seed:     7,
+		// Doubles as the zero-5xx/zero-transport-error assertion: any
+		// error fails the verdict below.
+		SLOErrorRate: 0,
+		SLOP95:       10 * time.Second,
+		Concurrency:  64,
+		Client:       srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled == 0 || rep.Completed == 0 {
+		t.Fatalf("no load generated: scheduled=%d completed=%d", rep.Scheduled, rep.Completed)
+	}
+	if rep.Completed+rep.Dropped != rep.Scheduled {
+		t.Errorf("conservation: completed %d + dropped %d != scheduled %d",
+			rep.Completed, rep.Dropped, rep.Scheduled)
+	}
+	if !rep.SLOPassed {
+		t.Errorf("SLO verdict failed (errors or absurd latency): %+v, status %v",
+			rep.SLO, rep.Total.Status)
+	}
+	if rep.Total.Errors != 0 {
+		t.Errorf("run saw %d errors: %v", rep.Total.Errors, rep.Total.Status)
+	}
+
+	// The middleware counts a request after the handler returns; the client
+	// can observe the response body end a moment earlier, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var got map[string]int64
+	for {
+		got = serverRouteCounts(reg)
+		if countsEqual(got, rep.RouteCounts) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !countsEqual(got, rep.RouteCounts) {
+		t.Fatalf("route counts do not reconcile:\n  loadgen:%s\n  server: %s",
+			formatCounts(rep.RouteCounts), formatCounts(got))
+	}
+
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	if sum != rep.Completed {
+		t.Errorf("server served %d requests, loadgen completed %d", sum, rep.Completed)
+	}
+}
+
+func countsEqual(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLoadSLOViolation drives an impossible latency target and expects the
+// nonzero-exit verdict main keys off.
+func TestLoadSLOViolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newLoadTestServer(t, reg)
+
+	rep, err := runLoad(Config{
+		Addr:     srv.URL,
+		Rate:     100,
+		Duration: 200 * time.Millisecond,
+		Mix:      "healthz=1",
+		Seed:     1,
+		SLOP95:   time.Nanosecond,
+		Client:   srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLOPassed {
+		t.Fatal("1ns p95 SLO passed — verdict logic broken")
+	}
+	found := false
+	for _, v := range rep.SLO {
+		if v.Name == "p95_latency" && !v.Passed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failed p95_latency check in %+v", rep.SLO)
+	}
+}

@@ -1,0 +1,19 @@
+// Package buildinfo carries the version stamp linked into release binaries:
+//
+//	go build -ldflags "-X gentrius/internal/buildinfo.Version=v1.2.3 \
+//	                   -X gentrius/internal/buildinfo.Commit=$(git rev-parse --short HEAD)" ./cmd/gentriusd
+//
+// Unstamped builds report "dev"/"none". cmd/gentriusd surfaces the stamp in
+// -version, the startup log and /healthz, so an operator can always tell
+// which build produced an observation.
+package buildinfo
+
+var (
+	// Version is the release version, "dev" when not stamped.
+	Version = "dev"
+	// Commit is the short VCS revision, "none" when not stamped.
+	Commit = "none"
+)
+
+// String renders "version (commit)".
+func String() string { return Version + " (" + Commit + ")" }

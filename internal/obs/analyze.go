@@ -49,10 +49,49 @@ type TraceReport struct {
 
 	Panics int64
 
+	// Serving-path request analysis (populated when the trace carries
+	// http-begin/http-end and job-submit/begin/end events from gentriusd).
+	HTTPSpans    int64 // completed request spans
+	OpenHTTP     int64 // requests still in flight at trace end
+	ByRoute      []RouteStat
+	JobSpans     int64
+	JobQueueWait stats.Summary // job-submit → job-begin, per job
+	JobExec      stats.Summary // job-begin → job-end, per job
+	Slowest      []RequestSpan // slowest completed requests, most severe first
+
 	// Audit lists conservation violations; an empty list means the trace is
 	// internally consistent.
 	Audit []string
 }
+
+// RouteStat aggregates the completed request spans of one HTTP route.
+type RouteStat struct {
+	Route   string
+	N       int64
+	Errors  int64 // responses with status >= 500
+	Latency stats.Summary
+}
+
+// RequestSpan is one reconstructed request lifecycle: the HTTP span and,
+// when the request submitted a job, that job's queue-wait and execution
+// spans (zero when the request never reached a job).
+type RequestSpan struct {
+	ReqID     string
+	Route     string
+	Status    int64
+	Serial    int64 // the run-unique numeric request serial ("reqn")
+	Start     int64
+	End       int64
+	JobID     string
+	QueueWait int64
+	Exec      int64
+}
+
+// Latency is the request's HTTP span duration in trace units.
+func (s *RequestSpan) Latency() int64 { return s.End - s.Start }
+
+// slowestCap bounds the drill-down table in reports.
+const slowestCap = 10
 
 // Span returns the trace duration in timestamp units.
 func (r *TraceReport) Span() int64 { return r.LastTS - r.FirstTS }
@@ -95,6 +134,35 @@ func Analyze(events []TraceEvent, units string) *TraceReport {
 	submitTS := map[int64]int64{} // task id -> submit timestamp
 	var latencies []float64
 	stolen := map[int64]bool{}
+
+	// Serving-path reconstruction state: open HTTP spans by request serial,
+	// job phase stamps by job id.
+	type httpOpen struct {
+		ts    int64
+		route string
+		req   string
+	}
+	httpBegins := map[int64]httpOpen{}
+	type jobSpan struct {
+		id                  string
+		req                 string
+		reqn                int64
+		submit, begin, end  int64
+		hasSubmit, hasBegin bool
+		hasEnd              bool
+	}
+	jobByID := map[string]*jobSpan{}
+	jobOrder := []string{}
+	jobAt := func(id string) *jobSpan {
+		j := jobByID[id]
+		if j == nil {
+			j = &jobSpan{id: id}
+			jobByID[id] = j
+			jobOrder = append(jobOrder, id)
+		}
+		return j
+	}
+	var completed []RequestSpan
 
 	for _, e := range events {
 		switch e.Ev {
@@ -149,8 +217,123 @@ func Analyze(events []TraceEvent, units string) *TraceReport {
 			rep.StopStates = e.Get("states")
 		case EvPanic:
 			rep.Panics++
+		case EvHTTPStart:
+			reqn := e.Get("reqn")
+			if _, dup := httpBegins[reqn]; dup {
+				rep.Audit = append(rep.Audit, fmt.Sprintf(
+					"duplicate http-begin for request serial %d", reqn))
+			}
+			httpBegins[reqn] = httpOpen{ts: e.TS, route: e.GetStr("route"), req: e.GetStr("req")}
+		case EvHTTPEnd:
+			reqn := e.Get("reqn")
+			open, ok := httpBegins[reqn]
+			if !ok {
+				rep.Audit = append(rep.Audit, fmt.Sprintf(
+					"http-end for request serial %d with no http-begin", reqn))
+				continue
+			}
+			delete(httpBegins, reqn)
+			completed = append(completed, RequestSpan{
+				ReqID:  open.req,
+				Route:  open.route,
+				Status: e.Get("status"),
+				Serial: reqn,
+				Start:  open.ts,
+				End:    e.TS,
+			})
+		case EvJobSubmit:
+			j := jobAt(e.GetStr("job"))
+			j.submit, j.hasSubmit = e.TS, true
+			j.req, j.reqn = e.GetStr("req"), e.Get("reqn")
+		case EvJobStart:
+			j := jobAt(e.GetStr("job"))
+			if !j.hasSubmit {
+				rep.Audit = append(rep.Audit, fmt.Sprintf(
+					"job-begin for %s with no job-submit", j.id))
+			}
+			j.begin, j.hasBegin = e.TS, true
+		case EvJobEnd:
+			// A job may legitimately end without ever beginning (cancelled
+			// while still queued), but never without a submission.
+			j := jobAt(e.GetStr("job"))
+			if !j.hasSubmit {
+				rep.Audit = append(rep.Audit, fmt.Sprintf(
+					"job-end for %s with no job-submit", j.id))
+			}
+			j.end, j.hasEnd = e.TS, true
 		}
 	}
+
+	// Link completed requests to the jobs they submitted (shared request
+	// serial) and fold the serving-path distributions.
+	jobByReqn := map[int64]*jobSpan{}
+	for _, id := range jobOrder {
+		if j := jobByID[id]; j.reqn != 0 {
+			jobByReqn[j.reqn] = j
+		}
+	}
+	for i := range completed {
+		if j := jobByReqn[completed[i].Serial]; j != nil {
+			completed[i].JobID = j.id
+			if j.hasSubmit && j.hasBegin {
+				completed[i].QueueWait = j.begin - j.submit
+			}
+			if j.hasBegin && j.hasEnd {
+				completed[i].Exec = j.end - j.begin
+			}
+		}
+	}
+	rep.HTTPSpans = int64(len(completed))
+	rep.OpenHTTP = int64(len(httpBegins))
+	rep.JobSpans = int64(len(jobOrder))
+
+	if len(completed) > 0 {
+		byRoute := map[string][]float64{}
+		errs := map[string]int64{}
+		for i := range completed {
+			s := &completed[i]
+			byRoute[s.Route] = append(byRoute[s.Route], float64(s.Latency()))
+			if s.Status >= 500 {
+				errs[s.Route]++
+			}
+		}
+		routes := make([]string, 0, len(byRoute))
+		for route := range byRoute {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		for _, route := range routes {
+			rep.ByRoute = append(rep.ByRoute, RouteStat{
+				Route:   route,
+				N:       int64(len(byRoute[route])),
+				Errors:  errs[route],
+				Latency: stats.Summarize(byRoute[route]),
+			})
+		}
+		slow := append([]RequestSpan(nil), completed...)
+		sort.Slice(slow, func(i, j int) bool {
+			if d := slow[i].Latency() - slow[j].Latency(); d != 0 {
+				return d > 0
+			}
+			return slow[i].Serial < slow[j].Serial
+		})
+		if len(slow) > slowestCap {
+			slow = slow[:slowestCap]
+		}
+		rep.Slowest = slow
+	}
+	var qwaits, execs []float64
+	for _, id := range jobOrder {
+		j := jobByID[id]
+		if j.hasSubmit && j.hasBegin {
+			qwaits = append(qwaits, float64(j.begin-j.submit))
+		}
+		if j.hasBegin && j.hasEnd {
+			execs = append(execs, float64(j.end-j.begin))
+		}
+	}
+	rep.JobQueueWait = stats.Summarize(qwaits)
+	rep.JobExec = stats.Summarize(execs)
 
 	// Close spans a stopped run left open, charging busy time to trace end.
 	for _, w := range ws {
@@ -247,6 +430,49 @@ func (r *TraceReport) WriteMarkdown(w io.Writer) error {
 		fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
 		fmt.Fprintf(&b, "| %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f |\n",
 			s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+	}
+
+	if r.HTTPSpans > 0 || r.OpenHTTP > 0 || r.JobSpans > 0 {
+		fmt.Fprintf(&b, "\n## Request spans\n\n")
+		fmt.Fprintf(&b, "- http requests: %d completed, %d still in flight at trace end\n",
+			r.HTTPSpans, r.OpenHTTP)
+		fmt.Fprintf(&b, "- jobs with serving spans: %d\n", r.JobSpans)
+		if len(r.ByRoute) > 0 {
+			fmt.Fprintf(&b, "\n### Per-route latency (%s)\n\n", r.Units)
+			fmt.Fprintf(&b, "| route | n | 5xx | min | q1 | median | q3 | max | mean |\n")
+			fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|\n")
+			for _, rt := range r.ByRoute {
+				s := rt.Latency
+				fmt.Fprintf(&b, "| %s | %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f |\n",
+					rt.Route, rt.N, rt.Errors, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+			}
+		}
+		if r.JobQueueWait.N > 0 || r.JobExec.N > 0 {
+			fmt.Fprintf(&b, "\n### Job phase breakdown (%s)\n\n", r.Units)
+			fmt.Fprintf(&b, "| phase | n | min | median | max | mean |\n")
+			fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+			for _, row := range []struct {
+				name string
+				s    stats.Summary
+			}{{"queue-wait", r.JobQueueWait}, {"exec", r.JobExec}} {
+				fmt.Fprintf(&b, "| %s | %d | %.0f | %.1f | %.0f | %.2f |\n",
+					row.name, row.s.N, row.s.Min, row.s.Median, row.s.Max, row.s.Mean)
+			}
+		}
+		if len(r.Slowest) > 0 {
+			fmt.Fprintf(&b, "\n### Slowest requests\n\n")
+			fmt.Fprintf(&b, "| req | route | status | latency (%s) | job | queue-wait | exec |\n", r.Units)
+			fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+			for i := range r.Slowest {
+				s := &r.Slowest[i]
+				job := s.JobID
+				if job == "" {
+					job = "-"
+				}
+				fmt.Fprintf(&b, "| %s | %s | %d | %d | %s | %d | %d |\n",
+					s.ReqID, s.Route, s.Status, s.Latency(), job, s.QueueWait, s.Exec)
+			}
+		}
 	}
 
 	fmt.Fprintf(&b, "\n## Conservation audit\n\n")

@@ -29,8 +29,13 @@ type chromeEvent struct {
 }
 
 // poolTID is the synthetic thread id pool-level events (worker -1, e.g.
-// stop-rule firings) are displayed on.
-const poolTID = 1 << 20
+// stop-rule firings) are displayed on; httpTID and jobTID carry the
+// serving-path request and job spans.
+const (
+	poolTID = 1 << 20
+	httpTID = poolTID + 1
+	jobTID  = poolTID + 2
+)
 
 // WriteChromeTrace renders events as Chrome Trace Event Format JSON.
 // unitsPerMicro converts recorder timestamps to microseconds: 1 for
@@ -49,16 +54,30 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent, unitsPerMicro float64) e
 		return f
 	}
 
+	serveEvent := func(ev string) bool {
+		switch ev {
+		case EvHTTPStart, EvHTTPEnd, EvJobSubmit, EvJobStart, EvJobEnd:
+			return true
+		}
+		return false
+	}
+
 	workers := map[int]bool{}
 	maxTS := int64(0)
 	hasPool := false
+	hasHTTP, hasJob := false, false
 	for _, e := range events {
 		if e.TS > maxTS {
 			maxTS = e.TS
 		}
-		if e.Worker >= 0 {
+		switch {
+		case e.Ev == EvHTTPStart || e.Ev == EvHTTPEnd:
+			hasHTTP = true
+		case e.Ev == EvJobSubmit || e.Ev == EvJobStart || e.Ev == EvJobEnd:
+			hasJob = true
+		case e.Worker >= 0:
 			workers[e.Worker] = true
-		} else {
+		default:
 			hasPool = true
 		}
 	}
@@ -79,9 +98,101 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent, unitsPerMicro float64) e
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: 0,
 			TID: poolTID, Args: map[string]string{"name": "pool"}})
 	}
+	if hasHTTP {
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: 0,
+			TID: httpTID, Args: map[string]string{"name": "http"}})
+	}
+	if hasJob {
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: 0,
+			TID: jobTID, Args: map[string]string{"name": "jobs"}})
+	}
+
+	// Serving-path spans are async (ph b/e): requests overlap freely, so
+	// the per-track begin/end stack the worker slices use cannot hold.
+	// Matching is by (cat, id); the request serial and job serial provide
+	// run-unique ids. httpNames remembers each request's slice name so the
+	// closing event pairs up in chrome://tracing's legacy matcher too.
+	httpNames := map[int64]string{}
+	jobBegun := map[int64]bool{}
+	sargs := func(e *TraceEvent) any {
+		m := map[string]string{}
+		for k, v := range e.Str {
+			m[k] = v
+		}
+		for k, v := range e.Fields {
+			m[k] = fmt.Sprint(v)
+		}
+		if len(m) == 0 {
+			return nil
+		}
+		return m
+	}
 
 	open := map[int]int{} // tid -> open task-begin count
-	for _, e := range events {
+	for i := range events {
+		e := events[i]
+		if serveEvent(e.Ev) {
+			switch e.Ev {
+			case EvHTTPStart:
+				name := "http " + e.GetStr("route")
+				httpNames[e.Get("reqn")] = name
+				out = append(out, chromeEvent{
+					Name: name, Cat: "request", Ph: "b", TS: us(e.TS),
+					PID: 0, TID: httpTID, ID: e.Get("reqn"), Args: sargs(&events[i]),
+				})
+			case EvHTTPEnd:
+				name := httpNames[e.Get("reqn")]
+				if name == "" {
+					name = "http"
+				}
+				out = append(out, chromeEvent{
+					Name: name, Cat: "request", Ph: "e", TS: us(e.TS),
+					PID: 0, TID: httpTID, ID: e.Get("reqn"), Args: sargs(&events[i]),
+				})
+			case EvJobSubmit:
+				out = append(out, chromeEvent{
+					Name: "queue-wait", Cat: "job-queue", Ph: "b", TS: us(e.TS),
+					PID: 0, TID: jobTID, ID: e.Get("jobn"), Args: sargs(&events[i]),
+				})
+				if reqn := e.Get("reqn"); reqn != 0 {
+					// Flow arrow: the submitting HTTP request hands off to
+					// the job's queue-wait span.
+					out = append(out, chromeEvent{
+						Name: "submit-flow", Cat: "request-flow", Ph: "s",
+						TS: us(e.TS), PID: 0, TID: httpTID, ID: reqn,
+					})
+					out = append(out, chromeEvent{
+						Name: "submit-flow", Cat: "request-flow", Ph: "f", BP: "e",
+						TS: us(e.TS), PID: 0, TID: jobTID, ID: reqn,
+					})
+				}
+			case EvJobStart:
+				jobBegun[e.Get("jobn")] = true
+				out = append(out, chromeEvent{
+					Name: "queue-wait", Cat: "job-queue", Ph: "e", TS: us(e.TS),
+					PID: 0, TID: jobTID, ID: e.Get("jobn"),
+				})
+				out = append(out, chromeEvent{
+					Name: "exec", Cat: "job-exec", Ph: "b", TS: us(e.TS),
+					PID: 0, TID: jobTID, ID: e.Get("jobn"), Args: sargs(&events[i]),
+				})
+			case EvJobEnd:
+				// A job cancelled while queued ends without beginning: close
+				// its queue-wait span instead of a never-opened exec span.
+				if jobBegun[e.Get("jobn")] {
+					out = append(out, chromeEvent{
+						Name: "exec", Cat: "job-exec", Ph: "e", TS: us(e.TS),
+						PID: 0, TID: jobTID, ID: e.Get("jobn"), Args: sargs(&events[i]),
+					})
+				} else {
+					out = append(out, chromeEvent{
+						Name: "queue-wait", Cat: "job-queue", Ph: "e", TS: us(e.TS),
+						PID: 0, TID: jobTID, ID: e.Get("jobn"), Args: sargs(&events[i]),
+					})
+				}
+			}
+			continue
+		}
 		tid := e.Worker
 		scope := "t"
 		if tid < 0 {

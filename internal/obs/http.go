@@ -12,20 +12,34 @@ import (
 	"time"
 )
 
-// NewMux returns an http.Handler exposing the registry at /metrics,
-// expvar at /debug/vars and the pprof suite under /debug/pprof/.
-func NewMux(reg *Registry) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+// MetricsHandler serves the registry's Prometheus exposition with the
+// text-format content type. Families render in sorted order, so scrapes
+// are deterministic.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
-	})
+	}
+}
+
+// RegisterDebug mounts expvar at /debug/vars and the pprof suite under
+// /debug/pprof/ — the debug half of NewMux, for callers assembling their
+// own mux (cmd/gentriusd wraps /metrics in its request middleware).
+func RegisterDebug(mux *http.ServeMux) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewMux returns an http.Handler exposing the registry at /metrics,
+// expvar at /debug/vars and the pprof suite under /debug/pprof/.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
+	RegisterDebug(mux)
 	return mux
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -249,9 +250,26 @@ func baseName(name string) string {
 	return name
 }
 
+// sortFamilies orders metric names for exposition: families (base names)
+// lexicographically, labelled series within a family lexicographically.
+// Scrape output is therefore deterministic regardless of registration
+// order — what the golden tests and diff-based smoke checks rely on.
+func sortFamilies(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+}
+
 // WritePrometheus renders every instrument in the Prometheus text
-// exposition format, in registration order. HELP/TYPE headers are emitted
-// once per base name (labelled series of one family share them).
+// exposition format, families sorted by name and labelled series sorted
+// within each family (deterministic scrapes). HELP/TYPE headers are
+// emitted once per base name (labelled series of one family share them).
+// Windowed histograms additionally render their per-interval companion
+// gauges (<base>_window_rate/_p50/_p95/_p99) after the main families.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	names := append([]string(nil), r.names...)
@@ -260,6 +278,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		metric[k] = v
 	}
 	r.mu.Unlock()
+	sortFamilies(names)
 
 	headered := map[string]bool{}
 	header := func(name, help, typ string) {
@@ -273,6 +292,33 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
 	}
+	writeHist := func(name string, bounds []float64, counts []int64, count int64, sum float64) {
+		base, labels := splitLabels(name)
+		cum := int64(0)
+		for i, b := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, formatBound(b), cum)
+		}
+		cum += counts[len(bounds)]
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
+		if labels == "" {
+			fmt.Fprintf(w, "%s_sum %g\n", base, sum)
+			fmt.Fprintf(w, "%s_count %d\n", base, count)
+		} else {
+			l := strings.TrimSuffix(labels, ",")
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", base, l, sum)
+			fmt.Fprintf(w, "%s_count{%s} %d\n", base, l, count)
+		}
+	}
+
+	// Companion series (windowed-histogram rate/quantile gauges) are
+	// deferred past the main loop so each family's series stay contiguous.
+	type companion struct {
+		name string
+		v    float64
+	}
+	var companions []companion
+
 	for _, name := range names {
 		switch m := metric[name].(type) {
 		case *Counter:
@@ -286,24 +332,37 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s %g\n", name, m.fn())
 		case *Histogram:
 			header(name, m.help, "histogram")
+			writeHist(name, m.bounds, m.BucketCounts(), m.Count(), m.Sum())
+		case *WindowedHistogram:
+			header(name, m.help, "histogram")
+			counts, count, sum := m.lifeBuckets()
+			writeHist(name, m.bounds, counts, count, sum)
 			base, labels := splitLabels(name)
-			cum := int64(0)
-			counts := m.BucketCounts()
-			for i, b := range m.bounds {
-				cum += counts[i]
-				fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, formatBound(b), cum)
+			series := func(suffix string) string {
+				if labels == "" {
+					return base + suffix
+				}
+				return base + suffix + "{" + strings.TrimSuffix(labels, ",") + "}"
 			}
-			cum += counts[len(m.bounds)]
-			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
-			if labels == "" {
-				fmt.Fprintf(w, "%s_sum %g\n", base, m.Sum())
-				fmt.Fprintf(w, "%s_count %d\n", base, m.Count())
-			} else {
-				l := strings.TrimSuffix(labels, ",")
-				fmt.Fprintf(w, "%s_sum{%s} %g\n", base, l, m.Sum())
-				fmt.Fprintf(w, "%s_count{%s} %d\n", base, l, m.Count())
-			}
+			win := m.Window()
+			companions = append(companions,
+				companion{series("_window_rate"), win.Rate},
+				companion{series("_window_p50"), win.P50},
+				companion{series("_window_p95"), win.P95},
+				companion{series("_window_p99"), win.P99})
 		}
+	}
+
+	compNames := make([]string, 0, len(companions))
+	byName := make(map[string]float64, len(companions))
+	for _, c := range companions {
+		compNames = append(compNames, c.name)
+		byName[c.name] = c.v
+	}
+	sortFamilies(compNames)
+	for _, name := range compNames {
+		header(name, "", "gauge")
+		fmt.Fprintf(w, "%s %g\n", name, byName[name])
 	}
 }
 
@@ -344,6 +403,14 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case *Histogram:
 			out[name+"_count"] = float64(m.Count())
 			out[name+"_sum"] = m.Sum()
+		case *WindowedHistogram:
+			out[name+"_count"] = float64(m.Count())
+			out[name+"_sum"] = m.Sum()
+			win := m.Window()
+			out[name+"_window_rate"] = win.Rate
+			out[name+"_window_p50"] = win.P50
+			out[name+"_window_p95"] = win.P95
+			out[name+"_window_p99"] = win.P99
 		}
 	}
 	return out

@@ -43,6 +43,19 @@ const (
 	// reconstructible offline (see cmd/obsreport).
 	EvTaskStart = "task-begin" // a worker starts executing a task
 	EvTaskEnd   = "task-end"   // the task's execution (incl. rewind) ended
+
+	// Serving-path span events (emitted by internal/service, worker -1).
+	// Requests carry a run-unique numeric serial ("reqn") plus the string
+	// request id ("req"); job events carry the job's numeric serial
+	// ("jobn"), its id ("job") and, when the job was born from an HTTP
+	// submission, the originating request's "req"/"reqn" — the correlation
+	// chain that lets one Perfetto view walk HTTP arrival → queue wait →
+	// job execution → worker task spans.
+	EvHTTPStart = "http-begin" // request entered the middleware
+	EvHTTPEnd   = "http-end"   // response written (status, bytes in/out)
+	EvJobSubmit = "job-submit" // job accepted and enqueued
+	EvJobStart  = "job-begin"  // a pool worker started the job
+	EvJobEnd    = "job-end"    // the job reached a terminal state
 )
 
 // Field is one numeric key/value of a trace event. All scheduler payloads
@@ -54,6 +67,18 @@ type Field struct {
 
 // F is shorthand for constructing a Field.
 func F(k string, v int64) Field { return Field{K: k, V: v} }
+
+// SField is one string key/value of a trace event — identifiers the
+// serving path correlates on (request ids, routes, job ids). Both key and
+// value pass through the same identifier-alphabet sanitizer as event
+// names, so a hostile value can mangle itself but never the JSONL framing.
+type SField struct {
+	K string
+	V string
+}
+
+// S is shorthand for constructing an SField.
+func S(k, v string) SField { return SField{K: k, V: v} }
 
 // Recorder writes JSONL trace events. All methods are safe on a nil
 // receiver (they no-op), and safe for concurrent use otherwise.
@@ -87,7 +112,20 @@ func (r *Recorder) Emit(ev string, worker int, fields ...Field) {
 	if r.clock != nil {
 		ts = r.clock()
 	}
-	r.EmitAt(ts, ev, worker, fields...)
+	r.EmitAtTagged(ts, ev, worker, nil, fields...)
+}
+
+// EmitTagged records an event with string tags alongside numeric fields,
+// stamped by the recorder's clock.
+func (r *Recorder) EmitTagged(ev string, worker int, tags []SField, fields ...Field) {
+	if r == nil {
+		return
+	}
+	ts := int64(0)
+	if r.clock != nil {
+		ts = r.clock()
+	}
+	r.EmitAtTagged(ts, ev, worker, tags, fields...)
 }
 
 // safeKeyByte reports whether c may appear verbatim in an event name or
@@ -117,6 +155,14 @@ func appendKey(buf []byte, s string) []byte {
 // event name and field keys must be identifier-like ([A-Za-z0-9_.-]);
 // other bytes are replaced with '_' so they cannot break the JSON framing.
 func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
+	r.EmitAtTagged(ts, ev, worker, nil, fields...)
+}
+
+// EmitAtTagged records an event with an explicit timestamp, string tags
+// and numeric fields. Tags follow the numeric fields on the line; names,
+// keys and tag values all pass through the identifier sanitizer, so no
+// input can break the JSONL framing.
+func (r *Recorder) EmitAtTagged(ts int64, ev string, worker int, tags []SField, fields ...Field) {
 	if r == nil {
 		return
 	}
@@ -134,6 +180,13 @@ func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
 		buf = appendKey(buf, f.K)
 		buf = append(buf, '"', ':')
 		buf = strconv.AppendInt(buf, f.V, 10)
+	}
+	for _, f := range tags {
+		buf = append(buf, ',', '"')
+		buf = appendKey(buf, f.K)
+		buf = append(buf, '"', ':', '"')
+		buf = appendKey(buf, f.V)
+		buf = append(buf, '"')
 	}
 	buf = append(buf, '}', '\n')
 	r.w.Write(buf)

@@ -51,6 +51,71 @@ func TestEmitAtSanitizesNames(t *testing.T) {
 	}
 }
 
+// TestEmitTaggedRoundTrip: string tags survive the write→parse round trip,
+// land in TraceEvent.Str, and hostile tag values are sanitized to the
+// identifier alphabet so they cannot break the framing.
+func TestEmitTaggedRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	r := NewRecorder(&b, nil)
+	r.EmitAtTagged(7, EvHTTPStart, -1,
+		[]SField{S("req", "demo-1"), S("route", "submit")}, F("reqn", 3))
+	r.EmitAtTagged(9, EvHTTPEnd, -1,
+		[]SField{S("req", `ev"il`+"\nid"), S(`bad key`, "v")}, F("reqn", 3))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&b)
+	if err != nil {
+		t.Fatalf("tagged lines must parse: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	e := evs[0]
+	if e.TS != 7 || e.Ev != EvHTTPStart || e.Worker != -1 ||
+		e.Get("reqn") != 3 || e.GetStr("req") != "demo-1" || e.GetStr("route") != "submit" {
+		t.Fatalf("round trip mangled event: %+v", e)
+	}
+	if evs[1].GetStr("req") != "ev_il_id" || evs[1].GetStr("bad_key") != "v" {
+		t.Fatalf("hostile tag not sanitized: %+v", evs[1].Str)
+	}
+	if evs[0].GetStr("absent") != "" {
+		t.Fatal("GetStr on absent tag must return empty")
+	}
+}
+
+// TestEmitTaggedUsesClock: EmitTagged stamps via the recorder clock like
+// Emit does.
+func TestEmitTaggedUsesClock(t *testing.T) {
+	var b bytes.Buffer
+	tick := int64(40)
+	r := NewRecorder(&b, func() int64 { tick += 2; return tick })
+	r.EmitTagged(EvJobSubmit, -1, []SField{S("job", "j000001")}, F("jobn", 1))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].TS != 42 || evs[0].GetStr("job") != "j000001" {
+		t.Fatalf("parsed %+v", evs)
+	}
+	if r.CountOf(EvJobSubmit) != 1 {
+		t.Fatal("tagged event not counted")
+	}
+}
+
+// TestEmitTaggedNilSafe: a nil recorder ignores tagged emissions too.
+func TestEmitTaggedNilSafe(t *testing.T) {
+	var r *Recorder
+	r.EmitTagged(EvHTTPStart, -1, []SField{S("req", "x")})
+	r.EmitAtTagged(1, EvHTTPEnd, -1, nil)
+	if r.Events() != 0 || r.CountOf(EvHTTPStart) != 0 {
+		t.Fatal("nil recorder must report zero events")
+	}
+}
+
 // BenchmarkEmitAt: the trace hot path (pool workers emit per task) must be
 // allocation-free — AvailableBuffer + strconv.Append*, no encoding/json.
 func BenchmarkEmitAt(b *testing.B) {

@@ -11,12 +11,15 @@ import (
 	"io"
 )
 
-// TraceEvent is one parsed scheduler trace event.
+// TraceEvent is one parsed scheduler trace event. Numeric payloads land in
+// Fields, string tags (request ids, routes, job ids — the serving-path
+// correlation identifiers) in Str.
 type TraceEvent struct {
 	TS     int64
 	Ev     string
 	Worker int
 	Fields map[string]int64
+	Str    map[string]string
 }
 
 // Get returns the named payload field, or 0 when absent.
@@ -27,6 +30,9 @@ func (e *TraceEvent) Has(k string) bool {
 	_, ok := e.Fields[k]
 	return ok
 }
+
+// GetStr returns the named string tag, or "" when absent.
+func (e *TraceEvent) GetStr(k string) string { return e.Str[k] }
 
 // ReadTrace parses a JSONL scheduler trace. Blank lines are skipped; a
 // malformed line fails with its line number.
@@ -55,6 +61,13 @@ func ReadTrace(r io.Reader) ([]TraceEvent, error) {
 					return nil, fmt.Errorf("obs: trace line %d: non-string ev", ln)
 				}
 				ev.Ev = s
+				continue
+			}
+			if s, ok := v.(string); ok {
+				if ev.Str == nil {
+					ev.Str = map[string]string{}
+				}
+				ev.Str[k] = s
 				continue
 			}
 			num, ok := v.(json.Number)

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for window-rotation tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newWindowed(t *testing.T, window time.Duration) (*WindowedHistogram, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := newWindowedHistogram("win_test_seconds", "test", ExpBuckets(0.001, 2, 12), window, clk.now)
+	return h, clk
+}
+
+func TestWindowedHistogramRotation(t *testing.T) {
+	h, clk := newWindowed(t, time.Minute)
+
+	// First interval: 100 observations around 8ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.008)
+	}
+	clk.advance(30 * time.Second)
+	win := h.Window()
+	if win.Count != 100 {
+		t.Fatalf("mid-window count = %d, want 100", win.Count)
+	}
+	if win.Rate < 3 || win.Rate > 4 {
+		t.Fatalf("rate over 30s = %v, want ~3.33/s", win.Rate)
+	}
+	if win.P50 < 0.004 || win.P50 > 0.008 {
+		t.Fatalf("p50 = %v, want within the 4..8ms bucket", win.P50)
+	}
+
+	// Second interval: the old observations rotate into prev and still
+	// contribute; new slow observations dominate the tail.
+	clk.advance(31 * time.Second)
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+	}
+	win = h.Window()
+	if win.Count != 110 {
+		t.Fatalf("count across prev+cur = %d, want 110", win.Count)
+	}
+	if win.P99 < 0.5 {
+		t.Fatalf("p99 = %v, want pulled up by the 1s observations", win.P99)
+	}
+
+	// Two windows later everything has aged out: rate and quantiles reset,
+	// while lifetime totals persist.
+	clk.advance(3 * time.Minute)
+	win = h.Window()
+	if win.Count != 0 || win.Rate != 0 || win.P99 != 0 {
+		t.Fatalf("stale window not empty: %+v", win)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("lifetime count = %d, want 110", h.Count())
+	}
+}
+
+func TestWindowedHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.WindowedHistogram(`req_seconds{route="submit"}`, "request latency",
+		[]float64{0.01, 0.1, 1}, time.Minute)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{route="submit",le="0.1"} 2`,
+		`req_seconds_bucket{route="submit",le="+Inf"} 3`,
+		`req_seconds_count{route="submit"} 3`,
+		"# TYPE req_seconds_window_rate gauge",
+		`req_seconds_window_rate{route="submit"}`,
+		`req_seconds_window_p99{route="submit"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap[`req_seconds{route="submit"}_count`] != 3 {
+		t.Fatalf("snapshot count = %v", snap)
+	}
+	if snap[`req_seconds{route="submit"}_window_p50`] <= 0 {
+		t.Fatalf("snapshot window p50 missing: %v", snap)
+	}
+}
+
+func TestWindowedHistogramNilSafe(t *testing.T) {
+	var h *WindowedHistogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil windowed histogram must be a no-op")
+	}
+	if win := h.Window(); win != (WindowSnapshot{}) {
+		t.Fatalf("nil window snapshot = %+v", win)
+	}
+}
+
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	h, clk := newWindowed(t, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%100) / 1000)
+				if i%100 == 0 {
+					clk.advance(time.Millisecond)
+					h.Window()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("lifetime count = %d, want 8000", h.Count())
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	counts := []int64{0, 10, 0, 0, 0} // all mass in (1,2]
+	if q := bucketQuantile(0.5, bounds, counts); q < 1 || q > 2 {
+		t.Fatalf("median = %v, want inside (1,2]", q)
+	}
+	// +Inf mass clamps to the top finite bound.
+	counts = []int64{0, 0, 0, 0, 5}
+	if q := bucketQuantile(0.99, bounds, counts); q != 8 {
+		t.Fatalf("quantile with +Inf mass = %v, want 8", q)
+	}
+	if q := bucketQuantile(0.5, bounds, []int64{0, 0, 0, 0, 0}); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hq", "", []float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 10 {
+		t.Fatalf("p50 = %v, want inside (1,10]", q)
+	}
+	if q := h.Quantile(0.99); q < 10 || q > 100 {
+		t.Fatalf("p99 = %v, want inside (10,100]", q)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}

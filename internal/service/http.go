@@ -31,18 +31,26 @@ const streamWriteTimeout = 30 * time.Second
 //	GET    /healthz          liveness probe: uptime, jobs by state, and the
 //	                         persistence dropped-write counters ("degraded"
 //	                         when any write was ever dropped)
+//
+// Every route passes through the manager's middleware: request ids, per-
+// route SLO metrics, access logs and http-begin/http-end trace spans.
 func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /jobs", m.handleSubmit)
-	mux.HandleFunc("GET /jobs", m.handleList)
-	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
-	mux.HandleFunc("GET /jobs/{id}/stats", m.handleStats)
-	mux.HandleFunc("GET /jobs/{id}/trees", m.handleTrees)
-	mux.HandleFunc("POST /jobs/{id}/cancel", m.handleCancel)
-	mux.HandleFunc("DELETE /jobs/{id}", m.handleCancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("POST /jobs", m.mw.Wrap("submit", m.handleSubmit))
+	mux.Handle("GET /jobs", m.mw.Wrap("list", m.handleList))
+	mux.Handle("GET /jobs/{id}", m.mw.Wrap("get", m.handleGet))
+	mux.Handle("GET /jobs/{id}/stats", m.mw.Wrap("stats", m.handleStats))
+	mux.Handle("GET /jobs/{id}/trees", m.mw.Wrap("trees", m.handleTrees))
+	mux.Handle("POST /jobs/{id}/cancel", m.mw.Wrap("cancel", m.handleCancel))
+	mux.Handle("DELETE /jobs/{id}", m.mw.Wrap("cancel", m.handleCancel))
+	mux.Handle("GET /healthz", m.mw.Wrap("healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, m.Health())
-	})
+	}))
 }
+
+// Middleware exposes the manager's instrumentation layer so additional
+// routes (cmd/gentriusd's /metrics) can be wrapped into the same per-route
+// metrics, access logs and request-id scheme.
+func (m *Manager) Middleware() *Middleware { return m.mw }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -75,7 +83,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := m.Submit(req)
+	job, err := m.SubmitWithRequest(req, RequestID(r), requestSerial(r))
 	var le *LimitError
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -96,6 +104,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	noteJob(r, job.ID())
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 

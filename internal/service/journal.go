@@ -24,6 +24,7 @@ type journalRecord struct {
 	ID    string      `json:"id"`
 	Time  string      `json:"time,omitempty"`
 	Req   *JobRequest `json:"req,omitempty"`
+	ReqID string      `json:"req_id,omitempty"` // originating HTTP request id
 	State State       `json:"state,omitempty"`
 	Error string      `json:"error,omitempty"`
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/buildinfo"
 	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 )
@@ -85,6 +86,9 @@ type Config struct {
 	// Logger receives structured job-lifecycle logs, every record carrying
 	// the job id (nil: discard).
 	Logger *slog.Logger
+	// HTTPWindow sizes the rotating interval behind the per-route
+	// _window_rate/_window_p* latency companions (0: one minute).
+	HTTPWindow time.Duration
 }
 
 // Metrics is the service-level instrument set. The zero value discards
@@ -154,15 +158,22 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 }
 
 // registerJob exports the per-job labelled gauge family, read from the
-// job's work estimator at scrape time. Instruments are never unregistered:
-// finished jobs keep exporting their final values until the process
-// restarts, so cardinality grows with the job count — acceptable for the
-// daemon's bounded queue, and it keeps terminal values scrapeable.
-func (m *Metrics) registerJob(id string, est *obs.Estimator) {
+// job's work estimator at scrape time. Jobs born from an HTTP submission
+// additionally carry the originating request id as a req label, closing the
+// metrics side of the request→job correlation. Instruments are never
+// unregistered: finished jobs keep exporting their final values until the
+// process restarts, so cardinality grows with the job count — acceptable
+// for the daemon's bounded queue, and it keeps terminal values scrapeable.
+func (m *Metrics) registerJob(id, reqID string, est *obs.Estimator) {
 	if m == nil || m.reg == nil || est == nil {
 		return
 	}
-	labelled := func(name string) string { return fmt.Sprintf("%s{job=%q}", name, id) }
+	labelled := func(name string) string {
+		if reqID != "" {
+			return fmt.Sprintf("%s{job=%q,req=%q}", name, id, reqID)
+		}
+		return fmt.Sprintf("%s{job=%q}", name, id)
+	}
 	m.reg.GaugeFunc(labelled("gentriusd_job_stand_trees"),
 		"stand trees this job has flushed",
 		func() float64 { return float64(est.Trees()) })
@@ -240,6 +251,9 @@ func (e *LimitError) Error() string {
 type Job struct {
 	mu       sync.Mutex
 	id       string
+	num      int64  // numeric job serial (the "jobn" trace correlation key)
+	reqID    string // originating HTTP request id, "" for direct submissions
+	reqNum   int64  // originating request serial ("reqn"), 0 when unknown
 	state    State
 	req      JobRequest
 	cons     []*gentrius.Tree
@@ -273,6 +287,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Status is the JSON-facing snapshot of a job.
 type Status struct {
 	ID              string  `json:"id"`
+	RequestID       string  `json:"request_id,omitempty"`
 	State           State   `json:"state"`
 	ConstraintTrees int     `json:"constraint_trees"`
 	Threads         int     `json:"threads"`
@@ -297,6 +312,7 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	st := Status{
 		ID:              j.id,
+		RequestID:       j.reqID,
 		State:           j.state,
 		ConstraintTrees: len(j.cons),
 		Threads:         j.threadsLocked(),
@@ -421,6 +437,7 @@ type Manager struct {
 	m       *Metrics
 	jnl     *journal
 	log     *slog.Logger
+	mw      *Middleware
 	started time.Time
 
 	mu        sync.Mutex
@@ -474,6 +491,15 @@ func New(cfg Config) (*Manager, error) {
 		started: time.Now(),
 		jobs:    map[string]*Job{},
 	}
+	// Minted request ids are "<runID>-<serial>": unique within a run by the
+	// serial, across restarts by the start-time nonce.
+	runID := fmt.Sprintf("r%08x", uint32(m.started.UnixNano()))
+	var trace *obs.Recorder
+	if cfg.Sink != nil {
+		trace = cfg.Sink.Trace
+	}
+	m.mw = NewMiddleware(NewHTTPMetrics(cfg.Metrics.reg, cfg.HTTPWindow),
+		cfg.Logger, trace, runID)
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
 	pending := m.replay(records)
 	// Recovered jobs must never hit ErrQueueFull, so the channel is sized
@@ -506,6 +532,8 @@ func New(cfg Config) (*Manager, error) {
 // data directory.
 type Health struct {
 	Status            string        `json:"status"` // "ok" or "degraded"
+	Version           string        `json:"version"`
+	Commit            string        `json:"commit"`
 	UptimeSeconds     float64       `json:"uptime_seconds"`
 	Jobs              map[State]int `json:"jobs"`
 	JournalDropped    int64         `json:"journal_records_dropped"`
@@ -517,6 +545,8 @@ type Health struct {
 func (m *Manager) Health() Health {
 	h := Health{
 		Status:            "ok",
+		Version:           buildinfo.Version,
+		Commit:            buildinfo.Commit,
 		UptimeSeconds:     time.Since(m.started).Seconds(),
 		Jobs:              map[State]int{},
 		JournalDropped:    m.m.JournalDropped.Value(),
@@ -546,8 +576,9 @@ func (m *Manager) Recovery() RecoveryStats {
 // the workers start; no locking needed.
 func (m *Manager) replay(records []journalRecord) []*Job {
 	type entry struct {
-		req  *JobRequest
-		last journalRecord // latest state record
+		req   *JobRequest
+		reqID string        // originating HTTP request id, if journaled
+		last  journalRecord // latest state record
 	}
 	byID := map[string]*entry{}
 	var order []string
@@ -557,7 +588,8 @@ func (m *Manager) replay(records []journalRecord) []*Job {
 			if rec.Req == nil || byID[rec.ID] != nil {
 				continue
 			}
-			byID[rec.ID] = &entry{req: rec.Req, last: journalRecord{State: StateQueued, Time: rec.Time}}
+			byID[rec.ID] = &entry{req: rec.Req, reqID: rec.ReqID,
+				last: journalRecord{State: StateQueued, Time: rec.Time}}
 			order = append(order, rec.ID)
 		case "state":
 			if e := byID[rec.ID]; e != nil && rec.State != "" {
@@ -573,7 +605,8 @@ func (m *Manager) replay(records []journalRecord) []*Job {
 		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.nextID {
 			m.nextID = n
 		}
-		job := m.recoverJob(id, e.req, e.last)
+		job := m.recoverJob(id, e.req, e.reqID, e.last)
+		job.num = int64(n)
 		m.jobs[id] = job
 		m.order = append(m.order, id)
 		if job.state == StateQueued {
@@ -586,7 +619,7 @@ func (m *Manager) replay(records []journalRecord) []*Job {
 // recoverJob reconstructs one journaled job; it never returns nil — a job
 // whose spool cannot be reopened is registered as interrupted, carrying
 // the spool error, instead of silently vanishing from the job table.
-func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Job {
+func (m *Manager) recoverJob(id string, req *JobRequest, reqID string, last journalRecord) *Job {
 	wasTerminal := terminal(last.State)
 	spoolPath := filepath.Join(m.cfg.DataDir, id+".trees")
 	sp, spErr := adoptSpool(spoolPath, wasTerminal, m.cfg.Fault, m.m)
@@ -598,6 +631,7 @@ func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Jo
 	}
 	job := &Job{
 		id:      id,
+		reqID:   reqID,
 		req:     *req,
 		spool:   sp,
 		resumed: true,
@@ -605,7 +639,7 @@ func (m *Manager) recoverJob(id string, req *JobRequest, last journalRecord) *Jo
 		done:    make(chan struct{}),
 		est:     &obs.Estimator{},
 	}
-	m.m.registerJob(id, job.est)
+	m.m.registerJob(id, reqID, job.est)
 	if t, err := time.Parse(time.RFC3339Nano, last.Time); err == nil {
 		job.created = t
 	}
@@ -754,10 +788,41 @@ func (m *Manager) checkRequest(req JobRequest) ([]*gentrius.Tree, error) {
 	return cons, nil
 }
 
+// tracer returns the shared trace recorder (nil when tracing is off; the
+// Recorder is nil-safe).
+func (m *Manager) tracer() *obs.Recorder {
+	if m.cfg.Sink == nil {
+		return nil
+	}
+	return m.cfg.Sink.Trace
+}
+
+// jobTags builds the job's trace correlation tags: always the job id, plus
+// the originating request id when the job came in over HTTP.
+func (j *Job) jobTags() []obs.SField {
+	tags := []obs.SField{obs.S("job", j.id)}
+	if j.reqID != "" {
+		tags = append(tags, obs.S("req", j.reqID))
+	}
+	return tags
+}
+
 // Submit validates the request, registers the job and enqueues it. The
 // returned job is already visible to Get/List in state queued, and its
 // submission is journaled before Submit returns.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	return m.submit(req, "", 0)
+}
+
+// SubmitWithRequest is Submit carrying the originating HTTP request's id
+// and serial, which flow into the journal, the per-job metric labels, the
+// job lifecycle logs and the job-submit trace span — the request→job leg of
+// the correlation chain.
+func (m *Manager) SubmitWithRequest(req JobRequest, reqID string, reqSerial int64) (*Job, error) {
+	return m.submit(req, reqID, reqSerial)
+}
+
+func (m *Manager) submit(req JobRequest, reqID string, reqSerial int64) (*Job, error) {
 	cons, err := m.checkRequest(req)
 	if err != nil {
 		m.m.JobsRejected.Inc()
@@ -788,6 +853,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	job := &Job{
 		id:      id,
+		num:     int64(m.nextID),
+		reqID:   reqID,
+		reqNum:  reqSerial,
 		state:   StateQueued,
 		req:     req,
 		cons:    cons,
@@ -797,14 +865,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		est:     &obs.Estimator{},
 	}
 	job.ctx, job.cancel = context.WithCancel(m.baseCtx)
-	m.m.registerJob(id, job.est)
+	m.m.registerJob(id, reqID, job.est)
 	// WAL invariant: the submit record is durable before the job can run
 	// or be observed, so a pool worker cannot journal a state transition
 	// ahead of the submission it belongs to. The capacity check above
 	// reserved a queue slot under m.mu (only workers remove from the
 	// channel, and recovered jobs were budgeted into its capacity), so
 	// the send below cannot block.
-	m.jnl.append(journalRecord{Op: "submit", ID: id, Req: &req})
+	m.jnl.append(journalRecord{Op: "submit", ID: id, Req: &req, ReqID: reqID})
 	m.jobs[id] = job
 	m.order = append(m.order, id)
 	m.queued++
@@ -812,8 +880,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.mu.Unlock()
 	m.m.JobsSubmitted.Inc()
 	m.m.JobsQueued.Add(1)
-	m.log.Info("job accepted", "job", id,
-		"constraints", len(cons), "threads", max(req.Threads, 1))
+	m.tracer().EmitTagged(obs.EvJobSubmit, -1, job.jobTags(),
+		obs.F("jobn", job.num), obs.F("reqn", reqSerial))
+	attrs := []any{"job", id, "constraints", len(cons), "threads", max(req.Threads, 1)}
+	if reqID != "" {
+		attrs = append(attrs, "req", reqID)
+	}
+	m.log.Info("job accepted", attrs...)
 	return job, nil
 }
 
@@ -898,8 +971,13 @@ func (m *Manager) runJob(job *Job) {
 	m.m.JobsRunning.Add(1)
 	defer m.m.JobsRunning.Add(-1)
 	m.m.QueueWait.Observe(wait.Seconds())
-	m.log.Info("job started", "job", job.id,
-		"queue_wait_seconds", wait.Seconds(), "resume", resume != nil)
+	m.tracer().EmitTagged(obs.EvJobStart, -1, job.jobTags(), obs.F("jobn", job.num))
+	startAttrs := []any{"job", job.id,
+		"queue_wait_seconds", wait.Seconds(), "resume", resume != nil}
+	if job.reqID != "" {
+		startAttrs = append(startAttrs, "req", job.reqID)
+	}
+	m.log.Info("job started", startAttrs...)
 
 	// The job's sink shares the daemon-wide engine metrics and trace but
 	// owns its estimator, so /jobs/{id}/stats sees only this job's mass.
@@ -1053,7 +1131,16 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 	if ran > 0 {
 		m.m.ExecTime.Observe(ran.Seconds())
 	}
+	endTags := append(job.jobTags(), obs.S("state", string(state)))
+	endFields := []obs.Field{obs.F("jobn", job.num)}
+	if res != nil {
+		endFields = append(endFields, obs.F("trees", res.StandTrees))
+	}
+	m.tracer().EmitTagged(obs.EvJobEnd, -1, endTags, endFields...)
 	attrs := []any{"job", job.id, "state", string(state), "exec_seconds", ran.Seconds()}
+	if job.reqID != "" {
+		attrs = append(attrs, "req", job.reqID)
+	}
 	if res != nil {
 		attrs = append(attrs, "stand_trees", res.StandTrees, "stop", res.Stop.String())
 	}
