@@ -15,6 +15,26 @@ func extraBenches(add func(name string, f func(b *testing.B)),
 
 	// The incremental admissible-count query (PR 2): steady-state cost of
 	// the dynamic insertion heuristic's per-taxon lookup.
+	// The word-parallel admissibility kernel (PR 7): materialising the
+	// admissible branch set by ANDing constraint preimage lanes, 64 edges
+	// per word operation, into a reused buffer — the pushFrame hot path.
+	add("TerraceAppendAllowed", func(b *testing.B) {
+		half := len(taxa) / 2
+		for j := 0; j < half; j++ {
+			tr.ExtendTaxon(taxa[j], branches[j][0])
+		}
+		rest := taxa[half:]
+		buf := make([]int32, 0, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = tr.AppendAllowedBranches(buf[:0], rest[i%len(rest)])
+		}
+		b.StopTimer()
+		for tr.Depth() > 0 {
+			tr.RemoveTaxon()
+		}
+	})
+
 	add("TerracePendingCount", func(b *testing.B) {
 		half := len(taxa) / 2
 		for j := 0; j < half; j++ {

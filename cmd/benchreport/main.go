@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -120,6 +121,8 @@ func main() {
 	outPath := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	note := flag.String("note", "", "free-form note embedded in the report")
 	compare := flag.String("compare", "", "baseline JSON report to diff against (prints a table to stderr)")
+	maxRegress := flag.Float64("max-regress", 0, "with -compare: exit non-zero if any shared benchmark's ns/op regresses by more than this percentage")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs (dataset selection excluded) — the input for PGO via scripts/pgo_profile.sh")
 	benchtime := flag.String("benchtime", "", "per-benchmark time budget, e.g. 1s or 1x (default: testing's 1s)")
 	testing.Init()
 	flag.Parse()
@@ -148,6 +151,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: dataset %s\n", midSim.Name)
+
+	// Profile only the benchmark runs: the dataset-selection scan above is a
+	// different workload (corpus generation plus bounded enumeration) and
+	// would dilute a PGO profile of the serving/search hot paths.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 
 	add := func(name string, f func(b *testing.B)) {
 		start := time.Now()
@@ -245,6 +268,7 @@ func main() {
 	})
 
 	extraBenches(add, midSim, tr, taxa, branches)
+	stopProfile()
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -262,27 +286,37 @@ func main() {
 	}
 
 	if *compare != "" {
-		if err := printComparison(*compare, &rep); err != nil {
+		worst, err := printComparison(*compare, &rep)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if *maxRegress > 0 && worst > *maxRegress {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: worst ns/op regression %.1f%% exceeds -max-regress %.1f%%\n",
+				worst, *maxRegress)
 			os.Exit(1)
 		}
 	}
 }
 
-// printComparison diffs the current report against a baseline file.
-func printComparison(path string, cur *Report) error {
+// printComparison diffs the current report against a baseline file and
+// returns the worst ns/op regression across shared benchmarks, as a
+// percentage (negative when everything got faster) — the input to the
+// -max-regress CI gate.
+func printComparison(path string, cur *Report) (worstRegress float64, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var base Report
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return err
+		return 0, err
 	}
 	byName := map[string]BenchResult{}
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
 	}
+	worstRegress = -100
 	fmt.Fprintf(os.Stderr, "\n%-28s %14s %14s %9s %9s\n",
 		"benchmark", "base ns/op", "now ns/op", "speedup", "allocs")
 	for _, b := range cur.Benchmarks {
@@ -293,8 +327,13 @@ func printComparison(path string, cur *Report) error {
 			continue
 		}
 		speed := o.NsPerOp / b.NsPerOp
+		if o.NsPerOp > 0 {
+			if reg := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; reg > worstRegress {
+				worstRegress = reg
+			}
+		}
 		fmt.Fprintf(os.Stderr, "%-28s %14.1f %14.1f %8.2fx %6d->%d\n",
 			b.Name, o.NsPerOp, b.NsPerOp, speed, o.AllocsPerOp, b.AllocsPerOp)
 	}
-	return nil
+	return worstRegress, nil
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestDefaultPGOFresh guards the committed PGO profile: it must be a
+// readable gzipped pprof profile whose string table still names the current
+// hot path. If the kernel or engine entry points are renamed, the profile
+// stops matching and must be regenerated with scripts/pgo_profile.sh —
+// otherwise `go build` silently optimises for stale call sites.
+func TestDefaultPGOFresh(t *testing.T) {
+	raw, err := os.ReadFile("default.pgo")
+	if err != nil {
+		t.Fatalf("default.pgo unreadable (regenerate with scripts/pgo_profile.sh): %v", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("default.pgo is not gzipped pprof: %v", err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("default.pgo decompress: %v", err)
+	}
+	// The pprof string table stores function names as plain bytes: the hot
+	// symbols of the current code must appear, or the profile predates them.
+	for _, sym := range []string{
+		"gentrius/internal/terrace",
+		"splitCommonEdge",
+		"AppendAllowedBranches",
+		"gentrius/internal/search.(*Engine).Step",
+	} {
+		if !bytes.Contains(data, []byte(sym)) {
+			t.Fatalf("default.pgo lacks hot symbol %q — stale profile, regenerate with scripts/pgo_profile.sh", sym)
+		}
+	}
+}

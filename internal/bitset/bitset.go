@@ -235,6 +235,127 @@ func (s *Set) String() string {
 	return b.String()
 }
 
+// Words exposes the set's backing words (least-significant bit of word 0 is
+// element 0). Callers may read or write bits in place; the word-parallel
+// admissibility kernel uses this to treat a Set as raw lanes.
+func (s *Set) Words() []uint64 { return s.words }
+
+// NextSetBit returns the smallest element >= from, or -1 if there is none.
+func (s *Set) NextSetBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	return NextSetBitWords(s.words, from)
+}
+
+// NextSetBitWords returns the index of the smallest set bit >= from in the
+// packed words, or -1 if there is none.
+func NextSetBitWords(words []uint64, from int) int {
+	wi := from >> 6
+	if wi >= len(words) {
+		return -1
+	}
+	if w := words[wi] >> uint(from&63); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(words); wi++ {
+		if w := words[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// AndWords intersects dst with src in place (dst &= src), word by word.
+// src must be at least as long as dst.
+func AndWords(dst, src []uint64) {
+	_ = src[len(dst)-1]
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+// AppendSetBits32 appends the indices of the set bits in words to buf in
+// ascending order and returns the extended slice. It is the enumeration
+// primitive of the word-parallel admissibility kernel: 64 candidates are
+// rejected per word operation and survivors come out already sorted.
+func AppendSetBits32(buf []int32, words []uint64) []int32 {
+	for wi, w := range words {
+		base := int32(wi << 6)
+		for w != 0 {
+			buf = append(buf, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// AppendAndBits32 appends (in ascending order) the indices of the bits set in
+// the AND of the first nw words of every row. Rows are combined per word, so
+// nothing is materialized: the intersection is computed and enumerated in one
+// pass with zero allocations beyond buf growth.
+func AppendAndBits32(buf []int32, rows [][]uint64, nw int) []int32 {
+	if len(rows) == 0 {
+		return buf
+	}
+	r0 := rows[0]
+	rest := rows[1:]
+	for i := 0; i < nw; i++ {
+		w := r0[i]
+		for _, r := range rest {
+			w &= r[i]
+		}
+		base := int32(i << 6)
+		for w != 0 {
+			buf = append(buf, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// OnesCountAnd returns the popcount of the AND of the first nw words of every
+// row (the size of the intersection) without materializing it.
+func OnesCountAnd(rows [][]uint64, nw int) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	r0 := rows[0]
+	rest := rows[1:]
+	c := 0
+	for i := 0; i < nw; i++ {
+		w := r0[i]
+		for _, r := range rest {
+			w &= r[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AnyAnd reports whether the AND of the first nw words of every row has any
+// bit set, stopping at the first non-zero word.
+func AnyAnd(rows [][]uint64, nw int) bool {
+	if len(rows) == 0 {
+		return false
+	}
+	r0 := rows[0]
+	rest := rows[1:]
+	for i := 0; i < nw; i++ {
+		w := r0[i]
+		for _, r := range rest {
+			w &= r[i]
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Set) check(o *Set) {
 	if len(s.words) != len(o.words) {
 		panic(fmt.Sprintf("bitset: capacity mismatch (%d vs %d words)", len(s.words), len(o.words)))

@@ -214,3 +214,107 @@ func BenchmarkIntersectionCount(b *testing.B) {
 		_ = a.IntersectionCount(c)
 	}
 }
+
+// TestWordPrimitives checks the word-level kernel helpers against naive
+// per-bit references over random word slabs.
+func TestWordPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(8181))
+	for trial := 0; trial < 200; trial++ {
+		nw := 1 + rng.Intn(5)
+		nrows := 1 + rng.Intn(4)
+		rows := make([][]uint64, nrows)
+		for i := range rows {
+			rows[i] = make([]uint64, nw)
+			for j := range rows[i] {
+				// Mix sparse and dense words.
+				rows[i][j] = rng.Uint64() & rng.Uint64()
+				if rng.Intn(3) == 0 {
+					rows[i][j] = rng.Uint64()
+				}
+			}
+		}
+		// Naive AND + enumeration.
+		var wantBits []int32
+		wantCount := 0
+		for b := 0; b < nw*64; b++ {
+			on := true
+			for _, r := range rows {
+				if r[b>>6]&(1<<uint(b&63)) == 0 {
+					on = false
+					break
+				}
+			}
+			if on {
+				wantBits = append(wantBits, int32(b))
+				wantCount++
+			}
+		}
+		got := AppendAndBits32(nil, rows, nw)
+		if len(got) != len(wantBits) {
+			t.Fatalf("AppendAndBits32 len %d want %d", len(got), len(wantBits))
+		}
+		for i := range got {
+			if got[i] != wantBits[i] {
+				t.Fatalf("AppendAndBits32[%d] = %d want %d (order must be ascending)", i, got[i], wantBits[i])
+			}
+		}
+		if c := OnesCountAnd(rows, nw); c != wantCount {
+			t.Fatalf("OnesCountAnd = %d want %d", c, wantCount)
+		}
+		if a := AnyAnd(rows, nw); a != (wantCount > 0) {
+			t.Fatalf("AnyAnd = %v want %v", a, wantCount > 0)
+		}
+		// Single-row enumeration and in-place AND.
+		single := AppendSetBits32(nil, rows[0])
+		var wantSingle []int32
+		for b := 0; b < nw*64; b++ {
+			if rows[0][b>>6]&(1<<uint(b&63)) != 0 {
+				wantSingle = append(wantSingle, int32(b))
+			}
+		}
+		if len(single) != len(wantSingle) {
+			t.Fatalf("AppendSetBits32 len %d want %d", len(single), len(wantSingle))
+		}
+		for i := range single {
+			if single[i] != wantSingle[i] {
+				t.Fatalf("AppendSetBits32[%d] = %d want %d", i, single[i], wantSingle[i])
+			}
+		}
+		dst := append([]uint64(nil), rows[0]...)
+		AndWords(dst, rows[nrows-1])
+		for j := range dst {
+			if dst[j] != rows[0][j]&rows[nrows-1][j] {
+				t.Fatalf("AndWords word %d = %#x want %#x", j, dst[j], rows[0][j]&rows[nrows-1][j])
+			}
+		}
+		// NextSetBitWords walks exactly the set bits.
+		cur := 0
+		for _, b := range wantSingle {
+			got := NextSetBitWords(rows[0], cur)
+			if got != int(b) {
+				t.Fatalf("NextSetBitWords(from=%d) = %d want %d", cur, got, b)
+			}
+			cur = got + 1
+		}
+		if got := NextSetBitWords(rows[0], cur); got != -1 {
+			t.Fatalf("NextSetBitWords past end = %d want -1", got)
+		}
+	}
+	// Set-level wrappers.
+	s := New(130)
+	for _, b := range []int{0, 1, 63, 64, 100, 129} {
+		s.Add(b)
+	}
+	if got := s.NextSetBit(0); got != 0 {
+		t.Fatalf("NextSetBit(0) = %d", got)
+	}
+	if got := s.NextSetBit(64); got != 64 {
+		t.Fatalf("NextSetBit(64) = %d", got)
+	}
+	if got := s.NextSetBit(130); got != -1 {
+		t.Fatalf("NextSetBit(130) = %d", got)
+	}
+	if w := s.Words(); len(w) != 3 || w[0] == 0 {
+		t.Fatalf("Words() = %v", w)
+	}
+}

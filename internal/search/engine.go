@@ -380,8 +380,9 @@ func (e *Engine) nextTaxon() int {
 	}
 	best, bestCount := -1, -1
 	missing := e.T.MissingTaxa()
+	ag := e.T.Agile()
 	for i, x := range missing {
-		if e.T.Agile().HasTaxon(x) {
+		if ag.HasTaxon(x) {
 			continue
 		}
 		c := e.T.PendingCount(x)

@@ -1,5 +1,7 @@
 package terrace
 
+import "gentrius/internal/bitset"
+
 // AllowedBranches returns the admissible agile edges for inserting taxon x,
 // in ascending edge-id order (deterministic: the parallel engine splits this
 // list positionally across workers). An empty result means inserting x is
@@ -7,11 +9,11 @@ package terrace
 //
 // The set is the intersection over all constraints containing x (with
 // |S_i| >= 2) of the preimage of x's target common edge under the agile-side
-// mapping; it is enumerated from the constraint with the smallest preimage
-// and filtered by O(1) mapping lookups against the rest. The hot paths are
-// written without escaping closures; the taxon-selection heuristic reads
-// the incrementally maintained PendingCount (incremental.go) and only
-// falls back to this scan-and-DFS path after a structural invalidation.
+// mapping. It is computed by the word-parallel kernel (words.go): one packed
+// preimage lane per constraint, ANDed 64 edges per operation and enumerated
+// in ascending bit order — already the deterministic order, with no sort.
+// The scalar scan-and-DFS path (collectAllowed) is retained as the reference
+// implementation behind crossCheckAllowed and the differential fuzz target.
 func (tr *Terrace) AllowedBranches(x int) []int32 {
 	return tr.AppendAllowedBranches(nil, x)
 }
@@ -20,31 +22,53 @@ func (tr *Terrace) AllowedBranches(x int) []int32 {
 // buf in ascending edge-id order and returns the extended slice. It is the
 // allocation-free form of AllowedBranches: the search engine's frame stack
 // passes recycled buffers, so the steady-state step loop never allocates.
-// The sort happens in the shared scratch buffer; the result is copied out
-// exactly once.
+// The preimage lanes are combined and enumerated in a single pass; nothing
+// is materialized besides the appended result.
 func (tr *Terrace) AppendAllowedBranches(buf []int32, x int) []int32 {
-	s := tr.collectAllowed(x, -1)
-	sortInt32(s)
-	return append(buf, s...)
+	rows := tr.allowedRows(x)
+	start := len(buf)
+	if len(rows) == 0 {
+		// Unconstrained so far: every agile edge is admissible.
+		n := int32(tr.agile.NumEdges())
+		for e := int32(0); e < n; e++ {
+			buf = append(buf, e)
+		}
+	} else {
+		buf = bitset.AppendAndBits32(buf, rows, tr.laneWords())
+	}
+	if crossCheckAllowed {
+		tr.verifyAllowed(buf[start:], x)
+	}
+	return buf
 }
 
-// CountAllowedBranches returns len(AllowedBranches(x)) without allocating,
-// recomputed from scratch (constraint scan plus preimage DFS). The search
-// hot path uses the incrementally maintained PendingCount instead; this
-// remains the reference implementation that differential tests compare
-// against, and the dead-end/count query for callers outside the engine.
+// CountAllowedBranches returns len(AllowedBranches(x)) without allocating:
+// a popcount over the ANDed preimage lanes. The search hot path uses the
+// incrementally maintained PendingCount instead; this is the from-scratch
+// count query for callers outside the engine and the recount fallback.
 func (tr *Terrace) CountAllowedBranches(x int) int {
-	return len(tr.collectAllowed(x, -1))
+	rows := tr.allowedRows(x)
+	if len(rows) == 0 {
+		return tr.agile.NumEdges()
+	}
+	return bitset.OnesCountAnd(rows, tr.laneWords())
 }
 
-// HasAllowedBranch reports whether at least one admissible branch exists.
+// HasAllowedBranch reports whether at least one admissible branch exists,
+// stopping at the first non-zero word of the lane intersection.
 func (tr *Terrace) HasAllowedBranch(x int) bool {
-	return len(tr.collectAllowed(x, 1)) > 0
+	rows := tr.allowedRows(x)
+	if len(rows) == 0 {
+		return tr.agile.NumEdges() > 0
+	}
+	return bitset.AnyAnd(rows, tr.laneWords())
 }
 
 // collectAllowed gathers admissible edges for x into the shared scratch
 // buffer (valid until the next Terrace operation), stopping early once max
-// edges are found (max < 0: no bound).
+// edges are found (max < 0: no bound). It enumerates the smallest active
+// preimage by DFS and filters with O(1) mapping lookups against the rest —
+// the scalar reference the word kernel is differentially tested against.
 func (tr *Terrace) collectAllowed(x int, max int) []int32 {
 	if tr.agile.HasTaxon(x) {
 		panic("terrace: taxon already inserted")

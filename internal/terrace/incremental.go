@@ -147,7 +147,7 @@ func (tr *Terrace) PendingCount(x int) int {
 		return int(tr.pendCnt[x])
 	}
 	tr.hstats.Recounts++
-	c := len(tr.collectAllowed(x, -1))
+	c := tr.CountAllowedBranches(x)
 	tr.pendCnt[x] = int32(c)
 	tr.pendOK[x] = true
 	if !tr.pendListed[x] {
@@ -187,8 +187,9 @@ func (tr *Terrace) relistCached(x int) {
 
 // HasPendingBranch reports whether pending taxon x has at least one
 // admissible branch, without materialising the set. Single-constraint taxa
-// and cached taxa answer in O(1); otherwise an early-exiting scan runs (and
-// is NOT cached — a bounded scan does not produce a full count).
+// and cached taxa answer in O(1); otherwise the lane intersection is probed
+// word by word with an early exit (and NOT cached — an emptiness probe does
+// not produce a full count).
 func (tr *Terrace) HasPendingBranch(x int) bool {
 	cons := tr.byTaxon[x]
 	if len(cons) == 1 {
@@ -201,7 +202,7 @@ func (tr *Terrace) HasPendingBranch(x int) bool {
 	if tr.pendOK[x] {
 		return tr.pendCnt[x] > 0
 	}
-	return len(tr.collectAllowed(x, 1)) > 0
+	return tr.HasAllowedBranch(x)
 }
 
 // invalidate drops taxon y's cached count (no-op if none is cached).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gentrius/internal/bitset"
+	"gentrius/internal/tree"
 )
 
 // CheckInvariants verifies the full double-edge mapping state against its
@@ -21,8 +22,14 @@ import (
 //  4. each common edge's anchor pairs induce the same S_i-split in their
 //     respective trees (the two sides of the mapping agree edge by edge);
 //  5. every pending taxon's target is a live common edge, and re-resolving
-//     it from scratch (strict-interior median scan) gives the same edge.
+//     it from scratch (strict-interior median scan) gives the same edge;
+//     its cached projection is either unset or that median;
+//  6. the word-kernel preimage lanes agree with the mapping bit for bit,
+//     with no stray bits beyond the live edges or live rows (words.go).
 func (tr *Terrace) CheckInvariants() error {
+	if err := tr.checkPreimageLanes(); err != nil {
+		return err
+	}
 	for ci, cs := range tr.constraints {
 		wantS := tr.agile.LeafSet().Clone()
 		wantS.IntersectWith(cs.y)
@@ -81,8 +88,13 @@ func (tr *Terrace) CheckInvariants() error {
 				err = fmt.Errorf("constraint %d: taxon %d targets invalid common edge %d", ci, y, tgt)
 				return
 			}
-			if want := tr.resolveTarget(cs, int32(y)); want != tgt {
+			want, med := tr.resolveTarget(cs, int32(y))
+			if want != tgt {
 				err = fmt.Errorf("constraint %d: taxon %d targets %d, re-resolution gives %d", ci, y, tgt, want)
+				return
+			}
+			if pj := cs.proj[y]; pj != tree.NoNode && pj != med {
+				err = fmt.Errorf("constraint %d: taxon %d caches projection %d, re-resolution gives %d", ci, y, pj, med)
 			}
 		})
 		if err != nil {

@@ -68,6 +68,9 @@ func (tr *Terrace) ExtendTaxon(x int, e int32) {
 			cs.m[half] = ce
 			cs.m[pendant] = ce
 			cs.cnt[ce] += 2
+			// The preimage lanes are NOT updated here: the newborn pair bits
+			// are applied lazily by syncRows when the lanes are next read
+			// (cs.m[half] keeps the inherited id until then).
 			// The pendant hangs off the path; the subdivided edge keeps
 			// its path status, shared with the half nearer the ab anchor.
 			cs.dir[pendant] = tree.NoNode
@@ -85,6 +88,11 @@ func (tr *Terrace) ExtendTaxon(x int, e int32) {
 	}
 	for _, ci := range tr.byTaxon[x] {
 		cs := tr.constraints[ci]
+		// Bring the lanes current through the frames before this one; the
+		// split below maintains this frame's lane updates itself, so the
+		// watermark lands at n+1 either way.
+		tr.syncRows(cs, int32(n))
+		cs.acct = int32(n + 1)
 		switch cs.sCount {
 		case 0:
 			cs.s.Add(x)
@@ -93,7 +101,16 @@ func (tr *Terrace) ExtendTaxon(x int, e int32) {
 		case 1:
 			frame.cs = append(frame.cs, tr.firstCommonEdge(ci, cs, x))
 		default:
-			frame.cs = append(frame.cs, tr.splitCommonEdge(ci, cs, x, e, half, pendant, v, bNode))
+			// Fill the undo record in place: the frame slot is recycled and a
+			// cUndo is large enough that the extra copies of return-by-value
+			// show up in the step loop.
+			k := len(frame.cs)
+			if cap(frame.cs) > k {
+				frame.cs = frame.cs[:k+1]
+			} else {
+				frame.cs = append(frame.cs, cUndo{})
+			}
+			tr.splitCommonEdge(&frame.cs[k], ci, cs, x, e, half, pendant, v, bNode)
 		}
 	}
 	// Structurally affected taxa were invalidated by the handlers above;
@@ -118,18 +135,33 @@ func (tr *Terrace) RemoveTaxon() int {
 	// identically here. The path-direction fixup is the exact inverse of the
 	// insert-time endpoint rewrite (b -> v becomes v -> b; the half's own
 	// entries die with its id).
+	depth := int32(len(tr.undo) - 1)
 	for _, ci := range tr.notByTaxon[frame.taxon] {
 		cs := tr.constraints[ci]
 		if cs.sCount >= 2 {
-			cs.cnt[cs.m[frame.half]] -= 2
+			ce := cs.m[frame.half]
+			cs.cnt[ce] -= 2
+			// The lanes only saw this frame's pair bits if some query or
+			// split synced past it; otherwise there is nothing to clear and
+			// the watermark already sits at or below this frame.
+			if cs.acct > depth {
+				cs.preClearPair(ce, frame.half)
+				cs.acct = depth
+			}
 			if cs.dir[frame.edge] == v {
 				cs.dir[frame.edge] = bNode
 			}
+		} else if cs.acct > depth {
+			// Inactive lanes carry no pair bits to clear, but the watermark
+			// must drop below the popped frame so a future insertion reusing
+			// this depth is not mistaken for already-accounted.
+			cs.acct = depth
 		}
 	}
 	for i := len(frame.cs) - 1; i >= 0; i-- {
 		u := &frame.cs[i]
 		cs := tr.constraints[u.ci]
+		cs.acct = depth
 		switch u.kind {
 		case cS0:
 			cs.s.Remove(frame.taxon)
@@ -146,10 +178,20 @@ func (tr *Terrace) RemoveTaxon() int {
 				tr.invalidate(int(y))
 			}
 		case cSplit:
+			// Every moved bit returns to ĉ's lane, and the c1/c2 lanes lose
+			// all of theirs — so set bits into one hoisted row and zero the
+			// two dying lanes in word strides rather than per-edge moves.
+			rowChe := cs.preRow(u.che)
 			for _, edge := range tr.moveLog[u.movedStart:u.movedEnd] {
 				cs.m[edge] = u.che
+				rowChe[edge>>6] |= 1 << uint(edge&63)
 			}
 			tr.moveLog = tr.moveLog[:u.movedStart]
+			cs.preZeroRow(int32(len(cs.cedges) - 2))
+			cs.preZeroRow(int32(len(cs.cedges) - 1))
+			// The two newborn edges die with the insertion: clear their bits
+			// from ĉ's lane (the move-log restore above put them back there).
+			cs.preClearPair(u.che, frame.half)
 			cs.cedges = cs.cedges[:len(cs.cedges)-2]
 			cs.cnt = cs.cnt[:len(cs.cnt)-2]
 			ce := &cs.cedges[u.che]
@@ -159,6 +201,12 @@ func (tr *Terrace) RemoveTaxon() int {
 				cs.target[y] = u.che
 			}
 			tr.tgLog = tr.tgLog[:u.tgStart]
+			// Projections moved onto c2 revert to the split vertex — their
+			// projection onto ĉ's restored anchor path.
+			for _, y := range tr.projLog[u.pjStart:u.pjEnd] {
+				cs.proj[y] = u.splitP
+			}
+			tr.projLog = tr.projLog[:u.pjStart]
 			// Path membership a split turned on reverts to off; the ab-ward
 			// endpoint of the insertion edge reverts from the vanishing
 			// vertex, as in the inherit case.
@@ -224,6 +272,7 @@ func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
 		cs.dir[i] = tree.NoNode
 	}
 	cs.cnt = append(cs.cnt, int32(tr.agile.NumEdges()))
+	cs.preFillRow0(tr.agile.NumEdges())
 	// The newborn common edge's anchor path is the tree path between the two
 	// shared leaves, read off the rooted orientation (aa's chain to the root
 	// is stamped, ab's chain is walked to the junction, both chain prefixes
@@ -247,8 +296,12 @@ func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
 	}
 	// Every pending taxon of this constraint now targets the newborn common
 	// edge (x and s0 are attached, hence absent from the pending list).
+	// Projections are left lazy rather than paying a median per taxon on an
+	// activation that may be undone immediately; the first split touching a
+	// taxon computes and caches its projection.
 	for _, y := range cs.pending {
 		cs.target[y] = 0
+		cs.proj[y] = tree.NoNode
 		// The constraint just became active and now restricts y for the
 		// first time: y's cached count is stale.
 		tr.invalidate(int(y))
@@ -260,12 +313,14 @@ func (tr *Terrace) firstCommonEdge(ci int32, cs *constraintState, x int) cUndo {
 
 // splitCommonEdge handles the general |S_i| >= 2 insertion: the target
 // common edge ĉ of x splits into three (ta-side part keeping id ĉ, far part
-// c1, and x's pendant part c2) on both the constraint side (via a median
-// query on the static tree) and the agile side (via the anchor-path bits,
-// with no searching beyond the regions actually relabeled), and pending taxa
-// targeting ĉ are re-resolved. v is the insertion vertex subdividing e and
-// bNode the far endpoint of the half edge.
-func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half, pendant, v, bNode int32) cUndo {
+// c1, and x's pendant part c2) on both the constraint side (via the cached
+// projection, falling back to a median query on the static tree) and the
+// agile side (via the anchor-path bits, with no searching beyond the regions
+// actually relabeled), and pending taxa targeting ĉ are re-resolved. v is
+// the insertion vertex subdividing e and bNode the far endpoint of the half
+// edge. The undo record is written into *u (every field is assigned: the
+// caller hands over a recycled slot).
+func (tr *Terrace) splitCommonEdge(u *cUndo, ci int32, cs *constraintState, x int, e, half, pendant, v, bNode int32) {
 	che := cs.target[x]
 	if che == NoCE {
 		panic(fmt.Sprintf("terrace: taxon %d has no target for constraint %d", x, ci))
@@ -273,25 +328,36 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 	if cs.m[e] != che {
 		panic(fmt.Sprintf("terrace: inserting taxon %d at inadmissible edge %d (constraint %d)", x, e, ci))
 	}
-	u := cUndo{kind: cSplit, ci: ci, che: che}
+	u.kind, u.ci, u.che = cSplit, ci, che
 	ce := &cs.cedges[che]
 	u.oldTB, u.oldAB, u.oldCnt = ce.tb, ce.ab, cs.cnt[che]
 	u.movedStart = int32(len(tr.moveLog))
 	u.tgStart = int32(len(tr.tgLog))
 	u.pbStart = int32(len(tr.pathLog))
+	u.pjStart = int32(len(tr.projLog))
 
 	// New edges provisionally extend ĉ's preimage.
 	cs.growM(pendant)
 	cs.m[half] = che
 	cs.m[pendant] = che
 	cs.cnt[che] += 2
+	cs.preSetPair(che, half)
 
-	// Constraint side: split at p = median(ta, tb, x's leaf in T_i).
+	// Constraint side: split at p, x's projection onto ĉ's anchor path. The
+	// cached value (maintained since initialization, restored exactly by the
+	// LIFO undo) makes the median query a rare cold-start fallback.
 	lx := cs.t.LeafNode(x)
-	p := cs.ix.Median(ce.ta, ce.tb, lx)
+	p := cs.proj[x]
+	if p == tree.NoNode {
+		p = cs.ix.Median(ce.ta, ce.tb, lx)
+		// Correct in the restored state too (same target, same anchors), so
+		// sibling-branch re-insertions of x skip the query. No undo needed.
+		cs.proj[x] = p
+	}
 	if p == ce.ta || p == ce.tb {
 		panic("terrace: attachment median at a common-subtree vertex")
 	}
+	u.splitP = p
 	c1 := int32(len(cs.cedges))
 	c2 := c1 + 1
 	cs.cedges = append(cs.cedges,
@@ -329,6 +395,7 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 			succEdge = e
 		}
 		cs.m[pendant] = c2
+		cs.preMove(che, c2, pendant)
 		tr.moveLog = append(tr.moveLog, pendant)
 		moved2 = 1
 		cs.dir[pendant] = xl
@@ -364,34 +431,50 @@ func (tr *Terrace) splitCommonEdge(ci int32, cs *constraintState, x int, e, half
 	u.movedEnd = int32(len(tr.moveLog))
 	u.pbEnd = int32(len(tr.pathLog))
 
-	// Re-resolve pending taxa that targeted ĉ, against the OLD anchors.
-	ta := cs.cedges[che].ta
-	distAP := cs.ix.Dist(ta, p)
-	lab := cs.ix.LCA(ta, u.oldTB)
-	for _, y := range cs.pendingOn(tr, che, x) {
-		// y's target common edge is being split: its admissible set changed
-		// structurally, so the cached count cannot be patched additively.
-		tr.invalidate(int(y))
-		py := cs.ix.MedianPre(lab, ta, u.oldTB, cs.t.LeafNode(int(y)))
-		var nt int32
-		switch {
-		case py == p:
-			nt = c2
-		case cs.ix.Dist(ta, py) < distAP:
-			nt = che
-		default:
-			nt = c1
-		}
-		if nt != che {
-			cs.target[y] = nt
-			tr.tgLog = append(tr.tgLog, y)
+	// Re-resolve pending taxa that targeted ĉ, against the OLD anchors. The
+	// distance/LCA setup is only paid when some taxon actually targets ĉ —
+	// in deep states that list is almost always empty.
+	if pend := cs.pendingOn(tr, che, x); len(pend) > 0 {
+		ta := cs.cedges[che].ta
+		distAP := cs.ix.Dist(ta, p)
+		lab, haveLab := int32(0), false
+		for _, y := range pend {
+			// y's target common edge is being split: its admissible set changed
+			// structurally, so the cached count cannot be patched additively.
+			tr.invalidate(int(y))
+			py := cs.proj[y]
+			if py == tree.NoNode {
+				if !haveLab {
+					lab, haveLab = cs.ix.LCA(ta, u.oldTB), true
+				}
+				py = cs.ix.MedianPre(lab, ta, u.oldTB, cs.t.LeafNode(int(y)))
+			}
+			var nt int32
+			switch {
+			case py == p:
+				// y re-projects onto the x-side part: its projection moves off
+				// the old path, so it is logged and restored to p on undo.
+				nt = c2
+				cs.proj[y] = cs.ix.Median(p, lx, cs.t.LeafNode(int(y)))
+				tr.projLog = append(tr.projLog, y)
+			case cs.ix.Dist(ta, py) < distAP:
+				nt = che
+				cs.proj[y] = py // still y's projection after the undo, too
+			default:
+				nt = c1
+				cs.proj[y] = py
+			}
+			if nt != che {
+				cs.target[y] = nt
+				tr.tgLog = append(tr.tgLog, y)
+			}
 		}
 	}
 	u.tgEnd = int32(len(tr.tgLog))
+	u.pjEnd = int32(len(tr.projLog))
 
 	cs.s.Add(x)
 	cs.sCount++
-	return u
 }
 
 // pendingOn collects (into a shared scratch buffer) the taxa of the
@@ -422,27 +505,39 @@ func (cs *constraintState) pendingOn(tr *Terrace, che int32, x int) []int32 {
 func (tr *Terrace) relabelXRegion(cs *constraintState, che, c2, xl int32) (q, xEdge, moved int32) {
 	a := tr.agile
 	parentV, parentE := tr.parentV, tr.parentE
+	rowChe, rowC2 := cs.preRow(che), cs.preRow(c2)
+	parentE[xl] = tree.NoEdge
 	stack := append(tr.dfsBuf[:0], xl)
 	q, xEdge = tree.NoNode, tree.NoEdge
 	// No visited marks: relabeling an edge out of ĉ is the mark — the only
-	// way back to a visited vertex is the edge it was discovered through.
+	// way back to a visited vertex is the edge it was discovered through,
+	// which the pe comparison skips without a mapping load. Leaves are never
+	// pushed: their only edge is the one they were discovered through, and
+	// the q..xl path walk below never visits them (q is interior).
 	for len(stack) > 0 {
 		w := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		pe := parentE[w]
 		adj, deg := a.Adjacency(w)
 		for i := 0; i < deg; i++ {
 			ed := adj[i]
-			if cs.m[ed] != che {
+			if ed == pe || cs.m[ed] != che {
 				continue
 			}
 			if cs.dir[ed] != tree.NoNode {
-				q, xEdge = w, parentE[w]
+				q, xEdge = w, pe
 				break // region boundary: q's remaining ĉ-edges are the path
 			}
 			cs.m[ed] = c2
+			b := uint64(1) << uint(ed&63)
+			rowChe[ed>>6] &^= b
+			rowC2[ed>>6] |= b
 			tr.moveLog = append(tr.moveLog, ed)
 			moved++
 			z := a.Other(ed, w)
+			if a.Degree(z) == 1 {
+				continue
+			}
 			parentV[z], parentE[z] = w, ed
 			stack = append(stack, z)
 		}
@@ -623,23 +718,41 @@ search:
 func (tr *Terrace) assignRegion(cs *constraintState, che, newCE, q, startEdge int32) int32 {
 	a := tr.agile
 	moved := int32(0)
+	rowChe, rowNew := cs.preRow(che), cs.preRow(newCE)
+	parentE := tr.parentE // free after relabelXRegion; tracks arrival edges
 	cs.m[startEdge] = newCE
+	b := uint64(1) << uint(startEdge&63)
+	rowChe[startEdge>>6] &^= b
+	rowNew[startEdge>>6] |= b
 	tr.moveLog = append(tr.moveLog, startEdge)
 	moved++
-	stack := append(tr.dfsBuf[:0], a.Other(startEdge, q))
+	stack := tr.dfsBuf[:0]
+	if start := a.Other(startEdge, q); a.Degree(start) != 1 {
+		parentE[start] = startEdge
+		stack = append(stack, start)
+	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		pe := parentE[v]
 		adj, deg := a.Adjacency(v)
 		for i := 0; i < deg; i++ {
 			ed := adj[i]
-			if cs.m[ed] != che {
+			if ed == pe || cs.m[ed] != che {
 				continue
 			}
 			cs.m[ed] = newCE
+			b := uint64(1) << uint(ed&63)
+			rowChe[ed>>6] &^= b
+			rowNew[ed>>6] |= b
 			tr.moveLog = append(tr.moveLog, ed)
 			moved++
-			stack = append(stack, a.Other(ed, v))
+			z := a.Other(ed, v)
+			if a.Degree(z) == 1 {
+				continue
+			}
+			parentE[z] = ed
+			stack = append(stack, z)
 		}
 	}
 	tr.dfsBuf = stack[:0]

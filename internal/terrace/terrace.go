@@ -66,6 +66,33 @@ type constraintState struct {
 	m      []int32 // agile edge id -> common edge id (entries beyond the live agile edge prefix are stale)
 	target []int32 // taxon id -> common edge id for pending taxa (stale for inserted/foreign taxa)
 
+	// pre holds the packed preimage lanes of the word-parallel admissibility
+	// kernel: preW words per common edge id, bit ed of row ce set iff live
+	// agile edge ed has m[ed] == ce. Maintained in lockstep with m while the
+	// constraint is active; see words.go for the invariants.
+	pre  []uint64
+	preW int32
+
+	// acct is the lane watermark: how many insertion frames (prefix of
+	// tr.undo) this constraint's lanes have accounted for. Frames at or
+	// beyond acct are insertions of taxa outside the constraint whose
+	// newborn-edge pair bits have not been applied yet; syncRows replays
+	// them on demand (queries and splits), so insert/remove pairs that
+	// cancel before any query never touch the lanes at all. m and cnt stay
+	// eagerly maintained — only the packed rows are lazy.
+	acct int32
+
+	// proj caches, per pending taxon y (while the constraint is active), the
+	// strict-interior median of y's pendant against its target common edge's
+	// t-side anchors — the split point a future insertion of y would use.
+	// tree.NoNode means "not computed yet": splits compute it lazily and
+	// store it back, which removes the per-split median and per-retarget
+	// median queries from the steady state. Values written without an undo
+	// log are correct in both the split and the restored state (the taxon's
+	// projection onto its target path is unchanged by the LIFO partner);
+	// only re-projections onto the x-side part c2 are logged (projLog).
+	proj []int32
+
 	// Anchor-path structure over the agile-side mapping, maintained alongside
 	// m: dir[e] is tree.NoNode when live edge e does not lie on the aa..ab
 	// anchor path of its common edge m[e], and otherwise the endpoint on the
@@ -106,6 +133,7 @@ type Terrace struct {
 	allowedBuf []int32
 	activeBuf  []*constraintState
 	pendBuf    []int32
+	rowsBuf    [][]uint64 // preimage lanes gathered per admissibility query
 
 	// rooted orientation of the agile tree (root = node 0, which predates
 	// every insertion and is never detached): parent vertex and parent edge
@@ -118,6 +146,7 @@ type Terrace struct {
 	moveLog []int32 // agile edge ids re-mapped by splits
 	tgLog   []int32 // taxon ids re-targeted by splits
 	pathLog []int32 // pre-existing agile edge ids a split put onto an anchor path
+	projLog []int32 // taxon ids whose cached projection a split moved onto c2
 
 	// incremental admissible-branch accounting (see incremental.go)
 	byTaxon    [][]int32 // taxon id -> indices of constraints containing it
@@ -146,6 +175,8 @@ type cUndo struct {
 	movedStart, movedEnd int32 // moveLog range (cSplit)
 	tgStart, tgEnd       int32 // tgLog range (cSplit)
 	pbStart, pbEnd       int32 // pathLog range (cSplit)
+	pjStart, pjEnd       int32 // projLog range (cSplit)
+	splitP               int32 // the split vertex p in T_i (cSplit; projLog undo value)
 }
 
 const (
@@ -204,9 +235,11 @@ func New(constraints []*tree.Tree, initialIdx int) (*Terrace, error) {
 			y:      c.LeafSet().Clone(),
 			s:      bitset.New(taxa.Len()),
 			target: make([]int32, taxa.Len()),
+			proj:   make([]int32, taxa.Len()),
 		}
 		for i := range cs.target {
 			cs.target[i] = NoCE
+			cs.proj[i] = tree.NoNode
 		}
 		tr.constraints = append(tr.constraints, cs)
 	}
@@ -287,6 +320,7 @@ func (tr *Terrace) initConstraint(cs *constraintState) error {
 	cs.sCount = cs.s.Count()
 	cs.cedges = cs.cedges[:0]
 	cs.cnt = cs.cnt[:0]
+	cs.preAlloc(tr.taxa.Len())
 	if cap(cs.m) < tr.agile.NumEdges() {
 		cs.m = make([]int32, tr.agile.NumEdges(), 2*tr.taxa.Len())
 		cs.dir = make([]int32, tr.agile.NumEdges(), 2*tr.taxa.Len())
@@ -362,8 +396,10 @@ func (tr *Terrace) initConstraint(cs *constraintState) error {
 		}
 		cs.m[e] = ce
 		cs.cnt[ce]++
+		cs.preSet(ce, int32(e))
 	}
-	// Pending-taxon targets via strict-interior medians.
+	// Pending-taxon targets via strict-interior medians; the median itself is
+	// the taxon's cached projection (the split point its insertion would use).
 	pend := cs.y.Clone()
 	pend.SubtractWith(cs.s)
 	var terr error
@@ -371,30 +407,32 @@ func (tr *Terrace) initConstraint(cs *constraintState) error {
 		if terr != nil {
 			return
 		}
-		ce := tr.resolveTarget(cs, int32(yTaxon))
+		ce, med := tr.resolveTarget(cs, int32(yTaxon))
 		if ce == NoCE {
 			terr = fmt.Errorf("terrace: no target common edge for taxon %d", yTaxon)
 			return
 		}
 		cs.target[yTaxon] = ce
+		cs.proj[yTaxon] = med
 	})
 	return terr
 }
 
 // resolveTarget finds the common edge whose T_i-path strictly contains the
 // attachment point of pending taxon y — by scanning all common edges for the
-// unique strict-interior median. Used only at initialization (O(|C| log n)
-// per pending taxon); incremental updates use local re-resolution instead.
-func (tr *Terrace) resolveTarget(cs *constraintState, yTaxon int32) int32 {
+// unique strict-interior median — and returns both the edge and that median.
+// Used only at initialization and by CheckInvariants (O(|C| log n) per
+// pending taxon); incremental updates use local re-resolution instead.
+func (tr *Terrace) resolveTarget(cs *constraintState, yTaxon int32) (int32, int32) {
 	ly := cs.t.LeafNode(int(yTaxon))
 	for id := range cs.cedges {
 		ce := &cs.cedges[id]
 		m := cs.ix.Median(ce.ta, ce.tb, ly)
 		if m != ce.ta && m != ce.tb {
-			return int32(id)
+			return int32(id), m
 		}
 	}
-	return NoCE
+	return NoCE, tree.NoNode
 }
 
 // chainResult describes the chain decomposition of a tree w.r.t. a leaf
