@@ -144,17 +144,69 @@ func TestCheckpointRoundTripAPI(t *testing.T) {
 	}
 }
 
-func TestCheckpointRequiresSerial(t *testing.T) {
+// TestCheckpointParallelAllowed: parallel checkpointing — once rejected with
+// a "requires Threads == 1" error — is supported: CheckpointOnStop at
+// Threads > 1 runs fine (and a run that exhausts has no checkpoint), while
+// resuming a garbage checkpoint fails with a validation error, not a
+// thread-count error.
+func TestCheckpointParallelAllowed(t *testing.T) {
 	cons := apiChainConstraints(t, 3, 3)
 	opt := unlimitedOptions(2)
 	opt.CheckpointOnStop = true
-	if _, err := EnumerateStandContext(context.Background(), cons, opt); err == nil {
-		t.Fatal("CheckpointOnStop with Threads > 1 should error")
+	res, err := EnumerateStandContext(context.Background(), cons, opt)
+	if err != nil {
+		t.Fatalf("CheckpointOnStop with Threads > 1: %v", err)
+	}
+	if !res.Complete() {
+		t.Fatalf("stop = %v, want exhausted", res.Stop)
+	}
+	if res.Checkpoint != nil {
+		t.Fatal("exhausted run should not produce a checkpoint")
 	}
 	opt = unlimitedOptions(2)
 	opt.Resume = &Checkpoint{}
 	if _, err := EnumerateStandContext(context.Background(), cons, opt); err == nil {
-		t.Fatal("Resume with Threads > 1 should error")
+		t.Fatal("resuming an empty checkpoint should fail validation")
+	}
+}
+
+// TestCheckpointPolicyEquivalence: the deprecated per-field knobs translate
+// into the same behavior as an explicit CheckpointPolicy.
+func TestCheckpointPolicyEquivalence(t *testing.T) {
+	cons := apiChainConstraints(t, 5, 5)
+	run := func(opt Options) *Result {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		n := 0
+		opt.OnTree = func(string) {
+			if n++; n == 50 {
+				cancel()
+			}
+		}
+		res, err := EnumerateStandContext(ctx, cons, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	oldStyle := unlimitedOptions(1)
+	oldStyle.CheckpointOnStop = true
+	oldRes := run(oldStyle)
+
+	newStyle := unlimitedOptions(1)
+	newStyle.Checkpoint = &CheckpointPolicy{OnStop: true}
+	newRes := run(newStyle)
+
+	if oldRes.Checkpoint == nil || newRes.Checkpoint == nil {
+		t.Fatalf("missing checkpoint: old=%v new=%v", oldRes.Checkpoint, newRes.Checkpoint)
+	}
+	// An explicit policy overrides the deprecated fields.
+	both := unlimitedOptions(1)
+	both.CheckpointOnStop = true
+	both.Checkpoint = &CheckpointPolicy{} // explicitly no checkpointing
+	if res := run(both); res.Checkpoint != nil {
+		t.Fatal("explicit empty policy should win over deprecated fields")
 	}
 }
 

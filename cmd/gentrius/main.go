@@ -18,13 +18,17 @@
 //
 // Long runs are interruptible: Ctrl-C (SIGINT) or SIGTERM cancels the
 // enumeration cleanly (stop reason "cancelled"); with -checkpoint FILE a
-// serial run interrupted that way — or stopped by a rule — writes a
-// resumable snapshot, and -resume FILE continues it later on the same
-// input, reproducing exactly the counters of an uninterrupted run. Adding
-// -checkpoint-every N persists the snapshot periodically (atomically, with
-// a .bak rotation), so even a hard crash is resumable. A failed -resume
-// explains itself: corrupt files, version mismatches and wrong inputs each
-// get a distinct hint.
+// run interrupted that way — or stopped by a rule — writes a resumable
+// snapshot, and -resume FILE continues it later on the same input,
+// reproducing exactly the counters of an uninterrupted run. This works at
+// any -threads count: a parallel run quiesces its workers at task
+// boundaries and snapshots the task frontier, and the snapshot resumes on
+// any thread count (snapshot at -threads 4, resume at -threads 8). Adding
+// -checkpoint-every N (serial cadence) or -checkpoint-interval D
+// (wall-clock cadence, any thread count) persists the snapshot
+// periodically (atomically, with a .bak rotation), so even a hard crash is
+// resumable. A failed -resume explains itself: corrupt files, version
+// mismatches and wrong inputs each get a distinct hint.
 package main
 
 import (
@@ -61,9 +65,10 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a JSONL scheduler event trace to this file")
 		progress    = flag.Duration("progress", 0, "print live counters and throughput to stderr on this interval (e.g. 5s; 0 = off)")
 		jsonOut     = flag.Bool("json", false, "emit the full result (counters, stop reason, tasks stolen, per-worker breakdown) as JSON on stdout")
-		ckptPath    = flag.String("checkpoint", "", "write a resumable checkpoint to this file when a serial run is interrupted (Ctrl-C) or stopped by a rule")
-		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint: also write the checkpoint every N stopping-rule checks, so a crash (not just Ctrl-C) is resumable (0 = only on stop)")
-		resumePath  = flag.String("resume", "", "resume a serial run from a checkpoint written by -checkpoint (requires the same input)")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable checkpoint to this file when the run is interrupted (Ctrl-C) or stopped by a rule; works at any -threads count")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint: also write the checkpoint every N stopping-rule checks (serial cadence), so a crash (not just Ctrl-C) is resumable (0 = only on stop)")
+		ckptIvl     = flag.Duration("checkpoint-interval", 0, "with -checkpoint: also write the checkpoint on this wall-clock cadence (works at any -threads count; parallel runs briefly quiesce per snapshot)")
+		resumePath  = flag.String("resume", "", "resume a run from a checkpoint written by -checkpoint (requires the same input; any -threads count)")
 	)
 	flag.Parse()
 
@@ -76,37 +81,40 @@ func main() {
 		fatal(fmt.Errorf("%s: %w", faultinject.EnvVar, err))
 	}
 	opt := gentrius.Options{
-		Threads:          *threads,
-		MaxTrees:         *maxTrees,
-		MaxStates:        *maxStates,
-		MaxTime:          *maxTime,
-		InitialTree:      *initial,
-		CollectTrees:     *summary,
-		CheckpointOnStop: *ckptPath != "",
-		Fault:            fault,
+		Threads:      *threads,
+		MaxTrees:     *maxTrees,
+		MaxStates:    *maxStates,
+		MaxTime:      *maxTime,
+		InitialTree:  *initial,
+		CollectTrees: *summary,
+		Fault:        fault,
 	}
-	if (*ckptPath != "" || *resumePath != "") && *threads > 1 {
-		fatal(fmt.Errorf("-checkpoint/-resume require -threads 1 (parallel runs are bounded by the stopping rules instead)"))
+	if (*ckptEvery > 0 || *ckptIvl > 0) && *ckptPath == "" {
+		fatal(fmt.Errorf("-checkpoint-every/-checkpoint-interval require -checkpoint FILE"))
 	}
-	if *ckptEvery > 0 {
-		if *ckptPath == "" {
-			fatal(fmt.Errorf("-checkpoint-every requires -checkpoint FILE"))
+	if *ckptPath != "" || *resumePath != "" {
+		policy := &gentrius.CheckpointPolicy{
+			OnStop:   *ckptPath != "",
+			Every:    *ckptEvery,
+			Interval: *ckptIvl,
 		}
-		opt.CheckpointEvery = *ckptEvery
-		opt.OnCheckpoint = func(cp *gentrius.Checkpoint) {
-			// Atomic write with .bak rotation: a crash mid-write leaves
-			// the previous snapshot readable.
-			if err := cp.WriteFile(*ckptPath); err != nil {
-				fmt.Fprintln(os.Stderr, "gentrius: checkpoint:", err)
+		if *ckptEvery > 0 || *ckptIvl > 0 {
+			policy.Sink = func(cp *gentrius.Checkpoint) {
+				// Atomic write with .bak rotation: a crash mid-write leaves
+				// the previous snapshot readable.
+				if err := cp.WriteFile(*ckptPath); err != nil {
+					fmt.Fprintln(os.Stderr, "gentrius: checkpoint:", err)
+				}
 			}
 		}
-	}
-	if *resumePath != "" {
-		cp, err := gentrius.ReadCheckpointFile(*resumePath)
-		if err != nil {
-			fatal(checkpointHint(err))
+		if *resumePath != "" {
+			cp, err := gentrius.ReadCheckpointFile(*resumePath)
+			if err != nil {
+				fatal(checkpointHint(err))
+			}
+			policy.Resume = cp
 		}
-		opt.Resume = cp
+		opt.Checkpoint = policy
 	}
 	// Ctrl-C / SIGTERM cancel the enumeration cleanly instead of killing
 	// the process: the run returns with stop reason "cancelled" (and, with

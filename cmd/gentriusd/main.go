@@ -2,8 +2,9 @@
 // service that accepts stand-enumeration jobs (Newick constraint trees, or
 // a species tree plus a PAM), runs them on a bounded worker pool, streams
 // stand trees to subscribers as NDJSON, and supports cancellation and
-// graceful shutdown. Serial jobs interrupted by a cancel or by shutdown
-// write a resumable checkpoint into the data directory.
+// graceful shutdown. Jobs interrupted by a cancel or by shutdown — serial
+// or parallel — write a resumable checkpoint into the data directory
+// (parallel jobs snapshot their quiesced task frontier).
 //
 // Endpoints (see internal/service):
 //
@@ -12,20 +13,23 @@
 //	GET    /jobs/{id}        job status
 //	GET    /jobs/{id}/trees  NDJSON tree stream (follows a running job)
 //	POST   /jobs/{id}/cancel cancel a job
+//	POST   /jobs/{id}/checkpoint  snapshot a running job on demand
+//	GET    /jobs/{id}/checkpoint  download the latest checkpoint envelope
 //	GET    /healthz          liveness
 //	GET    /metrics          Prometheus metrics (plus /debug/vars, /debug/pprof)
 //
 // SIGINT/SIGTERM trigger graceful shutdown: no new jobs, every running job
-// is cancelled (checkpointing if serial), and the process exits 0 once the
-// pool drains or the grace period ends.
+// is cancelled (checkpointing at any thread count), and the process exits 0
+// once the pool drains or the grace period ends.
 //
 // Crash recovery: job submissions and state transitions are journaled to
-// <data-dir>/journal.ndjson, and -checkpoint-every makes running serial
-// jobs checkpoint periodically. Restarting the daemon with the same
-// -data-dir after a crash (even SIGKILL) re-adopts finished jobs, resumes
-// interrupted serial jobs from their latest checkpoint, and requeues jobs
-// that never started. GENTRIUS_FAULTS (see internal/faultinject) injects
-// deterministic faults for recovery drills.
+// <data-dir>/journal.ndjson, -checkpoint-every makes running serial jobs
+// checkpoint periodically, and -checkpoint-interval does the same on a
+// wall-clock cadence at any thread count. Restarting the daemon with the
+// same -data-dir after a crash (even SIGKILL) re-adopts finished jobs,
+// resumes interrupted jobs — serial or parallel — from their latest
+// checkpoint, and requeues jobs that never started. GENTRIUS_FAULTS (see
+// internal/faultinject) injects deterministic faults for recovery drills.
 package main
 
 import (
@@ -55,8 +59,9 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "directory for tree spools, checkpoints and the job journal (default: a fresh temp dir); reuse it to recover jobs after a restart")
 		maxThreads = flag.Int("max-threads", 1, "cap on a job's requested thread count")
 		maxTime    = flag.Duration("max-job-time", 0, "cap on a job's wall-time limit (0 = engine default of 168h)")
-		noCkpt     = flag.Bool("no-checkpoint", false, "disable checkpoint-on-stop for serial jobs")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint running serial jobs every N stopping-rule checks (0 = only on stop); required for crash resumption")
+		noCkpt     = flag.Bool("no-checkpoint", false, "disable checkpoint-on-stop")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint running serial jobs every N stopping-rule checks (0 = only on stop)")
+		ckptIvl    = flag.Duration("checkpoint-interval", 0, "checkpoint running jobs on this wall-clock cadence, at any thread count (0 = off); -checkpoint-every or this is required for crash resumption")
 		maxBody    = flag.Int64("max-body", 8<<20, "POST /jobs body size limit in bytes (0 = unlimited)")
 		maxTaxa    = flag.Int("max-taxa", 0, "reject jobs whose taxon universe is larger (0 = unlimited)")
 		maxCons    = flag.Int("max-constraints", 0, "reject jobs with more constraint trees (0 = unlimited)")
@@ -125,6 +130,7 @@ func main() {
 		MaxTime:            *maxTime,
 		Checkpoint:         !*noCkpt,
 		CheckpointEvery:    *ckptEvery,
+		CheckpointInterval: *ckptIvl,
 		MaxConstraintTrees: *maxCons,
 		MaxTaxa:            *maxTaxa,
 		MaxBodyBytes:       *maxBody,
@@ -167,7 +173,7 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	stop()
-	logger.Info("signal received: shutting down (cancelling jobs, checkpointing serial runs)")
+	logger.Info("signal received: shutting down (cancelling jobs, checkpointing interrupted runs)")
 
 	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()

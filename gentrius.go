@@ -23,10 +23,10 @@
 //
 // Long-running enumerations are cancellable and resumable: the Context
 // variants (EnumerateStandContext, EnumerateFromSpeciesTreeContext) stop
-// with StopCancelled when the context is done, and serial runs can
-// checkpoint on stop and resume later (Options.CheckpointOnStop /
-// Options.Resume). The non-context entrypoints are one-line wrappers over
-// the context ones.
+// with StopCancelled when the context is done, and runs at ANY thread count
+// can checkpoint — on stop, periodically, or on demand — and resume later
+// at any other thread count (Options.Checkpoint; see CheckpointPolicy).
+// The non-context entrypoints are one-line wrappers over the context ones.
 package gentrius
 
 import (
@@ -95,13 +95,30 @@ type FaultInjector = faultinject.Injector
 // (no faults).
 func ParseFaults(spec string) (*FaultInjector, error) { return faultinject.Parse(spec) }
 
-// Checkpoint is a serializable snapshot of a serial enumeration: the
-// branch-and-bound stack plus the counters. Together with the *same* input
-// (same constraint trees, same order — guarded by a fingerprint) it resumes
-// the run exactly where it stopped; see Options.CheckpointOnStop and
-// Options.Resume. Parallel runs are not checkpointable (DESIGN.md explains
-// why); use the stopping rules to bound them instead.
+// Checkpoint is a serializable snapshot of an enumeration. Serial runs
+// record the branch-and-bound stack (version 1); parallel runs record the
+// quiesced task frontier — queued plus in-flight task snapshots (version
+// 2). Together with the *same* input (same constraint trees, same order —
+// guarded by a fingerprint) either version resumes the run exactly where
+// it stopped, at ANY thread count: a snapshot taken at four threads can
+// resume at one or eight, with final counters equal to an uninterrupted
+// run's. See Options.Checkpoint and CheckpointPolicy.
 type Checkpoint = search.Checkpoint
+
+// CheckpointTrigger requests an on-demand snapshot from a running
+// enumeration without stopping it: place one in CheckpointPolicy.Trigger,
+// then call Request from another goroutine. Serial runs service the request
+// at the next stopping-rule check; parallel runs quiesce the pool at a task
+// boundary, snapshot the frontier, and resume. A trigger is single-run.
+type CheckpointTrigger = search.CheckpointTrigger
+
+// NewCheckpointTrigger returns a trigger ready to be placed in
+// CheckpointPolicy.Trigger and shared with the requesting goroutine.
+func NewCheckpointTrigger() *CheckpointTrigger { return search.NewCheckpointTrigger() }
+
+// ErrRunEnded is returned by CheckpointTrigger.Request when the run
+// finished before the snapshot request could be serviced.
+var ErrRunEnded = search.ErrRunEnded
 
 // ReadCheckpoint parses a checkpoint previously written with
 // Checkpoint.Write (both the checksummed envelope and the legacy bare-JSON
@@ -170,26 +187,39 @@ type Options struct {
 	// (or whole-stand) tree storage is allocated.
 	OnTree func(newick string)
 
-	// Resume restores a serial enumeration (Threads == 1) from a
-	// checkpoint taken on the same input. InitialTree and Heuristic are
-	// taken from the checkpoint; the resumed run's counters continue from
-	// it, so its final counters equal an uninterrupted run's exactly.
+	// Checkpoint bundles all checkpoint/resume configuration — periodic and
+	// on-stop snapshots, on-demand triggers, and resuming — for any thread
+	// count. Nil disables checkpointing (unless one of the deprecated
+	// per-field knobs below is set; an explicit policy always wins).
+	Checkpoint *CheckpointPolicy
+
+	// Resume restores an enumeration from a checkpoint taken on the same
+	// input.
+	//
+	// Deprecated: set CheckpointPolicy.Resume via Options.Checkpoint
+	// instead. Ignored when Options.Checkpoint is non-nil.
 	Resume *Checkpoint
 
 	// CheckpointOnStop captures the engine state into Result.Checkpoint
-	// when a serial run (Threads == 1) ends for any reason other than
-	// exhaustion — cancellation or a stopping rule.
+	// when the run ends for any reason other than exhaustion.
+	//
+	// Deprecated: set CheckpointPolicy.OnStop via Options.Checkpoint
+	// instead. Ignored when Options.Checkpoint is non-nil.
 	CheckpointOnStop bool
 
 	// CheckpointEvery hands OnCheckpoint a resumable snapshot every this
-	// many stopping-rule checks of a serial run (Threads == 1) — the
-	// survival mechanism for hard crashes, where CheckpointOnStop never
-	// gets to run. Zero disables periodic checkpointing.
+	// many stopping-rule checks of a serial run.
+	//
+	// Deprecated: set CheckpointPolicy.Every (or the wall-clock
+	// CheckpointPolicy.Interval, which parallel runs need) via
+	// Options.Checkpoint instead. Ignored when Options.Checkpoint is
+	// non-nil.
 	CheckpointEvery int
 
-	// OnCheckpoint receives each periodic snapshot (typically persisted
-	// with Checkpoint.WriteFile). The callback owns persistence and any
-	// retry policy; the search loop does no file I/O.
+	// OnCheckpoint receives each periodic snapshot.
+	//
+	// Deprecated: set CheckpointPolicy.Sink via Options.Checkpoint
+	// instead. Ignored when Options.Checkpoint is non-nil.
 	OnCheckpoint func(cp *Checkpoint)
 
 	// Obs attaches the observability layer (scheduler metrics and/or a
@@ -202,6 +232,68 @@ type Options struct {
 	// runs honour the taskexec panic site — recovered transparently up to
 	// a retry budget — and the treestream stall site.
 	Fault *FaultInjector
+}
+
+// CheckpointPolicy is the unified checkpoint/resume configuration for an
+// enumeration at any thread count. Zero-valued fields disable their
+// mechanism; any combination may be active at once.
+//
+// Serial runs snapshot inline at stopping-rule checks. Parallel runs
+// quiesce: every worker parks at a task/step boundary, the queue and the
+// in-flight engine stacks drain into a task-frontier snapshot, and the pool
+// resumes — the enumeration is never restarted. A frontier snapshot resumes
+// at ANY thread count (Options.Threads on the resuming run), with final
+// counters exactly equal to an uninterrupted run's.
+type CheckpointPolicy struct {
+	// Every snapshots to Sink every this many stopping-rule checks of a
+	// serial run. Parallel runs have no per-check cadence; a policy with
+	// Every > 0 and Interval == 0 maps to a one-second Interval there.
+	Every int
+
+	// Interval snapshots to Sink on a wall-clock cadence — the knob that
+	// works at every thread count. Serial runs evaluate it at stopping-rule
+	// checks; parallel runs run a dedicated checkpoint loop.
+	Interval time.Duration
+
+	// OnStop captures the final state into Result.Checkpoint when the run
+	// ends for any reason other than exhaustion or failure — cancellation
+	// or a stopping rule.
+	OnStop bool
+
+	// Resume restores the enumeration from a checkpoint taken on the same
+	// input (guarded by a fingerprint). InitialTree and Heuristic are taken
+	// from the checkpoint; the resumed run's counters continue from it. Any
+	// Threads count may consume any snapshot: serial (version-1) snapshots
+	// resume parallel and frontier (version-2) snapshots resume serial —
+	// the latter routes through the parallel engine with one worker.
+	Resume *Checkpoint
+
+	// Sink receives each periodic snapshot (typically persisted with
+	// Checkpoint.WriteFile). The callback owns persistence and any retry
+	// policy; the engines do no checkpoint file I/O themselves.
+	Sink func(cp *Checkpoint)
+
+	// Trigger, if non-nil, lets another goroutine request on-demand
+	// snapshots from the running enumeration; see CheckpointTrigger.
+	Trigger *CheckpointTrigger
+}
+
+// policy returns the effective checkpoint policy: the explicit
+// Options.Checkpoint when set, otherwise one translated from the deprecated
+// per-field knobs, or nil when nothing requests checkpointing.
+func (o *Options) policy() *CheckpointPolicy {
+	if o.Checkpoint != nil {
+		return o.Checkpoint
+	}
+	if o.Resume == nil && !o.CheckpointOnStop && o.CheckpointEvery == 0 && o.OnCheckpoint == nil {
+		return nil
+	}
+	return &CheckpointPolicy{
+		Every:  o.CheckpointEvery,
+		OnStop: o.CheckpointOnStop,
+		Resume: o.Resume,
+		Sink:   o.OnCheckpoint,
+	}
 }
 
 // ObsSink bundles an optional metric set and trace recorder for a run —
@@ -238,9 +330,9 @@ type Result struct {
 	// nil for serial). The sum of PerWorker plus the coordinator's
 	// deterministic-prefix work equals the run totals.
 	PerWorker []WorkerCounters
-	// Checkpoint is the resumable engine snapshot of a serial run that
-	// requested CheckpointOnStop and was cancelled or hit a stopping rule
-	// (nil when the stand was exhausted).
+	// Checkpoint is the resumable snapshot of a run — at any thread count —
+	// that requested CheckpointPolicy.OnStop and was cancelled or hit a
+	// stopping rule (nil when the stand was exhausted or the run failed).
 	Checkpoint *Checkpoint
 }
 
@@ -265,17 +357,13 @@ func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.O
 		MaxTime:   opt.MaxTime,
 	}
 	sopt := search.Options{
-		Ctx:              ctx,
-		Limits:           limits,
-		InitialTree:      opt.InitialTree,
-		Heuristic:        opt.Heuristic,
-		CollectTrees:     opt.CollectTrees,
-		OnTree:           opt.OnTree,
-		Resume:           opt.Resume,
-		CheckpointOnStop: opt.CheckpointOnStop,
-		CheckpointEvery:  opt.CheckpointEvery,
-		OnCheckpoint:     opt.OnCheckpoint,
-		Estimator:        opt.Obs.Estimator(),
+		Ctx:          ctx,
+		Limits:       limits,
+		InitialTree:  opt.InitialTree,
+		Heuristic:    opt.Heuristic,
+		CollectTrees: opt.CollectTrees,
+		OnTree:       opt.OnTree,
+		Estimator:    opt.Obs.Estimator(),
 	}
 	popt := parallel.Options{
 		Ctx:          ctx,
@@ -287,6 +375,25 @@ func engineOptions(ctx context.Context, opt Options) (search.Options, parallel.O
 		OnTree:       opt.OnTree,
 		Obs:          opt.Obs,
 		Fault:        opt.Fault,
+	}
+	if p := opt.policy(); p != nil {
+		sopt.Resume = p.Resume
+		sopt.CheckpointOnStop = p.OnStop
+		sopt.CheckpointEvery = p.Every
+		sopt.CheckpointInterval = p.Interval
+		sopt.OnCheckpoint = p.Sink
+		sopt.Trigger = p.Trigger
+
+		popt.Resume = p.Resume
+		popt.CheckpointOnStop = p.OnStop
+		popt.CheckpointInterval = p.Interval
+		if p.Interval == 0 && p.Every > 0 {
+			// The parallel pool has no per-check cadence to count; the
+			// legacy count-based knob maps to a one-second wall cadence.
+			popt.CheckpointInterval = time.Second
+		}
+		popt.OnCheckpoint = p.Sink
+		popt.Trigger = p.Trigger
 	}
 	return sopt, popt
 }
@@ -311,11 +418,12 @@ func EnumerateStandContext(ctx context.Context, constraints []*Tree, opt Options
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if opt.Threads > 1 && (opt.Resume != nil || opt.CheckpointOnStop || opt.CheckpointEvery > 0) {
-		return nil, fmt.Errorf("gentrius: checkpointing requires Threads == 1 (parallel runs are bounded by the stopping rules instead)")
-	}
 	sopt, popt := engineOptions(ctx, opt)
-	if opt.Threads > 1 {
+	// Frontier (version-2) checkpoints describe a task set, not a serial
+	// stack: resuming one at Threads <= 1 routes through the parallel
+	// engine with a single worker, which replays the frontier exactly.
+	frontierResume := popt.Resume != nil && popt.Resume.Frontier != nil
+	if opt.Threads > 1 || frontierResume {
 		return enumerateParallel(constraints, popt)
 	}
 	return enumerateSerial(constraints, sopt, opt.Obs)
@@ -336,6 +444,7 @@ func enumerateParallel(constraints []*Tree, popt parallel.Options) (*Result, err
 		Threads:            popt.Threads,
 		TasksStolen:        pres.TasksStolen,
 		Trees:              pres.Trees,
+		Checkpoint:         pres.Checkpoint,
 	}
 	for _, wc := range pres.PerWorker {
 		res.PerWorker = append(res.PerWorker, WorkerCounters{

@@ -1,0 +1,558 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gentrius/internal/faultinject"
+	"gentrius/internal/obs"
+	"gentrius/internal/search"
+	"gentrius/internal/terrace"
+	"gentrius/internal/tree"
+)
+
+// chainConstraints builds two caterpillar constraint trees with n private
+// taxa each: a finite but combinatorially rich stand, big enough that a
+// state limit reliably interrupts it mid-enumeration.
+func chainConstraints(n int) []*tree.Tree {
+	all := []string{"A", "B", "C", "D"}
+	for i := 0; i < n; i++ {
+		all = append(all, fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	taxa := tree.MustTaxa(all)
+	cat := func(leaves []string) string {
+		s := "(" + leaves[0] + "," + leaves[1] + ")"
+		for _, nm := range leaves[2:] {
+			s = "(" + s + "," + nm + ")"
+		}
+		return s + ";"
+	}
+	c1, c2 := []string{"A", "B"}, []string{"A", "B"}
+	for i := 0; i < n; i++ {
+		c1 = append(c1, fmt.Sprintf("x%d", i))
+		c2 = append(c2, fmt.Sprintf("y%d", i))
+	}
+	c1 = append(c1, "C", "D")
+	c2 = append(c2, "C", "D")
+	return []*tree.Tree{tree.MustParse(cat(c1), taxa), tree.MustParse(cat(c2), taxa)}
+}
+
+// roundTrip serializes a checkpoint through the envelope codec, so every
+// resume in these tests exercises the CRC/JSON path too.
+func roundTrip(t *testing.T, cp *search.Checkpoint) *search.Checkpoint {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := search.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func assertConservation(t *testing.T, res *Result) {
+	t.Helper()
+	sum := res.Prefix
+	for _, c := range res.PerWorker {
+		sum.Add(c)
+	}
+	if sum != res.Counters {
+		t.Fatalf("counter conservation violated: prefix+workers %+v != %+v", sum, res.Counters)
+	}
+}
+
+// TestCheckpointStopResumeMatrix is the tentpole acceptance criterion: a
+// parallel run snapshotted mid-enumeration at any thread count resumes at
+// any other thread count with final counters exactly equal to an
+// uninterrupted run's, and the trees streamed before the stop plus the
+// trees found after the resume partition the stand (no gaps, no dups).
+func TestCheckpointStopResumeMatrix(t *testing.T) {
+	cons := chainConstraints(5)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited(), CollectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stop != search.StopExhausted {
+		t.Fatalf("reference run stopped early: %v", ref.Stop)
+	}
+	stopAt := ref.IntermediateStates / 3
+	if stopAt < 1 {
+		t.Fatalf("scenario too small: %d states", ref.IntermediateStates)
+	}
+	for _, snapT := range []int{1, 4, 8} {
+		for _, resT := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("snap=%d/resume=%d", snapT, resT), func(t *testing.T) {
+				var pre []string // OnTree calls are serialized by the collector
+				res1, err := Run(cons, Options{
+					Threads:     snapT,
+					InitialTree: -1,
+					Limits:      search.Limits{MaxStates: stopAt, MaxTrees: -1, MaxTime: -1},
+					// Small flush batches so the state limit is noticed well
+					// before the stand is exhausted.
+					TreeBatch: 16, StateBatch: 64, DeadEndBatch: 16,
+					CheckpointOnStop: true,
+					OnTree:           func(nw string) { pre = append(pre, nw) },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res1.Stop != search.StopStateLimit {
+					t.Fatalf("stop = %v, want state-limit", res1.Stop)
+				}
+				if res1.Checkpoint == nil {
+					t.Fatal("no checkpoint captured on stop")
+				}
+				if res1.Checkpoint.Counters != res1.Counters {
+					t.Fatalf("checkpoint counters %+v != run counters %+v",
+						res1.Checkpoint.Counters, res1.Counters)
+				}
+				if int64(len(pre)) != res1.StandTrees {
+					t.Fatalf("streamed %d trees before the stop, counters say %d",
+						len(pre), res1.StandTrees)
+				}
+				assertConservation(t, res1)
+
+				cp := roundTrip(t, res1.Checkpoint)
+				res2, err := Run(cons, Options{
+					Threads:      resT,
+					Limits:       unlimited(),
+					Resume:       cp,
+					CollectTrees: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res2.Stop != search.StopExhausted {
+					t.Fatalf("resumed run stopped early: %v", res2.Stop)
+				}
+				if res2.Counters != ref.Counters {
+					t.Fatalf("resumed totals %+v != uninterrupted %+v", res2.Counters, ref.Counters)
+				}
+				assertConservation(t, res2)
+
+				combined := append(append([]string(nil), pre...), res2.Trees...)
+				cs, rs := sortedCopy(combined), sortedCopy(ref.Trees)
+				if len(cs) != len(rs) {
+					t.Fatalf("pre+post = %d+%d trees, reference %d",
+						len(pre), len(res2.Trees), len(rs))
+				}
+				for i := range cs {
+					if cs[i] != rs[i] {
+						t.Fatalf("stand differs from reference at %d", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointCancelResume covers the other stop path: a cancelled run
+// with CheckpointOnStop resumes to exact totals.
+func TestCheckpointCancelResume(t *testing.T) {
+	cons := chainConstraints(4)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	res1, err := Run(cons, Options{
+		Threads: 4, InitialTree: -1, Limits: unlimited(), Ctx: ctx,
+		CheckpointOnStop: true,
+		OnTree: func(string) {
+			if n++; n == 20 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stop != search.StopCancelled || res1.Checkpoint == nil {
+		t.Fatalf("stop = %v, checkpoint = %v", res1.Stop, res1.Checkpoint != nil)
+	}
+	res2, err := Run(cons, Options{Threads: 2, Limits: unlimited(), Resume: roundTrip(t, res1.Checkpoint)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters != ref.Counters {
+		t.Fatalf("resumed totals %+v != uninterrupted %+v", res2.Counters, ref.Counters)
+	}
+}
+
+// TestCheckpointV1SerialResumesParallel: a version-1 serial snapshot is
+// consumed by the parallel engine at many threads through the one-task
+// frontier view — the cross-version compatibility satellite.
+func TestCheckpointV1SerialResumesParallel(t *testing.T) {
+	cons := chainConstraints(3)
+	ref, err := search.Run(cons, search.Options{InitialTree: -1, CollectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre []string
+	res1, err := search.Run(cons, search.Options{
+		InitialTree:      -1,
+		Limits:           search.Limits{MaxStates: ref.IntermediateStates / 2, MaxTrees: -1, MaxTime: -1},
+		CheckEvery:       64,
+		CheckpointOnStop: true,
+		OnTree:           func(nw string) { pre = append(pre, nw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Checkpoint == nil {
+		t.Fatal("serial run produced no checkpoint")
+	}
+	cp := roundTrip(t, res1.Checkpoint)
+	if cp.Version != 1 || cp.Frontier != nil {
+		t.Fatalf("expected a version-1 serial checkpoint, got v%d", cp.Version)
+	}
+	for _, threads := range []int{1, 4} {
+		res2, err := Run(cons, Options{Threads: threads, Limits: unlimited(), Resume: cp, CollectTrees: true})
+		if err != nil {
+			t.Fatalf("threads %d: %v", threads, err)
+		}
+		if res2.Counters != ref.Counters {
+			t.Fatalf("threads %d: resumed totals %+v != serial %+v", threads, res2.Counters, ref.Counters)
+		}
+		combined := append(append([]string(nil), pre...), res2.Trees...)
+		cs, rs := sortedCopy(combined), sortedCopy(ref.Trees)
+		if len(cs) != len(rs) {
+			t.Fatalf("threads %d: %d trees, want %d", threads, len(cs), len(rs))
+		}
+		for i := range cs {
+			if cs[i] != rs[i] {
+				t.Fatalf("threads %d: stand differs at %d", threads, i)
+			}
+		}
+	}
+}
+
+// TestCheckpointPeriodicQuiesce: periodic snapshots quiesce and resume the
+// pool without disturbing the live run (it still finishes with exact
+// totals), and each captured snapshot is itself a valid resume point.
+func TestCheckpointPeriodicQuiesce(t *testing.T) {
+	cons := chainConstraints(4)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []*search.Checkpoint // OnCheckpoint runs on one goroutine
+	live, err := Run(cons, Options{
+		Threads: 4, InitialTree: -1, Limits: unlimited(),
+		CheckpointInterval: time.Millisecond,
+		OnCheckpoint:       func(cp *search.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Stop != search.StopExhausted || live.Counters != ref.Counters {
+		t.Fatalf("live run disturbed by quiescing: %v %+v (ref %+v)",
+			live.Stop, live.Counters, ref.Counters)
+	}
+	if len(cps) == 0 {
+		t.Skip("run finished before the first checkpoint interval")
+	}
+	// Resume from the first and the last snapshot: both must complete the
+	// enumeration to the exact reference totals.
+	for _, cp := range []*search.Checkpoint{cps[0], cps[len(cps)-1]} {
+		res, err := Run(cons, Options{Threads: 2, Limits: unlimited(), Resume: roundTrip(t, cp)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters != ref.Counters {
+			t.Fatalf("resume from periodic snapshot: totals %+v != %+v", res.Counters, ref.Counters)
+		}
+	}
+}
+
+// TestCheckpointTriggerMidRun: an on-demand trigger request quiesces the
+// pool, returns a consistent snapshot and lets the run continue unharmed.
+func TestCheckpointTriggerMidRun(t *testing.T) {
+	cons := chainConstraints(5)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trig := search.NewCheckpointTrigger()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited(), Trigger: trig})
+		done <- outcome{res, err}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cp, reqErr := trig.Request(ctx)
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Counters != ref.Counters {
+		t.Fatalf("triggered run totals %+v != %+v", out.res.Counters, ref.Counters)
+	}
+	if reqErr != nil {
+		// The run can finish before the request is serviced; that must
+		// surface as ErrRunEnded, not a hang or a torn snapshot.
+		if reqErr != search.ErrRunEnded {
+			t.Fatalf("unexpected trigger error: %v", reqErr)
+		}
+		t.Skip("run finished before the trigger was serviced")
+	}
+	if cp.Counters.IntermediateStates > ref.IntermediateStates {
+		t.Fatalf("snapshot counters overshoot the whole run: %+v", cp.Counters)
+	}
+	res2, err := Run(cons, Options{Threads: 8, Limits: unlimited(), Resume: roundTrip(t, cp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters != ref.Counters {
+		t.Fatalf("resume from triggered snapshot: totals %+v != %+v", res2.Counters, ref.Counters)
+	}
+}
+
+// TestCheckpointResumeWithFaults: a resumed run still recovers injected
+// task panics to exact totals, and a faulting run's on-stop checkpoint is a
+// valid resume point — the crash-drill combination.
+func TestCheckpointResumeWithFaults(t *testing.T) {
+	cons := chainConstraints(4)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Run(cons, Options{
+		Threads: 4, InitialTree: -1,
+		Limits:           search.Limits{MaxStates: ref.IntermediateStates / 2, MaxTrees: -1, MaxTime: -1},
+		TreeBatch:        16,
+		StateBatch:       64,
+		DeadEndBatch:     16,
+		CheckpointOnStop: true,
+		Fault:            faultinject.New(7).Set(faultinject.TaskExec, faultinject.Rule{Every: 20}),
+		MaxTaskRetries:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Checkpoint == nil {
+		t.Fatalf("no checkpoint (stop %v)", res1.Stop)
+	}
+	res2, err := Run(cons, Options{
+		Threads: 4, Limits: unlimited(),
+		Resume:         roundTrip(t, res1.Checkpoint),
+		Fault:          faultinject.New(8).Set(faultinject.TaskExec, faultinject.Rule{Every: 20}),
+		MaxTaskRetries: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters != ref.Counters {
+		t.Fatalf("faulty resume totals %+v != %+v", res2.Counters, ref.Counters)
+	}
+}
+
+// TestCheckpointEstimatorSeeding: a resumed run's estimator is seeded with
+// the consumed mass (1 − frontier RemainingMass), so at exhaustion its
+// fraction-complete converges to 1 and its counters match the run's.
+func TestCheckpointEstimatorSeeding(t *testing.T) {
+	cons := chainConstraints(4)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Run(cons, Options{
+		Threads: 4, InitialTree: -1,
+		Limits:           search.Limits{MaxStates: ref.IntermediateStates / 2, MaxTrees: -1, MaxTime: -1},
+		TreeBatch:        16,
+		StateBatch:       64,
+		DeadEndBatch:     16,
+		CheckpointOnStop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Checkpoint == nil {
+		t.Fatalf("no checkpoint (stop %v)", res1.Stop)
+	}
+	cp := roundTrip(t, res1.Checkpoint)
+	fr, err := cp.FrontierView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := fr.RemainingMass()
+	if rem <= 0 || rem >= 1+1e-9 {
+		t.Fatalf("remaining mass %v out of (0,1]", rem)
+	}
+	est := &obs.Estimator{}
+	res2, err := Run(cons, Options{
+		Threads: 2, Limits: unlimited(), Resume: cp,
+		Obs: &obs.Sink{Estimate: est},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters != ref.Counters {
+		t.Fatalf("resumed totals %+v != %+v", res2.Counters, ref.Counters)
+	}
+	if f := est.Fraction(); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("estimator fraction after exhausting the resume = %v, want 1", f)
+	}
+	if est.Trees() != ref.StandTrees || est.States() != ref.IntermediateStates ||
+		est.DeadEnds() != ref.DeadEnds {
+		t.Fatalf("estimator counters %d/%d/%d != %d/%d/%d",
+			est.Trees(), est.States(), est.DeadEnds(),
+			ref.StandTrees, ref.IntermediateStates, ref.DeadEnds)
+	}
+}
+
+// TestCheckpointResumeEmptyFrontier: resuming a checkpoint whose frontier
+// is empty (the run was actually finished when snapshotted) returns
+// immediately with the checkpoint's counters and StopExhausted.
+func TestCheckpointResumeEmptyFrontier(t *testing.T) {
+	cons := chainConstraints(2)
+	cp := search.NewFrontierCheckpoint(cons, 0, 0,
+		search.Counters{StandTrees: 42, IntermediateStates: 99, DeadEnds: 7},
+		&search.Frontier{Threads: 4})
+	res, err := Run(cons, Options{Threads: 4, Limits: unlimited(), Resume: roundTrip(t, cp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != search.StopExhausted {
+		t.Fatalf("stop = %v", res.Stop)
+	}
+	if res.StandTrees != 42 || res.IntermediateStates != 99 || res.DeadEnds != 7 {
+		t.Fatalf("counters %+v not seeded from the checkpoint", res.Counters)
+	}
+}
+
+// TestCheckpointRejectsWrongInputParallel: the parallel resume path applies
+// the same fingerprint/version validation as the serial one.
+func TestCheckpointRejectsWrongInputParallel(t *testing.T) {
+	cons := chainConstraints(3)
+	rng := rand.New(rand.NewSource(4242))
+	other := randomScenario(rng, 10, 2, 4, 0.55)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	res, err := Run(cons, Options{
+		Threads: 4, InitialTree: -1, Limits: unlimited(), Ctx: ctx,
+		CheckpointOnStop: true,
+		OnTree: func(string) {
+			if n++; n == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint == nil {
+		t.Skip("run finished before cancellation")
+	}
+	if _, err := Run(other, Options{Threads: 2, Limits: unlimited(), Resume: res.Checkpoint}); err == nil {
+		t.Fatal("expected fingerprint mismatch on foreign input")
+	}
+	bad := *res.Checkpoint
+	bad.Version = 99
+	if _, err := Run(cons, Options{Threads: 2, Limits: unlimited(), Resume: &bad}); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+// TestFrontierRemainingMassFresh: at the very start of an interrupted run
+// the frontier's remaining mass accounts for (almost) the entire space.
+func TestFrontierRemainingMassFresh(t *testing.T) {
+	cons := chainConstraints(3)
+	idx := search.ChooseInitialTree(cons)
+	tr, err := terrace.New(cons, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := search.PrefixWalkH(tr, 0)
+	if prefix.Terminal {
+		t.Skip("prefix closed the space")
+	}
+	// One seed task per branch share: the shares' masses must sum to 1.
+	parts := search.PartitionBranches(prefix.SplitBranches, 4)
+	fr := &search.Frontier{Prefix: prefix.Path, Threads: 4}
+	w := 1 / float64(len(prefix.SplitBranches))
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		fr.Tasks = append(fr.Tasks, search.NewSeedTask(nil, prefix.SplitTaxon, p, w))
+	}
+	if rem := fr.RemainingMass(); math.Abs(rem-1) > 1e-9 {
+		t.Fatalf("fresh frontier remaining mass %v, want 1", rem)
+	}
+}
+
+// TestCheckpointBackToBackQuiesce reproduces the stale-barrier race: when a
+// snapshot round takes longer than the interval (here simulated with a slow
+// OnTree sink and immediate consecutive trigger requests), the next acquire
+// used to observe the previous round's still-elevated parked count, satisfy
+// its barrier with no engine contributions, and emit a cut that silently
+// dropped all in-flight work. Every snapshot must resume to exact totals.
+func TestCheckpointBackToBackQuiesce(t *testing.T) {
+	cons := chainConstraints(5)
+	ref, err := Run(cons, Options{Threads: 4, InitialTree: -1, Limits: unlimited()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigger := search.NewCheckpointTrigger()
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := Run(cons, Options{
+			Threads: 4, InitialTree: -1, Limits: unlimited(),
+			// A throttled sink keeps the tree channel full, so quiesce rounds
+			// spend real time in drainTrees and requests arrive back-to-back.
+			OnTree:     func(string) { time.Sleep(50 * time.Microsecond) },
+			TreeBuffer: 4,
+			Trigger:    trigger,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+
+	var cps []*search.Checkpoint
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		cp, err := trigger.Request(ctx)
+		cancel()
+		if err != nil {
+			break // the run ended; whatever we collected is enough
+		}
+		if cp != nil {
+			cps = append(cps, cp)
+		}
+	}
+	res := <-done
+	if res.Counters != ref.Counters {
+		t.Fatalf("live run disturbed by back-to-back snapshots: %+v != %+v", res.Counters, ref.Counters)
+	}
+	if len(cps) == 0 {
+		t.Skip("run ended before any snapshot landed")
+	}
+	for i, cp := range cps {
+		got, err := Run(cons, Options{Threads: 4, Limits: unlimited(), Resume: roundTrip(t, cp)})
+		if err != nil {
+			t.Fatalf("resuming snapshot %d: %v", i, err)
+		}
+		if got.Counters != ref.Counters {
+			t.Fatalf("snapshot %d (of %d) dropped work: resumed totals %+v, want %+v",
+				i, len(cps), got.Counters, ref.Counters)
+		}
+	}
+}

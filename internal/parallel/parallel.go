@@ -133,6 +133,40 @@ type Options struct {
 	// DefaultMaxTaskRetries; negative disables recovery (first panic is
 	// fatal).
 	MaxTaskRetries int
+
+	// Resume restores the run from a checkpoint taken on the same input
+	// (same constraint trees, same order) instead of starting fresh: the
+	// checkpoint's frontier is seeded into the task queue and the workers
+	// all start in the stealing pool. Any thread count resumes any
+	// checkpoint — including version-1 serial snapshots, whose frame stack
+	// is viewed as a one-task frontier. The initial tree and insertion
+	// heuristic come from the checkpoint; InitialTree and Heuristic are
+	// ignored. Counters continue from the checkpoint, so a resumed run's
+	// final counters equal an uninterrupted run's exactly.
+	Resume *search.Checkpoint
+
+	// CheckpointOnStop captures the outstanding frontier into
+	// Result.Checkpoint when the run ends for any reason other than
+	// exhaustion or failure: workers snapshot their interrupted engines as
+	// they drain on the stop flag, and the queue's remaining tasks join
+	// them.
+	CheckpointOnStop bool
+
+	// CheckpointInterval takes a periodic frontier snapshot (quiescing the
+	// pool each time) and hands it to OnCheckpoint — crash survival for
+	// parallel runs. Zero disables periodic checkpointing.
+	CheckpointInterval time.Duration
+
+	// OnCheckpoint receives each periodic snapshot. The callback owns
+	// persistence; it runs on the checkpoint goroutine while the workers
+	// have already resumed.
+	OnCheckpoint func(cp *search.Checkpoint)
+
+	// Trigger, if set, lets another goroutine request an on-demand
+	// snapshot from the running pool (see search.CheckpointTrigger). Each
+	// request quiesces the pool, builds the frontier checkpoint, resumes
+	// the workers and delivers the snapshot to the requester.
+	Trigger *search.CheckpointTrigger
 }
 
 // WorkerPanicError is the fatal outcome when a task's panic cannot be
@@ -170,11 +204,16 @@ type Result struct {
 	PrefixLen    int
 	TasksStolen  int64
 	PerWorker    []search.Counters
-	// Prefix is the coordinator's deterministic-prefix contribution, so
-	// Counters == Prefix + sum(PerWorker) exactly (counter conservation).
+	// Prefix is the coordinator's deterministic-prefix contribution — on a
+	// resumed run, the checkpoint's counters — so Counters == Prefix +
+	// sum(PerWorker) exactly (counter conservation).
 	Prefix search.Counters
 	// Flushes counts non-empty batched counter flushes across all workers.
 	Flushes int64
+	// Checkpoint holds the frontier snapshot when Options.CheckpointOnStop
+	// was set and a stopping rule or cancellation ended the run (nil when
+	// the stand was exhausted: there is nothing left to resume).
+	Checkpoint *search.Checkpoint
 }
 
 // task is a unit of stealable work (paper Sec. III-A). The replay triple
@@ -197,6 +236,11 @@ type task struct {
 	id       int64
 	parent   int64
 	weight   float64
+	// frames, when non-nil, is a restored frontier frame stack (resume
+	// path): the task engine is rebuilt with NewEngineFromFrames instead of
+	// the single-frame seed. The slice aliases the immutable checkpoint and
+	// is never mutated.
+	frames []search.FrameSnapshot
 }
 
 // taskPool recycles task objects together with their path and branch
@@ -213,6 +257,7 @@ func recycleTask(tk *task) {
 	tk.taxon = 0
 	tk.retries = 0
 	tk.id, tk.parent, tk.weight = 0, 0, 0
+	tk.frames = nil
 	taskPool.Put(tk)
 }
 
@@ -228,6 +273,9 @@ type queue struct {
 	done    bool
 	stolen  int64
 	m       *obs.SchedMetrics
+	// ckpt, when checkpointing is on, is the quiesce controller idle
+	// workers park on when a snapshot round pauses the pool.
+	ckpt *ckptCtl
 }
 
 func newQueue(cap, workers int, m *obs.SchedMetrics) *queue {
@@ -289,6 +337,17 @@ func (q *queue) steal() (*task, bool) {
 			q.cond.Broadcast()
 			return nil, false
 		}
+		if q.ckpt != nil && q.ckpt.pause.Load() {
+			// A quiesce round is on: join its barrier empty-handed instead
+			// of sleeping through it. Leave the steal wait-set while parked
+			// (q.idle tracks workers that could consume a wake-up).
+			q.idle--
+			q.mu.Unlock()
+			q.ckpt.parkIdle()
+			q.mu.Lock()
+			q.idle++
+			continue
+		}
 		q.cond.Wait()
 	}
 }
@@ -333,6 +392,19 @@ type globals struct {
 	started  time.Time
 	rec      *obs.Recorder  // nil when tracing is off
 	est      *obs.Estimator // nil when estimation is off
+
+	// treesSent/treesDone bracket the tree stream: workers count a send
+	// before it happens, the collector counts it after the OnTree/collect
+	// callback returns. A checkpoint drains the gap (drainTrees) so its
+	// counters never claim trees the spool has not yet seen.
+	treesSent atomic.Int64
+	treesDone atomic.Int64
+
+	// ckptOnStop routes interrupted-task snapshots into stopTasks while
+	// workers drain on the stop flag (checkpoint-on-stop frontier).
+	ckptOnStop bool
+	stopMu     sync.Mutex
+	stopTasks  []search.FrontierTask
 
 	failMu  sync.Mutex
 	failErr error // first fatal error (StopFailed path)
@@ -408,6 +480,25 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	m.Workers.Set(int64(opt.Threads))
 	g := &globals{limits: opt.Limits, started: time.Now(),
 		rec: opt.Obs.Recorder(), est: opt.Obs.Estimator()}
+	g.ckptOnStop = opt.CheckpointOnStop
+
+	// Resume: validate the checkpoint against the input and view it as a
+	// frontier (a v1 serial checkpoint synthesizes a one-task frontier, so
+	// any snapshot resumes onto any thread count). The initial tree and
+	// heuristic come from the checkpoint.
+	var resumeFr *search.Frontier
+	if opt.Resume != nil {
+		if err := opt.Resume.Validate(constraints); err != nil {
+			return nil, err
+		}
+		fr, err := opt.Resume.FrontierView()
+		if err != nil {
+			return nil, err
+		}
+		resumeFr = fr
+		opt.InitialTree = opt.Resume.InitialIndex
+		opt.Heuristic = opt.Resume.Heuristic
+	}
 
 	idx := opt.InitialTree
 	if idx < 0 {
@@ -418,53 +509,129 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 	res.InitialIndex = idx
 
-	// Coordinator: build one terrace, walk the deterministic prefix.
-	t0, err := terrace.New(constraints, idx)
-	if err != nil {
-		if errors.Is(err, terrace.ErrIncompatible) {
+	var prefix search.PrefixResult
+	var parts [][]int32
+	if resumeFr != nil {
+		// No fresh prefix walk on resume: the checkpoint's counters already
+		// include the prefix contribution, and its stored prefix path is
+		// replayed by each worker without recounting. The checkpoint totals
+		// seed the globals (and stand in as Result.Prefix), preserving the
+		// conservation invariant Counters == Prefix + sum(PerWorker).
+		prefix.Path = resumeFr.Prefix
+		parts = make([][]int32, opt.Threads)
+		cpc := opt.Resume.Counters
+		res.PrefixLen = len(resumeFr.Prefix)
+		res.Counters.Add(cpc)
+		res.Prefix = cpc
+		m.Trees.Add(cpc.StandTrees)
+		m.States.Add(cpc.IntermediateStates)
+		m.DeadEnds.Add(cpc.DeadEnds)
+		g.trees.Store(cpc.StandTrees)
+		g.states.Store(cpc.IntermediateStates)
+		g.dead.Store(cpc.DeadEnds)
+		g.est.AddCounters(cpc.StandTrees, cpc.IntermediateStates, cpc.DeadEnds)
+		// Consumed estimator mass is 1 minus what the frontier still holds,
+		// so a resumed run's fraction-complete matches an uninterrupted one.
+		g.est.AddLeafMass(1-resumeFr.RemainingMass(), cpc.StandTrees+cpc.DeadEnds)
+		if len(resumeFr.Tasks) == 0 {
+			// The snapshot captured a finished (or fully drained) run.
 			res.Elapsed = time.Since(g.started)
 			return res, nil
 		}
-		return nil, err
-	}
-	prefix := search.PrefixWalkH(t0, opt.Heuristic)
-	res.PrefixLen = len(prefix.Path)
-	res.Counters.Add(prefix.Counters)
-	res.Prefix = prefix.Counters
-	m.Trees.Add(prefix.Counters.StandTrees)
-	m.States.Add(prefix.Counters.IntermediateStates)
-	m.DeadEnds.Add(prefix.Counters.DeadEnds)
-	hs0 := t0.HeuristicStats()
-	m.HeuristicScanTaxa.Add(hs0.CountQueries)
-	m.HeuristicO1Counts.Add(hs0.O1Counts)
-	m.HeuristicRecounts.Add(hs0.Recounts)
-	m.HeuristicIncUpdates.Add(hs0.IncUpdates)
-	g.est.AddCounters(prefix.Counters.StandTrees,
-		prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
-	if prefix.Terminal {
-		// The deterministic prefix closed the whole space: one leaf (a
-		// single stand tree or a dead end) carrying the entire mass.
-		g.est.AddLeafMass(1, 1)
-		if prefix.Counters.StandTrees == 1 {
-			nw := t0.Agile().Newick()
-			if opt.OnTree != nil {
-				opt.OnTree(nw)
+	} else {
+		// Coordinator: build one terrace, walk the deterministic prefix.
+		t0, err := terrace.New(constraints, idx)
+		if err != nil {
+			if errors.Is(err, terrace.ErrIncompatible) {
+				res.Elapsed = time.Since(g.started)
+				return res, nil
 			}
-			if opt.CollectTrees {
-				res.Trees = append(res.Trees, nw)
-			}
+			return nil, err
 		}
-		res.Elapsed = time.Since(g.started)
-		return res, nil
+		prefix = search.PrefixWalkH(t0, opt.Heuristic)
+		res.PrefixLen = len(prefix.Path)
+		res.Counters.Add(prefix.Counters)
+		res.Prefix = prefix.Counters
+		m.Trees.Add(prefix.Counters.StandTrees)
+		m.States.Add(prefix.Counters.IntermediateStates)
+		m.DeadEnds.Add(prefix.Counters.DeadEnds)
+		hs0 := t0.HeuristicStats()
+		m.HeuristicScanTaxa.Add(hs0.CountQueries)
+		m.HeuristicO1Counts.Add(hs0.O1Counts)
+		m.HeuristicRecounts.Add(hs0.Recounts)
+		m.HeuristicIncUpdates.Add(hs0.IncUpdates)
+		g.est.AddCounters(prefix.Counters.StandTrees,
+			prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
+		if prefix.Terminal {
+			// The deterministic prefix closed the whole space: one leaf (a
+			// single stand tree or a dead end) carrying the entire mass.
+			g.est.AddLeafMass(1, 1)
+			if prefix.Counters.StandTrees == 1 {
+				nw := t0.Agile().Newick()
+				if opt.OnTree != nil {
+					opt.OnTree(nw)
+				}
+				if opt.CollectTrees {
+					res.Trees = append(res.Trees, nw)
+				}
+			}
+			res.Elapsed = time.Since(g.started)
+			return res, nil
+		}
+		g.states.Store(prefix.Counters.IntermediateStates)
+		g.dead.Store(prefix.Counters.DeadEnds)
+		parts = search.PartitionBranches(prefix.SplitBranches, opt.Threads)
 	}
-	g.states.Store(prefix.Counters.IntermediateStates)
-	g.dead.Store(prefix.Counters.DeadEnds)
 
-	parts := search.PartitionBranches(prefix.SplitBranches, opt.Threads)
 	q := newQueue(opt.QueueCap, opt.Threads, m)
 	// Task ids 1..Threads are reserved for the initial-split shares (worker
 	// w's share is task w+1, parent 0); submissions continue the sequence.
 	g.nextTask.Store(int64(opt.Threads))
+
+	if resumeFr != nil {
+		// Seed the frontier straight into the queue (capacity does not
+		// apply: these are not new submissions but work the snapshotting
+		// run already owned). Every worker starts in the stealing pool.
+		for _, ft := range resumeFr.Tasks {
+			if len(ft.Frames) == 0 {
+				continue // a drained engine snapshot: nothing left in it
+			}
+			tk := taskPool.Get().(*task)
+			tk.path = append(tk.path[:0], ft.Path...)
+			tk.frames = ft.Frames
+			tk.taxon = ft.Frames[0].Taxon
+			tk.weight = ft.Frames[0].Weight
+			tk.id = g.nextTask.Add(1)
+			q.tasks = append(q.tasks, tk)
+		}
+		m.QueueDepth.Set(int64(len(q.tasks)))
+	}
+
+	// Quiesce controller: only needed when a snapshot can be requested
+	// while the pool is running (periodic or on-demand checkpoints).
+	var ckctl *ckptCtl
+	if opt.Trigger != nil || (opt.CheckpointInterval > 0 && opt.OnCheckpoint != nil) {
+		ckctl = newCkptCtl(opt.Threads)
+		q.ckpt = ckctl
+	}
+
+	// buildFrontier assembles the outstanding work: the queue's tasks plus
+	// the supplied in-flight engine snapshots. Callers guarantee the pool
+	// is either quiesced or drained, so the cut is consistent.
+	prefixPath := prefix.Path
+	buildFrontier := func(inFlight []search.FrontierTask) *search.Frontier {
+		fr := &search.Frontier{
+			Prefix:  append([]search.PathStep(nil), prefixPath...),
+			Threads: opt.Threads,
+		}
+		q.mu.Lock()
+		for _, tk := range q.tasks {
+			fr.Tasks = append(fr.Tasks, frontierTaskOf(tk))
+		}
+		q.mu.Unlock()
+		fr.Tasks = append(fr.Tasks, inFlight...)
+		return fr
+	}
 
 	// Cancellation: a watcher raises the stop flag and wakes blocked
 	// stealers the moment the context is done; workers notice at their
@@ -503,6 +670,50 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 				if opt.CollectTrees {
 					res.Trees = append(res.Trees, nw)
 				}
+				g.treesDone.Add(1)
+			}
+		}()
+	}
+
+	// Checkpoint loop: services on-demand trigger requests and the periodic
+	// interval, each through a full quiesce (acquire → frontier → release).
+	var poolDone, ckptLoopDone chan struct{}
+	if ckctl != nil {
+		poolDone = make(chan struct{})
+		ckptLoopDone = make(chan struct{})
+		takeCheckpoint := func() *search.Checkpoint {
+			inFlight, ok := ckctl.acquire(q, g)
+			defer ckctl.release()
+			if !ok {
+				// The pool emptied out or is stopping: this round's cut
+				// would be incomplete. The final state reaches the caller
+				// through the checkpoint-on-stop path (or the run simply
+				// finished and there is nothing left to snapshot).
+				return nil
+			}
+			g.drainTrees()
+			fr := buildFrontier(inFlight)
+			return search.NewFrontierCheckpoint(constraints, idx, opt.Heuristic, g.snapshot(), fr)
+		}
+		go func() {
+			defer close(ckptLoopDone)
+			var tick <-chan time.Time
+			if opt.CheckpointInterval > 0 && opt.OnCheckpoint != nil {
+				tkr := time.NewTicker(opt.CheckpointInterval)
+				defer tkr.Stop()
+				tick = tkr.C
+			}
+			for {
+				select {
+				case <-poolDone:
+					return
+				case reply := <-opt.Trigger.Requests():
+					reply <- takeCheckpoint()
+				case <-tick:
+					if cp := takeCheckpoint(); cp != nil {
+						opt.OnCheckpoint(cp)
+					}
+				}
 			}
 		}()
 	}
@@ -518,6 +729,12 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	if poolDone != nil {
+		// Join the checkpoint loop before tearing down the collector: a
+		// final quiesce may be draining the tree stream right now.
+		close(poolDone)
+		<-ckptLoopDone
+	}
 	if watcherDone != nil {
 		close(watcherDone)
 	}
@@ -553,6 +770,13 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 			m.OvershootStates.Set(res.Counters.IntermediateStates - opt.Limits.MaxStates)
 		}
 	}
+	if opt.CheckpointOnStop && res.Stop != search.StopExhausted && res.Stop != search.StopFailed {
+		// The pool has fully drained: the queue remnants plus the engine
+		// snapshots workers took as they hit the stop flag are exactly the
+		// outstanding work.
+		fr := buildFrontier(g.takeStopTasks())
+		res.Checkpoint = search.NewFrontierCheckpoint(constraints, idx, opt.Heuristic, res.Counters, fr)
+	}
 	m.QueueDepth.Set(0)
 	res.Elapsed = time.Since(g.started)
 	return res, nil
@@ -566,6 +790,8 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	m := opt.Obs.SchedMetrics()
 	rec := opt.Obs.Recorder()
 	wm := m.Worker(w)
+	// A quiesce must never wait on a worker that already left the pool.
+	defer q.ckpt.exit()
 
 	// buildTerrace constructs this worker's private terrace at I_0. It also
 	// runs after a recovered panic, whose unwound stack can leave the old
@@ -692,13 +918,27 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 			eng.OnTree = func(nw string) {
 				// The tree is externally visible the moment it is sent, so
 				// mark the attempt before the send: a panic anywhere after
-				// must not requeue-and-duplicate it.
+				// must not requeue-and-duplicate it. The sent counter lets a
+				// checkpoint wait for the collector to catch up (drainTrees).
 				attemptDirty = true
+				g.treesSent.Add(1)
 				treeCh <- nw
 			}
 		}
 		steps := 0
+		stopped := false
 		for {
+			if ck := q.ckpt; ck != nil && ck.pause.Load() {
+				// Quiesce: publish the local counters, snapshot this
+				// engine's frame stack into the round's frontier, and park
+				// until the initiator releases the pool.
+				flush()
+				ck.parkEngine(eng, basePath)
+				if g.stop.Load() {
+					stopped = true
+					break
+				}
+			}
 			opt.Fault.MaybePanic(faultinject.EngineStep)
 			if eng.Step() == search.EvDone {
 				break
@@ -718,10 +958,19 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				g.checkLimits()
 			}
 			if g.stop.Load() {
+				stopped = true
 				break
 			}
 		}
 		flush()
+		if stopped && g.ckptOnStop {
+			// Interrupted mid-task by the stop flag: this engine's stack is
+			// outstanding work for the checkpoint-on-stop frontier.
+			g.collectStopTask(search.FrontierTask{
+				Path:   append([]search.PathStep(nil), basePath...),
+				Frames: eng.SnapshotFrames(nil),
+			})
+		}
 		// Rewind to the engine's base state (mid-flight stop leaves
 		// insertions applied).
 		for t.Depth() > baseDepth+len(basePath) {
@@ -775,7 +1024,11 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 				}
 				// The pool already terminated (a stopping rule,
 				// cancellation, or another worker's fatal error): the
-				// retry is moot.
+				// retry is moot — but the task is still outstanding work,
+				// so a checkpoint-on-stop frontier must include it.
+				if g.ckptOnStop {
+					g.collectStopTask(frontierTaskOf(tk))
+				}
 				recycleTask(tk)
 				return
 			}
@@ -787,8 +1040,25 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 		for _, s := range tk.path {
 			t.ExtendTaxon(s.Taxon, s.Edge)
 		}
-		eng := search.NewEngineWithFrame(t, tk.taxon, tk.branches)
-		eng.SetSeedBranchWeight(tk.weight)
+		var eng *search.Engine
+		if len(tk.frames) > 0 {
+			// A resumed frontier task: rebuild the full frame stack (stored
+			// weights and all) instead of seeding a single frame.
+			e2, err := search.NewEngineFromFrames(t, tk.frames)
+			if err != nil {
+				for t.Depth() > baseDepth {
+					t.RemoveTaxon()
+				}
+				basePath = nil
+				g.fail(fmt.Errorf("parallel: worker %d restoring frontier task: %w", w, err))
+				q.shutdown()
+				return true
+			}
+			eng = e2
+		} else {
+			eng = search.NewEngineWithFrame(t, tk.taxon, tk.branches)
+			eng.SetSeedBranchWeight(tk.weight)
+		}
 		runEngine(eng)
 		for range tk.path {
 			t.RemoveTaxon()
@@ -802,15 +1072,24 @@ func runWorker(w int, constraints []*tree.Tree, idx int, prefix search.PrefixRes
 	// frame = the initial split) so a panic here flows through the same
 	// requeue machinery — any worker can pick up the retry.
 	rec.Emit(obs.EvWorkerStart, w, obs.F("branches", int64(len(myBranches))))
-	if len(myBranches) > 0 && !g.stop.Load() {
-		tk := taskPool.Get().(*task)
-		tk.taxon = prefix.SplitTaxon
-		tk.path = tk.path[:0]
-		tk.branches = append(tk.branches[:0], myBranches...)
-		tk.id = int64(w) + 1 // reserved lineage roots, parent 0
-		tk.weight = 1 / float64(len(prefix.SplitBranches))
-		if executeTask(tk) {
-			recycleTask(tk)
+	if len(myBranches) > 0 {
+		if g.stop.Load() {
+			// Stopped before this share ever started: it is still
+			// outstanding work, so the checkpoint frontier must carry it.
+			if g.ckptOnStop {
+				g.collectStopTask(search.NewSeedTask(nil, prefix.SplitTaxon,
+					myBranches, 1/float64(len(prefix.SplitBranches))))
+			}
+		} else {
+			tk := taskPool.Get().(*task)
+			tk.taxon = prefix.SplitTaxon
+			tk.path = tk.path[:0]
+			tk.branches = append(tk.branches[:0], myBranches...)
+			tk.id = int64(w) + 1 // reserved lineage roots, parent 0
+			tk.weight = 1 / float64(len(prefix.SplitBranches))
+			if executeTask(tk) {
+				recycleTask(tk)
+			}
 		}
 	}
 

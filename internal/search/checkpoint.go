@@ -10,10 +10,16 @@ import (
 
 // Checkpoint is a serializable snapshot of a running enumeration. The
 // paper's third stopping rule defaults to 168 hours; runs of that length
-// need to survive restarts. A checkpoint captures the branch-and-bound
-// stack (each frame's taxon, branch list and position) plus the counters;
-// together with the original input it restores the engine to the exact
-// state, and the resumed run produces exactly the remaining work.
+// need to survive restarts. Two payload versions exist:
+//
+//   - Version 1 (serial): the branch-and-bound stack of a single engine —
+//     each frame's taxon, branch list and position — plus the counters.
+//   - Version 2 (frontier): a quiesced parallel run — the prefix path plus
+//     the task frontier (queued + in-flight task snapshots, see Frontier).
+//     A v2 checkpoint resumes onto any thread count.
+//
+// Together with the original input either version restores the enumeration
+// exactly: the resumed run produces exactly the remaining work.
 //
 // The constraint trees themselves are NOT stored: the caller re-supplies
 // the same input (same trees, same order) on restore, and a fingerprint
@@ -23,21 +29,52 @@ type Checkpoint struct {
 	Fingerprint  string          `json:"fingerprint"`
 	InitialIndex int             `json:"initial_index"`
 	Heuristic    OrderHeuristic  `json:"heuristic"`
-	Frames       []frameSnapshot `json:"frames"`
+	Frames       []FrameSnapshot `json:"frames,omitempty"`
+	Frontier     *Frontier       `json:"frontier,omitempty"`
 	Counters     Counters        `json:"counters"`
 	Done         bool            `json:"done"`
 	Started      bool            `json:"started"`
 }
 
-type frameSnapshot struct {
+// FrameSnapshot is one serialized branch-and-bound frame. Weight is the
+// frame's Knuth-estimator branch weight, fixed when the frame was pushed;
+// it must be stored rather than re-derived because work stealing shrinks a
+// live frame's branch list after the weight was fixed (v1 serial frames
+// never lose branches, so their weights stay derivable — see InitWeights).
+type FrameSnapshot struct {
 	Taxon    int     `json:"taxon"`
 	Branches []int32 `json:"branches"`
 	Idx      int     `json:"idx"`
 	Inserted bool    `json:"inserted"`
+	Weight   float64 `json:"weight,omitempty"`
 }
 
-// checkpointVersion guards the serialization format.
-const checkpointVersion = 1
+// Frontier is the version-2 payload section: the complete set of
+// outstanding work of a quiesced parallel (or simulated) run. Prefix is the
+// common root path all tasks hang off (replayed without recounting on
+// resume); Tasks covers both queued tasks (a single uninserted frame) and
+// in-flight engines (a full frame stack). Threads records the snapshotting
+// pool's width for observability only — resume accepts any thread count.
+type Frontier struct {
+	Prefix  []PathStep     `json:"prefix,omitempty"`
+	Threads int            `json:"threads,omitempty"`
+	Tasks   []FrontierTask `json:"tasks"`
+}
+
+// FrontierTask is one outstanding unit of work: the path from the initial
+// split to the task's base state plus the engine frame stack above it.
+type FrontierTask struct {
+	Path   []PathStep      `json:"path,omitempty"`
+	Frames []FrameSnapshot `json:"frames"`
+}
+
+// Checkpoint payload versions. checkpointVersion (1) is the serial
+// frame-stack format; checkpointVersionFrontier (2) adds the Frontier
+// section for parallel runs.
+const (
+	checkpointVersion         = 1
+	checkpointVersionFrontier = 2
+)
 
 // fingerprint identifies a constraint-tree input (order-sensitive).
 func fingerprint(constraints []*tree.Tree) string {
@@ -55,42 +92,79 @@ func fingerprint(constraints []*tree.Tree) string {
 	return fmt.Sprintf("%016x", h)
 }
 
-// Snapshot captures the engine's current state. It must not be called on an
-// engine created with NewEngineWithFrame (worker task engines are transient;
-// checkpointing applies to whole serial runs).
+// Fingerprint returns the input fingerprint stored in checkpoints taken on
+// these constraint trees (order-sensitive).
+func Fingerprint(constraints []*tree.Tree) string { return fingerprint(constraints) }
+
+// Snapshot captures a serial engine's current state as a version-1
+// checkpoint. It must not be called on an engine created with
+// NewEngineWithFrame or NewEngineFromFrames: worker task engines are
+// snapshotted through the frontier path (SnapshotFrames) instead.
 func (e *Engine) Snapshot(constraints []*tree.Tree, initialIndex int) *Checkpoint {
-	cp := &Checkpoint{
+	return &Checkpoint{
 		Version:      checkpointVersion,
 		Fingerprint:  fingerprint(constraints),
 		InitialIndex: initialIndex,
 		Heuristic:    e.Heuristic,
+		Frames:       e.SnapshotFrames(nil),
 		Counters:     e.counters,
 		Done:         e.done,
 		Started:      e.started,
 	}
-	for i := range e.frames {
-		f := &e.frames[i]
-		cp.Frames = append(cp.Frames, frameSnapshot{
-			Taxon:    f.Taxon,
-			Branches: append([]int32(nil), f.Branches...),
-			Idx:      f.idx,
-			Inserted: f.inserted,
-		})
-	}
-	return cp
 }
 
-// Restore rebuilds an engine from a checkpoint and the original input.
-func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
-	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("search: version %d: %w", cp.Version, ErrVersion)
+// NewFrontierCheckpoint assembles a version-2 checkpoint around a quiesced
+// frontier. Counters must be the flushed global totals at quiesce time
+// (including any prefix-walk counters), so that resume seeds them exactly.
+func NewFrontierCheckpoint(constraints []*tree.Tree, initialIndex int, h OrderHeuristic, c Counters, fr *Frontier) *Checkpoint {
+	return &Checkpoint{
+		Version:      checkpointVersionFrontier,
+		Fingerprint:  fingerprint(constraints),
+		InitialIndex: initialIndex,
+		Heuristic:    h,
+		Frontier:     fr,
+		Counters:     c,
+		Started:      true,
+		Done:         len(fr.Tasks) == 0,
+	}
+}
+
+// Validate checks a checkpoint against the supplied constraint trees:
+// payload version, version/frontier consistency, input fingerprint and
+// initial-index range. Both the serial and the frontier resume paths call
+// this before touching any frame.
+func (cp *Checkpoint) Validate(constraints []*tree.Tree) error {
+	switch cp.Version {
+	case checkpointVersion:
+		if cp.Frontier != nil {
+			return fmt.Errorf("search: version-1 checkpoint carries a frontier section: %w", ErrVersion)
+		}
+	case checkpointVersionFrontier:
+		if cp.Frontier == nil {
+			return fmt.Errorf("search: version-2 checkpoint missing its frontier section: %w", ErrVersion)
+		}
+	default:
+		return fmt.Errorf("search: version %d: %w", cp.Version, ErrVersion)
 	}
 	if got := fingerprint(constraints); got != cp.Fingerprint {
-		return nil, fmt.Errorf("search: checkpoint fingerprint %s, supplied input %s: %w",
+		return fmt.Errorf("search: checkpoint fingerprint %s, supplied input %s: %w",
 			cp.Fingerprint, got, ErrFingerprint)
 	}
 	if cp.InitialIndex < 0 || cp.InitialIndex >= len(constraints) {
-		return nil, fmt.Errorf("search: checkpoint initial index %d out of range", cp.InitialIndex)
+		return fmt.Errorf("search: checkpoint initial index %d out of range", cp.InitialIndex)
+	}
+	return nil
+}
+
+// Restore rebuilds a serial engine from a version-1 checkpoint and the
+// original input. Version-2 (frontier) checkpoints resume through the
+// parallel engine instead — at any thread count, including one.
+func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
+	if cp.Version == checkpointVersionFrontier {
+		return nil, fmt.Errorf("search: frontier checkpoint cannot restore a serial engine; resume through the parallel path: %w", ErrVersion)
+	}
+	if err := cp.Validate(constraints); err != nil {
+		return nil, err
 	}
 	t, err := terrace.New(constraints, cp.InitialIndex)
 	if err != nil {
@@ -106,6 +180,7 @@ func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
 			Branches: append([]int32(nil), fs.Branches...),
 			idx:      fs.Idx,
 			inserted: fs.Inserted,
+			weight:   fs.Weight,
 		}
 		if fs.Idx < 0 || fs.Idx > len(fs.Branches) {
 			return nil, fmt.Errorf("search: corrupt checkpoint frame (idx %d of %d branches)",
@@ -122,6 +197,93 @@ func Restore(cp *Checkpoint, constraints []*tree.Tree) (*Engine, error) {
 	e.done = cp.Done
 	e.started = cp.Started
 	return e, nil
+}
+
+// FrontierView returns the checkpoint's outstanding work as a frontier,
+// regardless of payload version. A version-2 checkpoint returns its stored
+// frontier; a version-1 serial checkpoint is synthesized into a one-task
+// frontier with weights re-derived top-down (valid because serial frames
+// never lose branches to stealing). This is what lets a serial snapshot
+// resume onto any thread count. The returned frontier is validated:
+// frame indices in range, inserted frames with a chosen branch, weights
+// present on every frame that still has branches.
+func (cp *Checkpoint) FrontierView() (*Frontier, error) {
+	if cp.Frontier != nil {
+		for ti := range cp.Frontier.Tasks {
+			if err := validateTaskFrames(cp.Frontier.Tasks[ti].Frames, true); err != nil {
+				return nil, fmt.Errorf("search: frontier task %d: %w", ti, err)
+			}
+		}
+		return cp.Frontier, nil
+	}
+	fr := &Frontier{}
+	if cp.Done || len(cp.Frames) == 0 {
+		return fr, nil
+	}
+	if err := validateTaskFrames(cp.Frames, false); err != nil {
+		return nil, fmt.Errorf("search: serial checkpoint frames: %w", err)
+	}
+	frames := make([]FrameSnapshot, len(cp.Frames))
+	parentW := 1.0
+	for i, f := range cp.Frames {
+		w := 0.0
+		if len(f.Branches) > 0 {
+			w = parentW / float64(len(f.Branches))
+		}
+		frames[i] = f
+		frames[i].Weight = w
+		parentW = w
+	}
+	fr.Tasks = []FrontierTask{{Frames: frames}}
+	return fr, nil
+}
+
+// validateTaskFrames rejects structurally corrupt frame stacks before any
+// terrace mutation happens. needWeight is set for stored (v2) frames, whose
+// weights cannot be re-derived.
+func validateTaskFrames(frames []FrameSnapshot, needWeight bool) error {
+	for i, f := range frames {
+		if f.Idx < 0 || f.Idx > len(f.Branches) {
+			return fmt.Errorf("corrupt frame %d (idx %d of %d branches)", i, f.Idx, len(f.Branches))
+		}
+		if f.Inserted && f.Idx == 0 {
+			return fmt.Errorf("corrupt frame %d (inserted with idx 0)", i)
+		}
+		if needWeight && len(f.Branches) > 0 && !(f.Weight > 0) {
+			return fmt.Errorf("corrupt frame %d (missing estimator weight)", i)
+		}
+	}
+	return nil
+}
+
+// NewSeedTask converts a queued (not yet started) task — path, split taxon,
+// branch share, estimator weight — into its frontier form: a single
+// uninserted frame at index 0.
+func NewSeedTask(path []PathStep, taxon int, branches []int32, weight float64) FrontierTask {
+	return FrontierTask{
+		Path: append([]PathStep(nil), path...),
+		Frames: []FrameSnapshot{{
+			Taxon:    taxon,
+			Branches: append([]int32(nil), branches...),
+			Weight:   weight,
+		}},
+	}
+}
+
+// RemainingMass sums the Knuth-estimator mass of all outstanding work in
+// the frontier: for each frame, weight × (branches not yet tried). The
+// branch currently in flight under an inserted frame is excluded — its
+// remainder is carried by the deeper frames. 1 − RemainingMass() is the
+// consumed mass to seed into an estimator on resume (see
+// obs.Estimator.AddLeafMass).
+func (f *Frontier) RemainingMass() float64 {
+	rem := 0.0
+	for ti := range f.Tasks {
+		for _, fr := range f.Tasks[ti].Frames {
+			rem += fr.Weight * float64(len(fr.Branches)-fr.Idx)
+		}
+	}
+	return rem
 }
 
 // Write serializes the checkpoint in the checksummed envelope format (see

@@ -118,7 +118,7 @@ func TestCheckpointJSONRoundTrip(t *testing.T) {
 	cp := &Checkpoint{
 		Version:     checkpointVersion,
 		Fingerprint: "abc",
-		Frames:      []frameSnapshot{{Taxon: 3, Branches: []int32{1, 2}, Idx: 1, Inserted: true}},
+		Frames:      []FrameSnapshot{{Taxon: 3, Branches: []int32{1, 2}, Idx: 1, Inserted: true}},
 		Counters:    Counters{StandTrees: 7},
 		Started:     true,
 	}

@@ -76,6 +76,12 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if err := json.Unmarshal(raw, &cp); err != nil {
 		return nil, fmt.Errorf("search: reading checkpoint payload: %w", err)
 	}
+	// Payload-version range check lives here (not only in Validate) so an
+	// unsupported or future payload version makes ReadCheckpointFile fall
+	// back to the .bak rotation, exactly like a torn envelope would.
+	if cp.Version < checkpointVersion || cp.Version > checkpointVersionFrontier {
+		return nil, fmt.Errorf("search: checkpoint payload version %d: %w", cp.Version, ErrVersion)
+	}
 	return &cp, nil
 }
 

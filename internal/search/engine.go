@@ -10,6 +10,8 @@
 package search
 
 import (
+	"fmt"
+
 	"gentrius/internal/terrace"
 	"gentrius/internal/tree"
 )
@@ -28,10 +30,11 @@ const (
 
 // Step is one element of a branch-and-bound path: taxon inserted at an agile
 // tree edge. Edge ids are Terrace-instance independent (see terrace docs),
-// so paths replay across workers.
+// so paths replay across workers — and, serialized inside a checkpoint
+// frontier, across processes and thread counts.
 type PathStep struct {
-	Taxon int
-	Edge  int32
+	Taxon int   `json:"taxon"`
+	Edge  int32 `json:"edge"`
 }
 
 // Counters aggregates the three quantities Gentrius reports and bounds.
@@ -195,6 +198,58 @@ func (e *Engine) SetSeedBranchWeight(w float64) {
 	if len(e.frames) > 0 {
 		e.frames[0].weight = w
 	}
+}
+
+// NewEngineFromFrames rebuilds a task engine from a serialized frame stack
+// (a FrontierTask's Frames) on a terrace positioned at the task's base
+// state — the frontier-resume analogue of NewEngineWithFrame. Inserted
+// frames are replayed onto the terrace without recounting (the insertions
+// were already tallied before the snapshot), and each frame keeps its
+// stored estimator weight, which cannot be re-derived because stealing may
+// have shrunk the branch lists after the weights were fixed.
+func NewEngineFromFrames(t *terrace.Terrace, frames []FrameSnapshot) (*Engine, error) {
+	e := &Engine{T: t, DynamicOrder: true, baseDepth: t.Depth(), started: true}
+	for i, fs := range frames {
+		if fs.Idx < 0 || fs.Idx > len(fs.Branches) {
+			return nil, fmt.Errorf("search: corrupt frontier frame %d (idx %d of %d branches)",
+				i, fs.Idx, len(fs.Branches))
+		}
+		f := Frame{
+			Taxon:    fs.Taxon,
+			Branches: append([]int32(nil), fs.Branches...),
+			idx:      fs.Idx,
+			inserted: fs.Inserted,
+			weight:   fs.Weight,
+		}
+		if f.inserted {
+			if f.idx == 0 {
+				return nil, fmt.Errorf("search: corrupt frontier frame %d (inserted with idx 0)", i)
+			}
+			t.ExtendTaxon(f.Taxon, f.Branches[f.idx-1])
+		}
+		e.frames = append(e.frames, f)
+	}
+	if len(e.frames) == 0 {
+		e.done = true
+	}
+	return e, nil
+}
+
+// SnapshotFrames appends the engine's current frame stack (with estimator
+// weights) to buf — the in-flight half of a frontier snapshot. Only call
+// while the engine is quiesced (between Step calls).
+func (e *Engine) SnapshotFrames(buf []FrameSnapshot) []FrameSnapshot {
+	for i := range e.frames {
+		f := &e.frames[i]
+		buf = append(buf, FrameSnapshot{
+			Taxon:    f.Taxon,
+			Branches: append([]int32(nil), f.Branches...),
+			Idx:      f.idx,
+			Inserted: f.inserted,
+			Weight:   f.weight,
+		})
+	}
+	return buf
 }
 
 // InitWeights recomputes the per-branch weights of a restored checkpoint

@@ -167,8 +167,20 @@ type Options struct {
 
 	// OnCheckpoint receives each periodic snapshot. The callback owns
 	// persistence (and any retry policy); the search loop itself does no
-	// file I/O. Ignored when CheckpointEvery is zero.
+	// file I/O. Ignored when both CheckpointEvery and CheckpointInterval
+	// are zero.
 	OnCheckpoint func(cp *Checkpoint)
+
+	// CheckpointInterval snapshots the engine to OnCheckpoint on a wall-
+	// clock cadence instead of (or in addition to) the check-count cadence
+	// of CheckpointEvery. The interval is evaluated at stopping-rule
+	// checks, so the effective period is at least one CheckEvery batch.
+	CheckpointInterval time.Duration
+
+	// Trigger, if set, lets another goroutine request an on-demand
+	// snapshot from the running enumeration (see CheckpointTrigger). The
+	// request is serviced at the next stopping-rule check.
+	Trigger *CheckpointTrigger
 }
 
 // Result is the outcome of a run.
@@ -194,7 +206,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		opt.CheckEvery = 1024
 	}
 	periodic := opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil
-	if (opt.Resume != nil || opt.CheckpointOnStop || periodic) && opt.DisableDynamicOrder {
+	interval := opt.CheckpointInterval > 0 && opt.OnCheckpoint != nil
+	checkpointing := opt.Resume != nil || opt.CheckpointOnStop || periodic || interval || opt.Trigger != nil
+	if checkpointing && opt.DisableDynamicOrder {
 		return nil, fmt.Errorf("search: checkpointing requires the dynamic insertion order")
 	}
 	res := &Result{Stop: StopExhausted}
@@ -282,6 +296,7 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 
 	checks := 0
+	lastCkpt := start
 	for {
 		for i := 0; i < opt.CheckEvery; i++ {
 			if eng.Step() == EvDone {
@@ -302,6 +317,15 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 			if checks++; checks%opt.CheckpointEvery == 0 {
 				opt.OnCheckpoint(eng.Snapshot(constraints, res.InitialIndex))
 			}
+		}
+		if interval && time.Since(lastCkpt) >= opt.CheckpointInterval {
+			opt.OnCheckpoint(eng.Snapshot(constraints, res.InitialIndex))
+			lastCkpt = time.Now()
+		}
+		select {
+		case reply := <-opt.Trigger.Requests():
+			reply <- eng.Snapshot(constraints, res.InitialIndex)
+		default:
 		}
 		if reason, hit := opt.Limits.Exceeded(res.Counters, time.Since(start)); hit {
 			res.Stop = reason

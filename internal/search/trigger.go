@@ -1,0 +1,64 @@
+package search
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrRunEnded is returned by CheckpointTrigger.Request when the run
+// finished (or was stopped) before it could service the snapshot request.
+var ErrRunEnded = errors.New("search: run ended before the checkpoint request was serviced")
+
+// CheckpointTrigger requests an on-demand snapshot from a running
+// enumeration — serial or parallel — without stopping it. The requesting
+// side calls Request; the engine side polls Requests at its stopping-rule
+// boundaries (serial) or services it from the checkpoint loop after a
+// quiesce (parallel). A trigger is single-run: hand each enumeration its
+// own. All methods are nil-safe.
+type CheckpointTrigger struct {
+	req chan chan *Checkpoint
+}
+
+// NewCheckpointTrigger returns a trigger ready to be placed in the run's
+// options and shared with the requesting side.
+func NewCheckpointTrigger() *CheckpointTrigger {
+	return &CheckpointTrigger{req: make(chan chan *Checkpoint)}
+}
+
+// Request asks the running enumeration for a snapshot and blocks until it
+// is delivered or ctx expires. A nil snapshot reply (the run ended or was
+// stopping while the request was in flight) surfaces as ErrRunEnded; the
+// final state is then available through the run's own checkpoint-on-stop
+// path instead.
+func (t *CheckpointTrigger) Request(ctx context.Context) (*Checkpoint, error) {
+	if t == nil {
+		return nil, errors.New("search: nil checkpoint trigger")
+	}
+	reply := make(chan *Checkpoint, 1)
+	select {
+	case t.req <- reply:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case cp := <-reply:
+		if cp == nil {
+			return nil, ErrRunEnded
+		}
+		return cp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Requests exposes the trigger's request stream to the engine side. Each
+// received reply channel is buffered and must be sent exactly one value:
+// the snapshot, or nil if the run cannot service it. A nil trigger returns
+// a nil channel, which blocks forever in a select and is never ready in a
+// non-blocking poll — both engine idioms stay nil-safe.
+func (t *CheckpointTrigger) Requests() <-chan chan *Checkpoint {
+	if t == nil {
+		return nil
+	}
+	return t.req
+}

@@ -4,11 +4,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
+
+	"gentrius"
 )
 
 // streamWriteTimeout is the per-write deadline of the NDJSON tree stream.
@@ -28,6 +31,12 @@ const streamWriteTimeout = 30 * time.Second
 //	GET    /jobs/{id}/trees  NDJSON stream of stand trees, following the
 //	                         enumeration live until the job finishes
 //	POST   /jobs/{id}/cancel cancel (also: DELETE /jobs/{id})
+//	POST   /jobs/{id}/checkpoint
+//	                         snapshot the running job on demand: quiesces
+//	                         its workers (at any thread count), persists
+//	                         the checkpoint, returns its file name
+//	GET    /jobs/{id}/checkpoint
+//	                         download the job's latest checkpoint envelope
 //	GET    /healthz          liveness probe: uptime, jobs by state, and the
 //	                         persistence dropped-write counters ("degraded"
 //	                         when any write was ever dropped)
@@ -41,6 +50,8 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	mux.Handle("GET /jobs/{id}/stats", m.mw.Wrap("stats", m.handleStats))
 	mux.Handle("GET /jobs/{id}/trees", m.mw.Wrap("trees", m.handleTrees))
 	mux.Handle("POST /jobs/{id}/cancel", m.mw.Wrap("cancel", m.handleCancel))
+	mux.Handle("POST /jobs/{id}/checkpoint", m.mw.Wrap("checkpoint", m.handleCheckpoint))
+	mux.Handle("GET /jobs/{id}/checkpoint", m.mw.Wrap("checkpoint_get", m.handleCheckpointGet))
 	mux.Handle("DELETE /jobs/{id}", m.mw.Wrap("cancel", m.handleCancel))
 	mux.Handle("GET /healthz", m.mw.Wrap("healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, m.Health())
@@ -143,6 +154,53 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	job, _ := m.Get(id)
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// checkpointRequestTimeout bounds how long an on-demand checkpoint waits
+// for the job's engine to reach a task boundary and quiesce. Generously
+// above any real pause; it only fires if the engine is wedged.
+const checkpointRequestTimeout = 30 * time.Second
+
+// handleCheckpoint snapshots a running job on demand. The request blocks
+// while the job's worker pool quiesces at task boundaries (serial jobs
+// snapshot at the next stopping-rule check), the envelope is persisted
+// next to the spool, and the response carries the updated Status with
+// CheckpointFile set. 409 when the job is not running.
+func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ctx, cancel := context.WithTimeout(r.Context(), checkpointRequestTimeout)
+	defer cancel()
+	_, err := m.RequestCheckpoint(ctx, id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotRunning), errors.Is(err, gentrius.ErrRunEnded):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		job, _ := m.Get(id)
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+// handleCheckpointGet serves the job's latest persisted checkpoint
+// envelope — the exact bytes a resume consumes. 404 until one exists.
+func (m *Manager) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	job.mu.Lock()
+	path := job.ckptPath
+	job.mu.Unlock()
+	if path == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job has no checkpoint yet"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, path)
 }
 
 // treeLine is one NDJSON record of the tree stream.

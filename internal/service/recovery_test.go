@@ -365,9 +365,10 @@ func TestRestartRequeuesQueuedJob(t *testing.T) {
 	}
 }
 
-// TestRestartInterruptsUnresumableJobs: a mid-run parallel job (never
-// checkpointed) becomes terminal in state interrupted, its torn spool tail
-// is truncated, and a second restart adopts it without re-marking it.
+// TestRestartInterruptsUnresumableJobs: a mid-run job that was never
+// checkpointed (here a parallel one, resumable in principle but with no
+// snapshot on disk) becomes terminal in state interrupted, its torn spool
+// tail is truncated, and a second restart adopts it without re-marking it.
 func TestRestartInterruptsUnresumableJobs(t *testing.T) {
 	dir := t.TempDir()
 	writeJournal(t, dir,
@@ -388,8 +389,8 @@ func TestRestartInterruptsUnresumableJobs(t *testing.T) {
 	}
 	job, _ := m.Get("j000001")
 	st := job.Status()
-	if st.State != StateInterrupted || !strings.Contains(st.Error, "parallel") {
-		t.Fatalf("job %+v, want interrupted with a parallel-jobs explanation", st)
+	if st.State != StateInterrupted || !strings.Contains(st.Error, "no usable checkpoint") {
+		t.Fatalf("job %+v, want interrupted with a no-checkpoint explanation", st)
 	}
 	if st.TreesSpooled != 2 {
 		t.Fatalf("torn spool adopted with %d lines, want 2", st.TreesSpooled)

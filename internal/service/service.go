@@ -3,17 +3,18 @@
 // around the gentrius engines, file-backed result spools so stand trees
 // stream to subscribers without ever buffering a whole (potentially
 // 10^6-tree) stand in memory, per-job cancellation and deadlines, and
-// graceful shutdown that checkpoints in-flight serial jobs for later
-// resumption. cmd/gentriusd exposes it over HTTP.
+// graceful shutdown that checkpoints in-flight jobs — serial or parallel —
+// for later resumption. cmd/gentriusd exposes it over HTTP.
 //
 // Fault tolerance: every job transition is appended to an fsynced NDJSON
-// journal before it becomes externally visible, serial jobs checkpoint
-// periodically when Config.CheckpointEvery is set, and New replays the
-// journal on startup — finished jobs are re-adopted with their spools,
-// running serial jobs resume from their latest checkpoint, queued jobs
-// requeue, and everything else is marked interrupted. A SIGKILL therefore
-// loses at most the work since the last checkpoint, and never a finished
-// result.
+// journal before it becomes externally visible, jobs checkpoint
+// periodically when Config.CheckpointEvery or Config.CheckpointInterval is
+// set (parallel jobs snapshot their quiesced task frontier), and New
+// replays the journal on startup — finished jobs are re-adopted with their
+// spools, running jobs resume from their latest checkpoint at any thread
+// count, queued jobs requeue, and everything else is marked interrupted. A
+// SIGKILL therefore loses at most the work since the last checkpoint, and
+// never a finished result.
 package service
 
 import (
@@ -47,22 +48,30 @@ type Config struct {
 	// directory); pointing a restarted daemon at the same directory
 	// recovers the previous run's jobs.
 	DataDir string
-	// MaxThreads caps a job's requested thread count (default 1 — the
-	// daemon's safe default, since only serial jobs are checkpointable).
+	// MaxThreads caps a job's requested thread count (default 1 — a
+	// conservative resource default; parallel jobs checkpoint and resume
+	// just like serial ones).
 	MaxThreads int
 	// MaxTime caps the per-job wall-time limit. Requests asking for more
 	// (or for unlimited time) are clamped to it; zero leaves the engine's
 	// paper default of 168 h in charge.
 	MaxTime time.Duration
-	// Checkpoint enables checkpoint-on-stop for serial jobs: a cancelled
-	// job (including jobs interrupted by Shutdown) writes a resumable
-	// snapshot next to its spool.
+	// Checkpoint enables checkpoint-on-stop for jobs at any thread count:
+	// a cancelled job (including jobs interrupted by Shutdown) writes a
+	// resumable snapshot next to its spool. Parallel jobs snapshot their
+	// quiesced task frontier; the snapshot resumes at any thread count.
 	Checkpoint bool
 	// CheckpointEvery additionally checkpoints running serial jobs every N
 	// stopping-rule checks (0 disables). This is what makes a job
 	// killed -9 resumable: on restart the journal replay requeues it from
-	// the latest periodic snapshot.
+	// the latest periodic snapshot. Parallel jobs have no per-check
+	// cadence; set CheckpointInterval for them (a CheckpointEvery > 0 with
+	// no interval maps to one second there).
 	CheckpointEvery int
+	// CheckpointInterval checkpoints running jobs on a wall-clock cadence
+	// (0 disables) — the knob that works at every thread count. Each
+	// parallel snapshot briefly quiesces the job's worker pool.
+	CheckpointInterval time.Duration
 	// MaxConstraintTrees rejects submissions with more constraint trees
 	// with a structured *LimitError (0 = unlimited).
 	MaxConstraintTrees int
@@ -199,8 +208,8 @@ const (
 	StateCancelled State = "cancelled" // client cancel or daemon shutdown
 	StateFailed    State = "failed"
 	// StateInterrupted marks a job that was running when the daemon died
-	// and could not be resumed on restart (parallel, or no usable
-	// checkpoint). Its spool holds whatever was found; resubmit to rerun.
+	// and could not be resumed on restart (no usable checkpoint). Its
+	// spool holds whatever was found; resubmit to rerun.
 	StateInterrupted State = "interrupted"
 )
 
@@ -234,6 +243,14 @@ var ErrQueueFull = fmt.Errorf("service: job queue full")
 
 // ErrShuttingDown is returned by Submit after Shutdown began.
 var ErrShuttingDown = fmt.Errorf("service: shutting down")
+
+// ErrUnknownJob is returned for operations on a job id the manager does
+// not know.
+var ErrUnknownJob = fmt.Errorf("service: unknown job")
+
+// ErrNotRunning is returned by RequestCheckpoint when the job is not in
+// the running state (queued, or already terminal).
+var ErrNotRunning = fmt.Errorf("service: job is not running")
 
 // LimitError is a submission rejected by a configured size limit; the HTTP
 // layer renders it as a structured 400.
@@ -269,6 +286,9 @@ type Job struct {
 	resume   *gentrius.Checkpoint // restart recovery: resume from here
 	resumed  bool                 // job was recovered from the journal
 	done     chan struct{}        // closed when the job reaches a terminal state
+	// trigger requests on-demand snapshots from the running enumeration
+	// (POST /jobs/{id}/checkpoint). Set when the job starts; nil before.
+	trigger *gentrius.CheckpointTrigger
 
 	// est is the job's own work estimator: the engine merges flushed
 	// counters and leaf mass into it, giving the live per-job counters and
@@ -420,8 +440,8 @@ type RecoveryStats struct {
 	// Adopted is the number of finished jobs re-registered with their
 	// spooled stands (no recomputation).
 	Adopted int
-	// Resumed is the number of mid-run serial jobs requeued from their
-	// latest checkpoint.
+	// Resumed is the number of mid-run jobs — serial or parallel —
+	// requeued from their latest checkpoint.
 	Resumed int
 	// Requeued is the number of jobs that were still queued and restart
 	// from scratch.
@@ -697,7 +717,11 @@ func (m *Manager) recoverJob(id string, req *JobRequest, reqID string, last jour
 		job.state = StateQueued
 		m.recovered.Requeued++
 		return job
-	case last.State == StateRunning && consErr == nil && req.Threads <= 1:
+	case last.State == StateRunning && consErr == nil:
+		// Any thread count resumes: serial jobs from their frame-stack
+		// snapshot, parallel jobs from their quiesced task frontier (and
+		// either kind of snapshot resumes at whatever thread count the
+		// recovered request asks for).
 		if cp, err := gentrius.ReadCheckpointFile(ckptPath); err == nil {
 			job.state = StateQueued
 			job.resume = cp
@@ -708,16 +732,14 @@ func (m *Manager) recoverJob(id string, req *JobRequest, reqID string, last jour
 		}
 	}
 
-	// Mid-run parallel job, no readable checkpoint, or a request that no
-	// longer parses: terminal, and journaled as such so the next restart
-	// adopts it directly.
+	// No readable checkpoint, or a request that no longer parses:
+	// terminal, and journaled as such so the next restart adopts it
+	// directly.
 	job.state = StateInterrupted
 	job.finished = time.Now()
 	switch {
 	case consErr != nil:
 		job.err = fmt.Errorf("service: restart recovery: request no longer parses: %w", consErr)
-	case req.Threads > 1:
-		job.err = fmt.Errorf("service: restart recovery: parallel jobs are not checkpointed; resubmit to rerun")
 	default:
 		job.err = fmt.Errorf("service: restart recovery: no usable checkpoint; resubmit to rerun")
 	}
@@ -987,6 +1009,30 @@ func (m *Manager) runJob(job *Job) {
 		sink.Trace = s.Trace
 	}
 
+	// Every job gets an on-demand checkpoint trigger (POST
+	// /jobs/{id}/checkpoint); the rest of the policy follows the daemon
+	// configuration. Parallel jobs use the same policy — their snapshots
+	// are quiesced task frontiers, resumable at any thread count.
+	policy := &gentrius.CheckpointPolicy{
+		OnStop:   m.cfg.Checkpoint,
+		Every:    m.cfg.CheckpointEvery,
+		Interval: m.cfg.CheckpointInterval,
+		Resume:   resume,
+		Trigger:  gentrius.NewCheckpointTrigger(),
+	}
+	if policy.Every > 0 || policy.Interval > 0 {
+		policy.Sink = func(cp *gentrius.Checkpoint) {
+			if path, ok := m.writeCheckpointRetry(job.id, cp); ok {
+				job.mu.Lock()
+				job.ckptPath = path
+				job.mu.Unlock()
+			}
+		}
+	}
+	job.mu.Lock()
+	job.trigger = policy.Trigger
+	job.mu.Unlock()
+
 	opt := gentrius.Options{
 		Threads:     req.Threads,
 		MaxTrees:    req.MaxTrees,
@@ -995,7 +1041,7 @@ func (m *Manager) runJob(job *Job) {
 		InitialTree: gentrius.UseInitialTreeHeuristic,
 		Obs:         sink,
 		Fault:       m.cfg.Fault,
-		Resume:      resume,
+		Checkpoint:  policy,
 		OnTree: func(nw string) {
 			// The treestream stall site throttles delivery for recovery
 			// drills (a fast child would finish before the drill kills it).
@@ -1004,23 +1050,39 @@ func (m *Manager) runJob(job *Job) {
 			m.m.TreesStreamed.Inc()
 		},
 	}
-	if serial := req.Threads <= 1; serial {
-		if m.cfg.Checkpoint {
-			opt.CheckpointOnStop = true
-		}
-		if m.cfg.CheckpointEvery > 0 {
-			opt.CheckpointEvery = m.cfg.CheckpointEvery
-			opt.OnCheckpoint = func(cp *gentrius.Checkpoint) {
-				if path, ok := m.writeCheckpointRetry(job.id, cp); ok {
-					job.mu.Lock()
-					job.ckptPath = path
-					job.mu.Unlock()
-				}
-			}
-		}
-	}
 	res, err := gentrius.EnumerateStandContext(job.ctx, job.cons, opt)
 	m.finish(job, res, err)
+}
+
+// RequestCheckpoint asks a running job for an on-demand snapshot, persists
+// it next to the job's spool and returns the checkpoint path. It fails when
+// the job is not running (ErrNotRunning) or when the run ends before the
+// request is serviced.
+func (m *Manager) RequestCheckpoint(ctx context.Context, id string) (string, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	j.mu.Lock()
+	trigger := j.trigger
+	running := j.state == StateRunning
+	j.mu.Unlock()
+	if !running || trigger == nil {
+		return "", ErrNotRunning
+	}
+	cp, err := trigger.Request(ctx)
+	if err != nil {
+		return "", err
+	}
+	path, ok := m.writeCheckpointRetry(id, cp)
+	if !ok {
+		return "", fmt.Errorf("service: checkpoint write failed after retries")
+	}
+	j.mu.Lock()
+	j.ckptPath = path
+	j.mu.Unlock()
+	m.log.Info("on-demand checkpoint written", "job", id, "path", path)
+	return path, nil
 }
 
 // clampTime applies the daemon's wall-time cap to a job's requested limit.

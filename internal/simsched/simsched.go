@@ -105,6 +105,18 @@ type Options struct {
 	// which the run stops with reason StopCancelled. Uncancelled runs stay
 	// deterministic: the poll reads no clocks and emits no events.
 	Ctx context.Context
+
+	// Resume seeds the simulation from a checkpoint's task frontier instead
+	// of the initial split — the same snapshot form package parallel
+	// produces and consumes, so virtual-time tests can pin the determinism
+	// of snapshot/resume cuts. Any Workers count may consume any snapshot.
+	// InitialTree and Heuristic are taken from the checkpoint.
+	Resume *search.Checkpoint
+
+	// CheckpointOnStop captures the outstanding task frontier into
+	// Result.Checkpoint when the run stops on a limit or cancellation
+	// (nil when the stand was exhausted or the run failed).
+	CheckpointOnStop bool
 }
 
 // SplitPolicy is the task-granularity design choice (DESIGN.md ablations).
@@ -157,6 +169,9 @@ type Result struct {
 	// virtual worker — the simulator's view of the counters the parallel
 	// engine exports as gentrius_heuristic_* metrics.
 	Heuristic terrace.HeuristicStats
+	// Checkpoint holds the frontier snapshot when Options.CheckpointOnStop
+	// was set and a stopping rule or cancellation ended the run.
+	Checkpoint *search.Checkpoint
 }
 
 // RenderTimeline formats the timeline rows for display.
@@ -192,6 +207,9 @@ type task struct {
 	id       int64   // run-unique lineage id (initial shares take 1..Workers)
 	parent   int64   // id of the task whose execution submitted this one
 	weight   float64 // per-branch leaf mass carried by branches (estimator)
+	// frames is set on tasks seeded from a resumed checkpoint frontier: the
+	// full serialized frame stack replaces the single seed frame.
+	frames []search.FrameSnapshot
 }
 
 // worker modes.
@@ -216,6 +234,7 @@ type vworker struct {
 	seedTaxon  int
 	seedBr     []int32
 	seedWeight float64
+	seedFrames []search.FrameSnapshot // resumed-frontier frame stack, if any
 	hasSeed    bool
 
 	curTask    int64 // id of the task being executed (lineage parent)
@@ -244,6 +263,7 @@ type sim struct {
 	nextTask int64 // task-id sequence, continued past the initial shares
 	trees    []string
 	workers  []*vworker
+	prefix   []search.PathStep // common root path (for frontier snapshots)
 }
 
 // Run simulates a parallel Gentrius execution and returns virtual-time
@@ -275,65 +295,128 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Stop: search.StopExhausted}
-	idx := opt.InitialTree
-	if idx < 0 {
-		idx = search.ChooseInitialTree(constraints)
-	}
-	if idx >= len(constraints) {
-		return nil, fmt.Errorf("simsched: initial tree index %d out of range", idx)
-	}
-	res.InitialIndex = idx
-
-	t0, err := terrace.New(constraints, idx)
-	if err != nil {
-		if errors.Is(err, terrace.ErrIncompatible) {
+	var (
+		s  *sim
+		t0 *terrace.Terrace
+	)
+	if opt.Resume != nil {
+		cp := opt.Resume
+		if err := cp.Validate(constraints); err != nil {
+			return nil, err
+		}
+		fr, err := cp.FrontierView()
+		if err != nil {
+			return nil, err
+		}
+		idx := cp.InitialIndex
+		opt.Heuristic = cp.Heuristic
+		res.InitialIndex = idx
+		res.PrefixLen = len(fr.Prefix)
+		res.Counters = cp.Counters
+		res.Ticks = int64(len(fr.Prefix))
+		opt.Estimator.AddCounters(cp.Counters.StandTrees,
+			cp.Counters.IntermediateStates, cp.Counters.DeadEnds)
+		opt.Estimator.AddLeafMass(1-fr.RemainingMass(),
+			cp.Counters.StandTrees+cp.Counters.DeadEnds)
+		if len(fr.Tasks) == 0 {
 			return res, nil
 		}
-		return nil, err
-	}
-	prefix := search.PrefixWalkH(t0, opt.Heuristic)
-	res.PrefixLen = len(prefix.Path)
-	res.Counters.Add(prefix.Counters)
-	res.Ticks = int64(len(prefix.Path)) // every worker replays it concurrently
-	opt.Estimator.AddCounters(prefix.Counters.StandTrees,
-		prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
-	if prefix.Terminal {
-		// The prefix closed the whole space: one leaf, the entire mass.
-		opt.Estimator.AddLeafMass(1, 1)
-		if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
-			res.Trees = append(res.Trees, t0.Agile().Newick())
+		s = &sim{opt: opt, limits: lim, nextTask: int64(opt.Workers)}
+		s.g = cp.Counters
+		s.tick = int64(len(fr.Prefix))
+		s.prefix = append([]search.PathStep(nil), fr.Prefix...)
+		for w := 0; w < opt.Workers; w++ {
+			tw, err := terrace.New(constraints, idx)
+			if err != nil {
+				return nil, fmt.Errorf("simsched: worker %d terrace: %w", w, err)
+			}
+			for _, st := range fr.Prefix {
+				tw.ExtendTaxon(st.Taxon, st.Edge)
+			}
+			vw := &vworker{id: w, t: tw, mode: wIdle}
+			vw.stats.Busy = int64(len(fr.Prefix))
+			vw.stats.Replay = int64(len(fr.Prefix))
+			opt.Trace.EmitAt(s.tick, obs.EvWorkerStart, w, obs.F("branches", 0))
+			s.workers = append(s.workers, vw)
 		}
-		res.Heuristic.Add(t0.HeuristicStats())
-		return res, nil
-	}
+		// All workers start idle; the frontier tasks go straight into the
+		// queue and are stolen in deterministic order.
+		for _, ft := range fr.Tasks {
+			if len(ft.Frames) == 0 {
+				continue
+			}
+			s.nextTask++
+			s.queue = append(s.queue, task{
+				path:   append([]search.PathStep(nil), ft.Path...),
+				taxon:  ft.Frames[0].Taxon,
+				id:     s.nextTask,
+				weight: ft.Frames[0].Weight,
+				frames: ft.Frames,
+			})
+		}
+	} else {
+		idx := opt.InitialTree
+		if idx < 0 {
+			idx = search.ChooseInitialTree(constraints)
+		}
+		if idx >= len(constraints) {
+			return nil, fmt.Errorf("simsched: initial tree index %d out of range", idx)
+		}
+		res.InitialIndex = idx
 
-	s := &sim{opt: opt, limits: lim, nextTask: int64(opt.Workers)}
-	s.g = prefix.Counters
-	s.tick = int64(len(prefix.Path))
-	parts := search.PartitionBranches(prefix.SplitBranches, opt.Workers)
-	for w := 0; w < opt.Workers; w++ {
-		tw, err := terrace.New(constraints, idx)
+		var err error
+		t0, err = terrace.New(constraints, idx)
 		if err != nil {
-			return nil, fmt.Errorf("simsched: worker %d terrace: %w", w, err)
+			if errors.Is(err, terrace.ErrIncompatible) {
+				return res, nil
+			}
+			return nil, err
 		}
-		for _, st := range prefix.Path {
-			tw.ExtendTaxon(st.Taxon, st.Edge)
+		prefix := search.PrefixWalkH(t0, opt.Heuristic)
+		res.PrefixLen = len(prefix.Path)
+		res.Counters.Add(prefix.Counters)
+		res.Ticks = int64(len(prefix.Path)) // every worker replays it concurrently
+		opt.Estimator.AddCounters(prefix.Counters.StandTrees,
+			prefix.Counters.IntermediateStates, prefix.Counters.DeadEnds)
+		if prefix.Terminal {
+			// The prefix closed the whole space: one leaf, the entire mass.
+			opt.Estimator.AddLeafMass(1, 1)
+			if opt.CollectTrees && prefix.Counters.StandTrees == 1 {
+				res.Trees = append(res.Trees, t0.Agile().Newick())
+			}
+			res.Heuristic.Add(t0.HeuristicStats())
+			return res, nil
 		}
-		vw := &vworker{id: w, t: tw, mode: wIdle}
-		vw.stats.Busy = int64(len(prefix.Path))
-		vw.stats.Replay = int64(len(prefix.Path))
-		opt.Trace.EmitAt(s.tick, obs.EvWorkerStart, w,
-			obs.F("branches", int64(len(parts[w]))))
-		if len(parts[w]) > 0 {
-			vw.hasSeed = true
-			vw.seedTaxon = prefix.SplitTaxon
-			vw.seedBr = parts[w]
-			vw.seedWeight = 1 / float64(len(prefix.SplitBranches))
-			vw.curTask = int64(w) + 1 // reserved lineage roots, parent 0
-			vw.parentTask = 0
-			vw.startEngine(s)
+
+		s = &sim{opt: opt, limits: lim, nextTask: int64(opt.Workers)}
+		s.g = prefix.Counters
+		s.tick = int64(len(prefix.Path))
+		s.prefix = append([]search.PathStep(nil), prefix.Path...)
+		parts := search.PartitionBranches(prefix.SplitBranches, opt.Workers)
+		for w := 0; w < opt.Workers; w++ {
+			tw, err := terrace.New(constraints, idx)
+			if err != nil {
+				return nil, fmt.Errorf("simsched: worker %d terrace: %w", w, err)
+			}
+			for _, st := range prefix.Path {
+				tw.ExtendTaxon(st.Taxon, st.Edge)
+			}
+			vw := &vworker{id: w, t: tw, mode: wIdle}
+			vw.stats.Busy = int64(len(prefix.Path))
+			vw.stats.Replay = int64(len(prefix.Path))
+			opt.Trace.EmitAt(s.tick, obs.EvWorkerStart, w,
+				obs.F("branches", int64(len(parts[w]))))
+			if len(parts[w]) > 0 {
+				vw.hasSeed = true
+				vw.seedTaxon = prefix.SplitTaxon
+				vw.seedBr = parts[w]
+				vw.seedWeight = 1 / float64(len(prefix.SplitBranches))
+				vw.curTask = int64(w) + 1 // reserved lineage roots, parent 0
+				vw.parentTask = 0
+				vw.startEngine(s)
+			}
+			s.workers = append(s.workers, vw)
 		}
-		s.workers = append(s.workers, vw)
 	}
 
 	// Main loop: one tick advances every worker by one transition.
@@ -383,7 +466,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if s.stop {
 		res.Stop = s.reason
 	}
-	res.Heuristic.Add(t0.HeuristicStats())
+	if t0 != nil {
+		res.Heuristic.Add(t0.HeuristicStats())
+	}
 	for _, w := range s.workers {
 		res.PerWorker = append(res.PerWorker, w.stats)
 		if opt.TraceEvery > 0 {
@@ -391,7 +476,56 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 		}
 		res.Heuristic.Add(w.t.HeuristicStats())
 	}
+	if opt.CheckpointOnStop && res.Stop != search.StopExhausted && res.Stop != search.StopFailed {
+		res.Checkpoint = search.NewFrontierCheckpoint(constraints, res.InitialIndex,
+			opt.Heuristic, res.Counters, s.frontier())
+	}
 	return res, nil
+}
+
+// frontier collects every outstanding unit of work after the simulation
+// halted: in-flight engines, stolen-but-not-started seeds still replaying
+// their paths, and the queue remnant. The simulator is single-threaded, so
+// unlike the real pool no quiesce protocol is needed — the cut is
+// consistent by construction.
+func (s *sim) frontier() *search.Frontier {
+	fr := &search.Frontier{
+		Prefix:  append([]search.PathStep(nil), s.prefix...),
+		Threads: s.opt.Workers,
+	}
+	for _, w := range s.workers {
+		switch {
+		case w.mode == wWork && w.eng != nil:
+			frames := w.eng.SnapshotFrames(nil)
+			if len(frames) > 0 {
+				fr.Tasks = append(fr.Tasks, search.FrontierTask{
+					Path:   append([]search.PathStep(nil), w.basePath...),
+					Frames: frames,
+				})
+			}
+		case w.hasSeed && len(w.seedFrames) > 0:
+			fr.Tasks = append(fr.Tasks, search.FrontierTask{
+				Path:   append([]search.PathStep(nil), w.basePath...),
+				Frames: w.seedFrames,
+			})
+		case w.hasSeed:
+			fr.Tasks = append(fr.Tasks,
+				search.NewSeedTask(w.basePath, w.seedTaxon, w.seedBr, w.seedWeight))
+		}
+	}
+	for i := range s.queue {
+		tk := &s.queue[i]
+		if len(tk.frames) > 0 {
+			fr.Tasks = append(fr.Tasks, search.FrontierTask{
+				Path:   append([]search.PathStep(nil), tk.path...),
+				Frames: tk.frames,
+			})
+		} else {
+			fr.Tasks = append(fr.Tasks,
+				search.NewSeedTask(tk.path, tk.taxon, tk.branches, tk.weight))
+		}
+	}
+	return fr
 }
 
 // modeChar maps the worker's instantaneous state to its timeline symbol.
@@ -411,11 +545,27 @@ func (w *vworker) modeChar() byte {
 // startEngine builds the engine for the worker's pending seed frame and
 // wires the stealing hook and tree collection.
 func (w *vworker) startEngine(s *sim) {
-	w.eng = search.NewEngineWithFrame(w.t, w.seedTaxon, w.seedBr)
-	w.eng.SetSeedBranchWeight(w.seedWeight)
+	if len(w.seedFrames) > 0 {
+		eng, err := search.NewEngineFromFrames(w.t, w.seedFrames)
+		if err != nil {
+			// Frames passed FrontierView validation, so this is unreachable
+			// short of memory corruption; fail the run rather than panic.
+			s.stop = true
+			s.reason = search.StopFailed
+			w.hasSeed = false
+			w.seedFrames = nil
+			w.mode = wHalt
+			return
+		}
+		w.eng = eng
+	} else {
+		w.eng = search.NewEngineWithFrame(w.t, w.seedTaxon, w.seedBr)
+		w.eng.SetSeedBranchWeight(w.seedWeight)
+	}
 	w.eng.Heuristic = s.opt.Heuristic
 	w.prev = search.Counters{}
 	w.hasSeed = false
+	w.seedFrames = nil
 	w.mode = wWork
 	w.stats.Tasks++
 	s.opt.Trace.EmitAt(s.tick, obs.EvTaskStart, w.id,
@@ -494,6 +644,7 @@ func (s *sim) advance(w *vworker) {
 			w.seedTaxon = tk.taxon
 			w.seedBr = tk.branches
 			w.seedWeight = tk.weight
+			w.seedFrames = tk.frames
 			w.curTask = tk.id
 			w.parentTask = tk.parent
 			w.hasSeed = true
