@@ -15,12 +15,24 @@
 //	POST   /jobs/{id}/cancel cancel a job
 //	POST   /jobs/{id}/checkpoint  snapshot a running job on demand
 //	GET    /jobs/{id}/checkpoint  download the latest checkpoint envelope
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness ("ok", "degraded", or "draining" during shutdown)
 //	GET    /metrics          Prometheus metrics (plus /debug/vars, /debug/pprof)
+//	POST   /v1/shards        fleet protocol: lease a shard to this worker
+//	POST   /v1/shards/heartbeat  fleet protocol: renew a lease (coordinator only)
+//	POST   /v1/shards/result     fleet protocol: merge a shard result (coordinator only)
 //
-// SIGINT/SIGTERM trigger graceful shutdown: no new jobs, every running job
-// is cancelled (checkpointing at any thread count), and the process exits 0
-// once the pool drains or the grace period ends.
+// Fleet mode: every gentriusd accepts shard leases on /v1/shards, so any
+// instance can serve as a fleet worker. Starting one with -fleet
+// url1,url2,... makes it a coordinator: submitted jobs are split into
+// frontier shards, leased to the peers, kept alive by heartbeats, and
+// merged exactly-once; a worker that dies mid-shard is detected by lease
+// expiry and its shard re-dispatched from its last durable checkpoint (see
+// internal/dist).
+//
+// SIGINT/SIGTERM trigger graceful shutdown: no new jobs (further POST
+// /jobs get 503 + Retry-After while /healthz reports "draining"), every
+// running job is cancelled (checkpointing at any thread count), and the
+// process exits 0 once the pool drains or the grace period ends.
 //
 // Crash recovery: job submissions and state transitions are journaled to
 // <data-dir>/journal.ndjson, -checkpoint-every makes running serial jobs
@@ -41,11 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"gentrius"
 	"gentrius/internal/buildinfo"
+	"gentrius/internal/dist"
 	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
 	"gentrius/internal/service"
@@ -70,6 +84,12 @@ func main() {
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown budget")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		traceOut   = flag.String("trace-out", "", "write a JSONL serving+scheduler trace to this file (analyze with cmd/obsreport)")
+		fleet      = flag.String("fleet", "", "comma-separated peer gentriusd base URLs; when set, this instance coordinates: submitted jobs are split into shards, leased to the fleet, and merged exactly-once")
+		coordURL   = flag.String("coord-url", "", "advertised base URL fleet workers use to reach this coordinator (default: http://<listen addr>)")
+		leaseTTL   = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "fleet shard lease TTL; a shard silent for this long is re-dispatched from its last checkpoint")
+		hbEvery    = flag.Duration("heartbeat-every", dist.DefaultHeartbeatEvery, "fleet worker heartbeat/checkpoint cadence (must be well under -lease-ttl)")
+		fleetShard = flag.Int("fleet-shards", 0, "shards per fleet job (0 = 2x the peer count)")
+		straggler  = flag.Duration("straggler-after", 0, "speculatively re-dispatch a fleet shard whose estimator mass is flat for this long (0 = off)")
 		httpWindow = flag.Duration("http-window", time.Minute, "interval behind the per-route _window_rate/_window_p* latency metrics")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
@@ -122,6 +142,59 @@ func main() {
 		trace = obs.NewRecorder(f, obs.WallClock(time.Now()))
 	}
 
+	// The listener opens before the manager so fleet mode can default the
+	// advertised coordinator URL to the real bound address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Every gentriusd is a fleet worker: peers can lease shards to it via
+	// POST /v1/shards whether or not this instance also coordinates.
+	distMetrics := dist.NewMetrics(reg)
+	worker := dist.NewWorker(dist.WorkerConfig{
+		Name:    ln.Addr().String(),
+		Threads: *maxThreads,
+		DataDir: *dataDir,
+		Retry:   metrics.RetryPolicy("shardrpc"),
+		Metrics: distMetrics,
+		Trace:   trace,
+		Logger:  logger,
+		Fault:   fault,
+		Dial: func(url string) dist.CoordinatorClient {
+			return dist.NewHTTPCoordinatorClient(url, 0)
+		},
+	})
+	var coord *dist.Coordinator
+	if *fleet != "" {
+		var peers []dist.WorkerClient
+		for _, u := range strings.Split(*fleet, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peers = append(peers, dist.NewHTTPWorkerClient(u, 0))
+			}
+		}
+		cu := *coordURL
+		if cu == "" {
+			cu = "http://" + ln.Addr().String()
+		}
+		coord = dist.NewCoordinator(dist.Config{
+			Peers:          peers,
+			CoordURL:       cu,
+			Shards:         *fleetShard,
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *hbEvery,
+			StragglerAfter: *straggler,
+			Threads:        *maxThreads,
+			Retry:          metrics.RetryPolicy("shardrpc"),
+			Metrics:        distMetrics,
+			Trace:          trace,
+			Logger:         logger,
+			Fault:          fault,
+		})
+		logger.Info("fleet coordinator enabled", "peers", len(peers), "coord_url", cu,
+			"lease_ttl", leaseTTL.String(), "heartbeat_every", hbEvery.String())
+	}
+
 	mgr, err := service.New(service.Config{
 		Workers:            *jobs,
 		QueueCap:           *queueCap,
@@ -135,6 +208,7 @@ func main() {
 		MaxTaxa:            *maxTaxa,
 		MaxBodyBytes:       *maxBody,
 		Fault:              fault,
+		Fleet:              coord,
 		Metrics:            metrics,
 		Sink:               &gentrius.ObsSink{Metrics: sched, Trace: trace},
 		Logger:             logger,
@@ -151,9 +225,9 @@ func main() {
 	mux.Handle("GET /metrics", mgr.Middleware().Wrap("metrics", obs.MetricsHandler(reg)))
 	obs.RegisterDebug(mux)
 	mgr.RegisterRoutes(mux)
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
+	mux.Handle("/v1/shards", mgr.Middleware().Wrap("shards", dist.WorkerHandler(worker).ServeHTTP))
+	if coord != nil {
+		mux.Handle("/v1/shards/", mgr.Middleware().Wrap("shards_coord", dist.CoordinatorHandler(coord).ServeHTTP))
 	}
 	srv := &http.Server{
 		Handler:           mux,
@@ -182,6 +256,9 @@ func main() {
 	if err := mgr.Shutdown(graceCtx); err != nil {
 		logger.Error("shutdown", "error", err.Error())
 	}
+	// Fleet shards leased to this worker are cancelled; their coordinator
+	// re-dispatches them elsewhere after the lease expires.
+	worker.Shutdown()
 	if err := srv.Shutdown(graceCtx); err != nil {
 		srv.Close()
 	}

@@ -1,0 +1,68 @@
+// Package dist shards one stand enumeration across a fleet of gentriusd
+// nodes — ROADMAP item 1, built on the frontier-snapshot primitive from the
+// checkpoint/resume work: a coordinator splits the job's root frontier into
+// coarse FrontierTask shards (internal/search.SplitFrontier) and dispatches
+// each to a peer worker, which resumes it exactly as it would resume a
+// local checkpoint.
+//
+// Robustness is the first-class design axis. The failure model:
+//
+//   - Leases & heartbeats. Every dispatched shard carries a lease; the
+//     worker renews it by heartbeating, and each heartbeat piggybacks the
+//     shard's latest frontier checkpoint (counters measured SINCE dispatch)
+//     plus the stand trees found so far, aligned with that checkpoint's
+//     tree counter. A missed lease expires the shard and the coordinator
+//     re-dispatches it — from the last checkpoint, so recovery is
+//     resume-not-replay.
+//
+//   - Epoch fencing & exactly-once merge. Each (re-)dispatch increments
+//     the shard's epoch. The coordinator records, per epoch, the counters
+//     and tree prefix already accounted before that epoch started; a
+//     checkpoint is accepted only from the CURRENT epoch (mixing lineages
+//     would double-count), while a completed result is accepted from ANY
+//     known epoch — first completion wins, so a speculatively re-dispatched
+//     straggler and its replacement cannot both contribute. Stale peers
+//     learn they are fenced from the heartbeat/result response and cancel.
+//
+//   - Retry/backoff with jitter on every RPC (internal/retry, the same
+//     policy the daemon's persistence paths use), with rpcsend/rpcrecv/
+//     heartbeat fault-injection sites for deterministic drills.
+//
+//   - Straggler detection. Heartbeats report the shard's remaining
+//     estimator mass; a shard whose mass stops shrinking while an idle
+//     live worker exists is speculatively re-dispatched.
+//
+//   - Graceful degradation. When the fleet shrinks to zero the coordinator
+//     finishes the remaining shards locally through the same epoch
+//     accounting. A worker that loses its coordinator finishes its leased
+//     shard and parks the result, which the next dispatch for that shard
+//     adopts.
+//
+// Time is abstracted behind Clock so the whole protocol runs deterministically
+// under internal/simsched.VirtualClock before any real network exists.
+package dist
+
+import "time"
+
+// Clock abstracts time for the lease/heartbeat protocol.
+// simsched.VirtualClock implements it for deterministic tests; RealClock is
+// the wall-clock implementation.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall-clock Clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time                         { return time.Now() }
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (RealClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// Protocol defaults.
+const (
+	DefaultLeaseTTL       = 10 * time.Second
+	DefaultHeartbeatEvery = 2 * time.Second
+	DefaultStragglerAfter = 30 * time.Second
+)

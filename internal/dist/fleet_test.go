@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gentrius"
+	"gentrius/internal/retry"
+	"gentrius/internal/simsched"
+	"gentrius/internal/tree"
+)
+
+// fleet wires a coordinator to nWorkers real in-process Workers over the
+// in-memory transport, all on one virtual clock. faults[i] (optional) is a
+// faultinject spec for worker i, so e.g. one worker's heartbeats can be
+// black-holed while the other runs clean.
+type fleet struct {
+	clock   *simsched.VirtualClock
+	coord   *Coordinator
+	workers []*Worker
+	stopAdv chan struct{}
+}
+
+func newFleet(t *testing.T, nWorkers int, cfg Config, faults []string) *fleet {
+	t.Helper()
+	f := &fleet{
+		clock:   simsched.NewVirtualClock(time.Unix(0, 0)),
+		stopAdv: make(chan struct{}),
+	}
+	var peers []WorkerClient
+	for i := 0; i < nWorkers; i++ {
+		var inj *gentrius.FaultInjector
+		if i < len(faults) && faults[i] != "" {
+			var err error
+			inj, err = gentrius.ParseFaults(faults[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := NewWorker(WorkerConfig{
+			Name:  string(rune('a' + i)),
+			Clock: f.clock,
+			Retry: retry.Policy{Attempts: 2, Base: time.Millisecond},
+			Fault: inj,
+			Dial: func(string) CoordinatorClient {
+				return &LocalCoordinatorClient{C: f.coord}
+			},
+		})
+		f.workers = append(f.workers, w)
+		peers = append(peers, &LocalWorkerClient{WorkerName: w.cfg.Name, W: w})
+	}
+	cfg.Peers = peers
+	cfg.Clock = f.clock
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry = retry.Policy{Attempts: 2, Base: time.Millisecond}
+	}
+	f.coord = NewCoordinator(cfg)
+
+	// Auto-advancer: virtual time moves in small deterministic steps while
+	// the enumeration makes real progress underneath.
+	go func() {
+		for {
+			select {
+			case <-f.stopAdv:
+				return
+			default:
+				f.clock.Advance(2 * time.Millisecond)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	t.Cleanup(func() { close(f.stopAdv) })
+	return f
+}
+
+func (f *fleet) run(t *testing.T, jobID string, cons []*tree.Tree) *Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := f.coord.Run(ctx, jobID, cons, RunOptions{CollectTrees: true, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != 0 { // search.StopExhausted
+		t.Fatalf("fleet run stopped with %v, want exhausted", res.Stop)
+	}
+	return res
+}
+
+// TestFleetEndToEnd: two real workers, no faults — the distributed totals
+// and the stand itself match the serial reference exactly, across several
+// random scenarios. Run with -race this also hammers the dispatch /
+// heartbeat / merge locking.
+func TestFleetEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for scen := 0; scen < 3; scen++ {
+		cons := canonicalize(t, randomScenario(rng, 10+rng.Intn(4), 3, 5, 0.6))
+		ref := serialRef(t, cons)
+		f := newFleet(t, 2, Config{
+			Shards:         4,
+			LeaseTTL:       200 * time.Millisecond,
+			HeartbeatEvery: 20 * time.Millisecond,
+		}, nil)
+		res := f.run(t, "e2e", cons)
+		assertMatchesSerial(t, res, ref)
+		if res.LeaseExpiries != 0 {
+			t.Fatalf("scen %d: %d lease expiries without faults", scen, res.LeaseExpiries)
+		}
+	}
+}
+
+// TestFleetHeartbeatBlackhole: worker a's heartbeats all vanish (seeded
+// heartbeat fault site), so every lease it holds expires and its shards are
+// re-dispatched. Its completed epochs still race the replacements through
+// HandleResult — the per-epoch bases and first-completion-wins make the
+// merge exactly-once, so the totals stay byte-equal to the serial run.
+func TestFleetHeartbeatBlackhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(308))
+	cons := canonicalize(t, randomScenario(rng, 18, 4, 6, 0.45))
+	ref := serialRef(t, cons)
+	if ref.IntermediateStates < 5000 {
+		t.Fatalf("scenario too small (%d states) to observe lease churn", ref.IntermediateStates)
+	}
+
+	// Worker a's first two heartbeats are black-holed; with a 60ms lease
+	// and a 20ms cadence that guarantees its initial lease expires while
+	// the shard is still running, after which heartbeats flow again and
+	// the re-dispatched epoch completes normally.
+	f := newFleet(t, 2, Config{
+		Shards:         2,
+		LeaseTTL:       60 * time.Millisecond,
+		HeartbeatEvery: 20 * time.Millisecond,
+	}, []string{"heartbeat.every=1;heartbeat.limit=2", ""})
+	res := f.run(t, "blackhole", cons)
+	assertMatchesSerial(t, res, ref)
+	if res.LeaseExpiries == 0 {
+		t.Fatal("black-holed heartbeats never expired a lease")
+	}
+	if res.Redispatches == 0 {
+		t.Fatal("no re-dispatch after lease expiry")
+	}
+}
+
+// TestFleetRPCFaults: both workers suffer seeded rpcsend/rpcrecv failures on
+// heartbeats and results; retries (and, where retries exhaust, parking and
+// lease recovery) must still converge on the exact serial totals.
+func TestFleetRPCFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cons := canonicalize(t, randomScenario(rng, 12, 3, 5, 0.6))
+	ref := serialRef(t, cons)
+
+	spec := "rpcsend.every=3;rpcrecv.every=5"
+	f := newFleet(t, 2, Config{
+		Shards:         3,
+		LeaseTTL:       100 * time.Millisecond,
+		HeartbeatEvery: 20 * time.Millisecond,
+	}, []string{spec, spec})
+	res := f.run(t, "rpcfaults", cons)
+	assertMatchesSerial(t, res, ref)
+}
+
+// failingCoordClient simulates a worker that cannot reach its coordinator at
+// all: every heartbeat and result RPC errors.
+type failingCoordClient struct{}
+
+func (failingCoordClient) Heartbeat(context.Context, *HeartbeatRequest) (*HeartbeatResponse, error) {
+	return nil, errors.New("coordinator unreachable")
+}
+func (failingCoordClient) Result(context.Context, *ShardResult) (*ResultResponse, error) {
+	return nil, errors.New("coordinator unreachable")
+}
+
+// TestFleetParkedAdoption: the single worker can receive dispatches but can
+// never reach the coordinator. It finishes its shards orphaned and parks the
+// results; the post-expiry re-dispatch adopts them, and the job completes
+// with exact totals having never received a live heartbeat.
+func TestFleetParkedAdoption(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cons := canonicalize(t, randomScenario(rng, 9, 3, 4, 0.65))
+	ref := serialRef(t, cons)
+
+	clock := simsched.NewVirtualClock(time.Unix(0, 0))
+	var coord *Coordinator
+	w := NewWorker(WorkerConfig{
+		Name:  "orphan",
+		Clock: clock,
+		Retry: retry.Policy{Attempts: 1},
+		Dial:  func(string) CoordinatorClient { return failingCoordClient{} },
+	})
+	coord = NewCoordinator(Config{
+		Peers:          []WorkerClient{&LocalWorkerClient{WorkerName: "orphan", W: w}},
+		Shards:         2,
+		LeaseTTL:       200 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		Clock:          clock,
+		Retry:          retry.Policy{Attempts: 1},
+	})
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.Advance(2 * time.Millisecond)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := coord.Run(ctx, "adopt", cons, RunOptions{CollectTrees: true, InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSerial(t, res, ref)
+	if res.Adopted == 0 {
+		t.Fatal("no parked result was adopted")
+	}
+	if res.LeaseExpiries == 0 {
+		t.Fatal("leases never expired despite zero heartbeats")
+	}
+}

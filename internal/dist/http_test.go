@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gentrius/internal/retry"
+	"gentrius/internal/search"
+)
+
+// TestHTTPWorkerKilled runs the fleet protocol over real HTTP — httptest
+// servers on real sockets, real wall-clock leases — and SIGKILLs one worker
+// mid-shard (its server closes and its shard runs are cancelled without
+// reporting). The victim's lease expires, the shard re-dispatches to the
+// survivor from the last durable checkpoint, and the final counters are
+// byte-equal to the uninterrupted serial run.
+func TestHTTPWorkerKilled(t *testing.T) {
+	// Seed 342 is a ~270k-tree stand (~90ms serial) — big enough that the
+	// kill always lands mid-shard. The race detector slows the engine well
+	// over an order of magnitude, so under -race the drill uses a ~5x
+	// smaller scenario and a relaxed lease cadence to stay inside the
+	// deadline while still dying mid-run.
+	seed, n, minCol, pPresent := int64(342), 20, 7, 0.4
+	leaseTTL, hbEvery := 150*time.Millisecond, 25*time.Millisecond
+	if raceEnabled {
+		seed, n, minCol, pPresent = 312, 18, 7, 0.45
+		leaseTTL, hbEvery = 400*time.Millisecond, 60*time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cons := canonicalize(t, randomScenario(rng, n, 4, minCol, pPresent))
+	ref := serialRef(t, cons)
+	if ref.Elapsed < 20*time.Millisecond {
+		t.Fatalf("scenario too fast (%v) to kill a worker mid-shard", ref.Elapsed)
+	}
+
+	// Coordinator server first (workers dial it from the dispatch's
+	// CoordURL); its handler is bound after the coordinator exists —
+	// nothing calls in until the first dispatch goes out.
+	var coordHandler atomic.Pointer[http.Handler]
+	coordSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := coordHandler.Load(); h != nil {
+			(*h).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "coordinator not ready", http.StatusServiceUnavailable)
+	}))
+	defer coordSrv.Close()
+
+	dial := func(url string) CoordinatorClient {
+		return NewHTTPCoordinatorClient(url, 5*time.Second)
+	}
+	victim := NewWorker(WorkerConfig{Name: "victim", Threads: 1, Dial: dial})
+	survivor := NewWorker(WorkerConfig{Name: "survivor", Threads: 1, Dial: dial})
+
+	// The victim's server flags the first dispatch that lands on it.
+	dispatched := make(chan struct{}, 8)
+	victimMux := WorkerHandler(victim)
+	victimSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		victimMux.ServeHTTP(w, r)
+		dispatched <- struct{}{}
+	}))
+	defer victimSrv.Close()
+	survivorSrv := httptest.NewServer(WorkerHandler(survivor))
+	defer survivorSrv.Close()
+
+	coord := NewCoordinator(Config{
+		Peers: []WorkerClient{
+			NewHTTPWorkerClient(victimSrv.URL, 5*time.Second),
+			NewHTTPWorkerClient(survivorSrv.URL, 5*time.Second),
+		},
+		CoordURL:       coordSrv.URL,
+		Shards:         2,
+		LeaseTTL:       leaseTTL,
+		HeartbeatEvery: hbEvery,
+		Retry:          retry.Policy{Attempts: 2, Base: 5 * time.Millisecond},
+	})
+	h := CoordinatorHandler(coord)
+	coordHandler.Store(&h)
+
+	// Kill the victim shortly after it accepts a shard: close its server
+	// (no more dispatches land) and cancel its runs (no result is ever
+	// sent) — the observable effect of a SIGKILL.
+	go func() {
+		<-dispatched
+		time.Sleep(15 * time.Millisecond)
+		victimSrv.Close()
+		victim.Shutdown()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := coord.Run(ctx, "httpkill", cons, RunOptions{InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != search.StopExhausted {
+		t.Fatalf("stop %v, want exhausted", res.Stop)
+	}
+	want := search.Counters{StandTrees: ref.StandTrees,
+		IntermediateStates: ref.IntermediateStates, DeadEnds: ref.DeadEnds}
+	if res.Counters != want {
+		t.Fatalf("fleet counters %+v, serial %+v", res.Counters, want)
+	}
+	if res.LeaseExpiries == 0 {
+		t.Fatal("killed worker never expired a lease")
+	}
+	if res.Redispatches == 0 {
+		t.Fatal("no re-dispatch after the kill")
+	}
+	survivor.Shutdown()
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"context"
+
+	"gentrius/internal/search"
+)
+
+// The fleet wire protocol. Three RPCs exist:
+//
+//	coordinator → worker:  Dispatch   (lease a shard, or adopt a parked result)
+//	worker → coordinator:  Heartbeat  (renew lease, piggyback durable progress)
+//	worker → coordinator:  Result     (final shard counters + trees)
+//
+// All payloads are JSON. Constraint trees travel as canonical Newick
+// strings and are re-parsed on both sides from the SAME text, so taxon and
+// edge ids — which ReadTrees assigns by first appearance — agree across
+// processes; the checkpoint fingerprint guards against drift.
+
+// DispatchRequest leases one shard to a worker.
+type DispatchRequest struct {
+	JobID string `json:"job_id"`
+	Shard int    `json:"shard"`
+	// Epoch is the shard's fencing token: it increments on every
+	// re-dispatch, and the worker echoes it on every heartbeat and on the
+	// final result so the coordinator can tell lineages apart.
+	Epoch int `json:"epoch"`
+	// Fingerprint is the canonical input fingerprint
+	// (search.Fingerprint); a worker holding a parked result for this
+	// (job, shard) returns it only when the fingerprint matches.
+	Fingerprint string `json:"fingerprint"`
+	// Trees are the canonical constraint Newicks (one per constraint, in
+	// order). The worker re-parses them verbatim.
+	Trees []string `json:"trees"`
+	// Checkpoint is the shard's frontier checkpoint with counters ZEROED:
+	// the worker's result counters then measure exactly the work done
+	// since this dispatch, which is what the coordinator's per-epoch base
+	// accounting needs.
+	Checkpoint *search.Checkpoint `json:"checkpoint"`
+	// CoordURL tells the worker where to send heartbeats and the result.
+	CoordURL string `json:"coord_url"`
+	// Threads is the worker-side thread count for the shard (0 = 1).
+	Threads int `json:"threads,omitempty"`
+	// CollectTrees asks the worker to ship the shard's stand trees back
+	// (heartbeats and result); counting-only jobs leave it false.
+	CollectTrees bool `json:"collect_trees,omitempty"`
+	// LeaseTTLMillis and HeartbeatMillis configure the worker's cadence.
+	LeaseTTLMillis  int64 `json:"lease_ttl_ms"`
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// DispatchResponse acknowledges a lease — or adopts a parked result from a
+// worker that finished the shard while orphaned from its coordinator.
+type DispatchResponse struct {
+	Accepted bool `json:"accepted"`
+	// Parked, if non-nil, is the completed result of an earlier epoch of
+	// this shard, finished while the worker could not reach the
+	// coordinator. The dispatch it answers was NOT accepted; the
+	// coordinator merges the parked result under its recorded epoch.
+	Parked *ShardResult `json:"parked,omitempty"`
+}
+
+// HeartbeatRequest renews a shard lease and piggybacks durable progress.
+type HeartbeatRequest struct {
+	JobID string `json:"job_id"`
+	Shard int    `json:"shard"`
+	Epoch int    `json:"epoch"`
+	// Counters is the work done since dispatch, as of Checkpoint's cut
+	// (zero until the first periodic checkpoint).
+	Counters search.Counters `json:"counters"`
+	// RemainingMass is the Knuth-estimator mass still outstanding in the
+	// shard as of the cut — the coordinator's straggler signal.
+	RemainingMass float64 `json:"remaining_mass"`
+	// Checkpoint is the latest periodic frontier checkpoint (nil before
+	// the first one). Its counters are since-dispatch.
+	Checkpoint *search.Checkpoint `json:"checkpoint,omitempty"`
+	// Trees are the stand trees found since dispatch, truncated to the
+	// checkpoint's cut: len(Trees) == Checkpoint.Counters.StandTrees.
+	// (Valid because the engines drain the tree stream before every
+	// snapshot: delivered == counted at the cut.) Empty when the dispatch
+	// had CollectTrees false.
+	Trees []string `json:"trees,omitempty"`
+}
+
+// HeartbeatResponse tells the worker whether its epoch is still current.
+type HeartbeatResponse struct {
+	// Fenced: a newer epoch owns the shard (or the job is gone). The
+	// worker cancels the shard run and discards its state.
+	Fenced bool `json:"fenced"`
+}
+
+// ShardResult is the final outcome of one shard epoch.
+type ShardResult struct {
+	JobID    string          `json:"job_id"`
+	Shard    int             `json:"shard"`
+	Epoch    int             `json:"epoch"`
+	Stop     string          `json:"stop"` // search.StopReason string
+	Counters search.Counters `json:"counters"`
+	// Trees are ALL stand trees found since dispatch (when CollectTrees).
+	Trees []string `json:"trees,omitempty"`
+}
+
+// ResultResponse acknowledges a shard result.
+type ResultResponse struct {
+	// Fenced: the result's epoch was unknown or already superseded by a
+	// completed merge; the worker can drop its copy either way.
+	Fenced bool `json:"fenced"`
+}
+
+// WorkerClient is the coordinator's view of one peer worker.
+type WorkerClient interface {
+	// Name identifies the peer in logs, metrics and traces (its URL for
+	// HTTP transports).
+	Name() string
+	// Dispatch leases a shard to the peer.
+	Dispatch(ctx context.Context, req *DispatchRequest) (*DispatchResponse, error)
+}
+
+// CoordinatorClient is the worker's view of its coordinator.
+type CoordinatorClient interface {
+	Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error)
+	Result(ctx context.Context, req *ShardResult) (*ResultResponse, error)
+}

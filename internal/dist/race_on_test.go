@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector is compiled in, so tests
+// can shrink workloads that the detector slows by an order of magnitude.
+const raceEnabled = true

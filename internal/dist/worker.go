@@ -1,0 +1,452 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gentrius"
+	"gentrius/internal/faultinject"
+	"gentrius/internal/obs"
+	"gentrius/internal/retry"
+	"gentrius/internal/search"
+)
+
+// WorkerConfig sizes one fleet worker (the shard-executing side of a
+// gentriusd node).
+type WorkerConfig struct {
+	// Name identifies this worker in logs.
+	Name string
+	// Dial resolves a coordinator URL from a DispatchRequest into a client.
+	// In-memory transports return the coordinator directly.
+	Dial func(coordURL string) CoordinatorClient
+	// Threads is the default per-shard thread count when the dispatch does
+	// not specify one.
+	Threads int
+	// OrphanAfter is how many CONSECUTIVE failed heartbeats (each already
+	// retried with backoff) make the worker consider itself orphaned: it
+	// stops heartbeating, finishes the shard, and parks the result for the
+	// next dispatch to adopt. Default 3.
+	OrphanAfter int
+	// DataDir, when set, persists parked results to disk so they survive a
+	// worker restart.
+	DataDir string
+
+	Clock   Clock
+	Retry   retry.Policy
+	Metrics *Metrics
+	Trace   *obs.Recorder
+	Logger  *slog.Logger
+	Fault   *faultinject.Injector
+}
+
+// Worker executes dispatched shards: it resumes each shard's frontier
+// checkpoint through the ordinary enumeration engine, heartbeats durable
+// progress back to the coordinator, and honours epoch fencing.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu      sync.Mutex
+	running map[shardKey]*shardRun
+	parked  map[shardKey]*parkedResult
+}
+
+type shardKey struct {
+	job   string
+	shard int
+}
+
+type shardRun struct {
+	epoch  int
+	cancel context.CancelFunc
+	done   chan struct{}
+	fenced atomic.Bool
+}
+
+// parkedResult is a completed shard result held for adoption, tagged with
+// the input fingerprint it answers.
+type parkedResult struct {
+	Fingerprint string       `json:"fingerprint"`
+	Result      *ShardResult `json:"result"`
+}
+
+// NewWorker applies defaults and reloads any parked results from DataDir.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.OrphanAfter <= 0 {
+		cfg.OrphanAfter = 3
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{} // zero value discards every update
+	}
+	if cfg.Retry.Sleep == nil {
+		clk := cfg.Clock
+		cfg.Retry.Sleep = clk.Sleep
+	}
+	w := &Worker{cfg: cfg, running: map[shardKey]*shardRun{}, parked: map[shardKey]*parkedResult{}}
+	w.loadParked()
+	return w
+}
+
+// ActiveShards reports how many shard runs are in flight (for drain logic
+// and tests).
+func (w *Worker) ActiveShards() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.running)
+}
+
+// HandleDispatch accepts (or refuses) a shard lease. A parked result for
+// the same (job, shard, fingerprint) is returned for adoption instead of a
+// fresh run; a dispatch carrying a newer epoch fences the current run away.
+func (w *Worker) HandleDispatch(req *DispatchRequest) *DispatchResponse {
+	key := shardKey{req.JobID, req.Shard}
+	w.mu.Lock()
+	if pk := w.parked[key]; pk != nil && pk.Fingerprint == req.Fingerprint {
+		delete(w.parked, key)
+		w.mu.Unlock()
+		w.removeParkFile(key)
+		w.cfg.Logger.Info("returning parked result for adoption",
+			"job", req.JobID, "shard", req.Shard, "epoch", pk.Result.Epoch)
+		return &DispatchResponse{Parked: pk.Result}
+	}
+	if run := w.running[key]; run != nil {
+		switch {
+		case run.epoch == req.Epoch:
+			w.mu.Unlock()
+			return &DispatchResponse{Accepted: true} // duplicate dispatch: idempotent
+		case run.epoch > req.Epoch:
+			w.mu.Unlock()
+			return &DispatchResponse{} // stale re-dispatch crossed a newer one
+		default:
+			// A newer epoch supersedes the run we still have going.
+			run.fenced.Store(true)
+			run.cancel()
+			w.cfg.Metrics.ShardsFencedAway.Inc()
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &shardRun{epoch: req.Epoch, cancel: cancel, done: make(chan struct{})}
+	w.running[key] = run
+	w.mu.Unlock()
+	w.cfg.Metrics.ShardsAccepted.Inc()
+	w.cfg.Logger.Info("shard accepted", "job", req.JobID, "shard", req.Shard,
+		"epoch", req.Epoch, "worker", w.cfg.Name)
+	go w.runShard(ctx, run, key, req)
+	return &DispatchResponse{Accepted: true}
+}
+
+// runShard executes one shard epoch end to end: resume the frontier
+// checkpoint, heartbeat on the configured cadence (each heartbeat takes an
+// on-demand snapshot through a CheckpointTrigger so progress is durable at
+// exactly the heartbeat cut), and deliver — or park — the final result.
+func (w *Worker) runShard(ctx context.Context, run *shardRun, key shardKey, req *DispatchRequest) {
+	defer close(run.done)
+	defer func() {
+		w.mu.Lock()
+		if w.running[key] == run {
+			delete(w.running, key)
+		}
+		w.mu.Unlock()
+	}()
+
+	cons, _, err := gentrius.ReadTrees(strings.NewReader(strings.Join(req.Trees, "\n")), nil)
+	if err != nil {
+		w.cfg.Logger.Error("shard constraints unparseable", "job", req.JobID,
+			"shard", req.Shard, "error", err.Error())
+		return
+	}
+	if fp := search.Fingerprint(cons); fp != req.Fingerprint {
+		w.cfg.Logger.Error("shard fingerprint mismatch", "job", req.JobID,
+			"shard", req.Shard, "got", fp, "want", req.Fingerprint)
+		return
+	}
+
+	coord := w.cfg.Dial(req.CoordURL)
+	trigger := gentrius.NewCheckpointTrigger()
+
+	var treeMu sync.Mutex
+	var trees []string
+	var onTree func(string)
+	if req.CollectTrees {
+		onTree = func(nw string) {
+			treeMu.Lock()
+			trees = append(trees, nw)
+			treeMu.Unlock()
+		}
+	}
+	copyTrees := func(cut int) []string {
+		treeMu.Lock()
+		defer treeMu.Unlock()
+		if cut < 0 || cut > len(trees) {
+			cut = len(trees)
+		}
+		return append([]string(nil), trees[:cut]...)
+	}
+
+	threads := req.Threads
+	if threads < 1 {
+		threads = w.cfg.Threads
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	type outcome struct {
+		res *gentrius.Result
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := gentrius.EnumerateStandContext(ctx, cons, gentrius.Options{
+			Threads: threads,
+			// Shards run unlimited: job-level stopping rules belong to the
+			// coordinator, which enforces them coarsely at merge points.
+			MaxTrees:     -1,
+			MaxStates:    -1,
+			MaxTime:      -1,
+			CollectTrees: req.CollectTrees,
+			OnTree:       onTree,
+			Checkpoint: &gentrius.CheckpointPolicy{
+				Resume:  req.Checkpoint,
+				Trigger: trigger,
+			},
+			Fault: w.cfg.Fault,
+		})
+		resCh <- outcome{res, err}
+	}()
+
+	interval := time.Duration(req.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = DefaultHeartbeatEvery
+	}
+
+	var out outcome
+	orphaned := false
+	fails := 0
+	lastMass := -1.0
+
+beat:
+	for {
+		select {
+		case out = <-resCh:
+			break beat
+		case <-w.cfg.Clock.After(interval):
+		}
+
+		hb := &HeartbeatRequest{JobID: req.JobID, Shard: req.Shard, Epoch: req.Epoch}
+		// Durable progress rides on every heartbeat: an on-demand snapshot
+		// quiesces the run at this exact cut. If the run ended between the
+		// clock tick and the request, the completion path takes over.
+		if cp, err := trigger.Request(ctx); err == nil {
+			hb.Checkpoint = cp
+			hb.Counters = cp.Counters
+			if cp.Frontier != nil {
+				hb.RemainingMass = cp.Frontier.RemainingMass()
+			}
+			lastMass = hb.RemainingMass
+			if req.CollectTrees {
+				hb.Trees = copyTrees(int(cp.Counters.StandTrees))
+			}
+		} else {
+			hb.RemainingMass = lastMass
+		}
+
+		if _, fire := w.cfg.Fault.Fire(faultinject.Heartbeat); fire {
+			// Simulated network blackhole: the heartbeat silently vanishes.
+			// The worker keeps computing; the coordinator's lease expires.
+			continue
+		}
+		var resp *HeartbeatResponse
+		err := w.cfg.Retry.Do(ctx, func() error {
+			if err := w.cfg.Fault.Err(faultinject.RPCSend, "heartbeat"); err != nil {
+				return err
+			}
+			r, err := coord.Heartbeat(ctx, hb)
+			if err != nil {
+				return err
+			}
+			if err := w.cfg.Fault.Err(faultinject.RPCRecv, "heartbeat"); err != nil {
+				return err
+			}
+			resp = r
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				continue // fenced mid-heartbeat; completion path discards
+			}
+			fails++
+			w.cfg.Metrics.HeartbeatFailures.Inc()
+			w.cfg.Logger.Warn("heartbeat failed", "job", req.JobID, "shard", req.Shard,
+				"epoch", req.Epoch, "consecutive", fails, "error", err.Error())
+			if fails >= w.cfg.OrphanAfter {
+				// Orphaned: the coordinator is unreachable. Finish the shard
+				// anyway and park the result — re-dispatch will adopt it.
+				orphaned = true
+				w.cfg.Logger.Warn("coordinator unreachable: finishing shard orphaned",
+					"job", req.JobID, "shard", req.Shard, "epoch", req.Epoch)
+				out = <-resCh
+				break beat
+			}
+			continue
+		}
+		fails = 0
+		if resp.Fenced {
+			// A newer epoch owns the shard; stop and discard.
+			run.fenced.Store(true)
+			run.cancel()
+			out = <-resCh
+			break beat
+		}
+	}
+
+	if run.fenced.Load() {
+		w.cfg.Logger.Info("shard run fenced away", "job", req.JobID,
+			"shard", req.Shard, "epoch", req.Epoch)
+		return
+	}
+	if out.err != nil {
+		// The run itself failed. Report nothing: the lease expires and the
+		// coordinator re-dispatches from the last durable checkpoint.
+		w.cfg.Logger.Error("shard run failed", "job", req.JobID,
+			"shard", req.Shard, "epoch", req.Epoch, "error", out.err.Error())
+		return
+	}
+	if out.res.Stop == gentrius.StopCancelled {
+		// Cancelled without being fenced (worker shutdown): nothing to send.
+		return
+	}
+
+	result := &ShardResult{
+		JobID: req.JobID,
+		Shard: req.Shard,
+		Epoch: req.Epoch,
+		Stop:  out.res.Stop.String(),
+		Counters: search.Counters{
+			StandTrees:         out.res.StandTrees,
+			IntermediateStates: out.res.IntermediateStates,
+			DeadEnds:           out.res.DeadEnds,
+		},
+		Trees: copyTrees(-1),
+	}
+	if orphaned {
+		w.park(key, req.Fingerprint, result)
+		return
+	}
+	var resp *ResultResponse
+	err = w.cfg.Retry.Do(nil, func() error {
+		if err := w.cfg.Fault.Err(faultinject.RPCSend, "result"); err != nil {
+			return err
+		}
+		r, err := coord.Result(context.Background(), result)
+		if err != nil {
+			return err
+		}
+		if err := w.cfg.Fault.Err(faultinject.RPCRecv, "result"); err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		w.cfg.Logger.Warn("result delivery failed: parking", "job", req.JobID,
+			"shard", req.Shard, "epoch", req.Epoch, "error", err.Error())
+		w.park(key, req.Fingerprint, result)
+		return
+	}
+	if resp.Fenced {
+		w.cfg.Logger.Info("result fenced by coordinator", "job", req.JobID,
+			"shard", req.Shard, "epoch", req.Epoch)
+	}
+}
+
+// park stores a finished result for adoption by a future dispatch, in
+// memory and (when DataDir is set) on disk.
+func (w *Worker) park(key shardKey, fingerprint string, res *ShardResult) {
+	pk := &parkedResult{Fingerprint: fingerprint, Result: res}
+	w.mu.Lock()
+	w.parked[key] = pk
+	w.mu.Unlock()
+	w.cfg.Metrics.ResultsParked.Inc()
+	w.cfg.Trace.EmitTagged(obs.EvShardParked, -1,
+		[]obs.SField{obs.S("job", res.JobID)},
+		obs.F("shard", int64(res.Shard)), obs.F("epoch", int64(res.Epoch)))
+	w.cfg.Logger.Info("shard result parked", "job", res.JobID,
+		"shard", res.Shard, "epoch", res.Epoch, "trees", res.Counters.StandTrees)
+	if w.cfg.DataDir == "" {
+		return
+	}
+	data, err := json.Marshal(pk)
+	if err == nil {
+		err = os.WriteFile(w.parkPath(key), data, 0o644)
+	}
+	if err != nil {
+		w.cfg.Logger.Warn("parked result not persisted", "error", err.Error())
+	}
+}
+
+// parkPath names the on-disk parked file for a shard. The job id is hashed
+// so arbitrary ids cannot escape the directory.
+func (w *Worker) parkPath(key shardKey) string {
+	h := fnv.New64a()
+	h.Write([]byte(key.job))
+	return filepath.Join(w.cfg.DataDir, fmt.Sprintf("parked-%016x-%d.json", h.Sum64(), key.shard))
+}
+
+func (w *Worker) removeParkFile(key shardKey) {
+	if w.cfg.DataDir != "" {
+		os.Remove(w.parkPath(key))
+	}
+}
+
+// loadParked restores parked results persisted by a previous process.
+func (w *Worker) loadParked() {
+	if w.cfg.DataDir == "" {
+		return
+	}
+	paths, _ := filepath.Glob(filepath.Join(w.cfg.DataDir, "parked-*.json"))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var pk parkedResult
+		if json.Unmarshal(data, &pk) != nil || pk.Result == nil {
+			w.cfg.Logger.Warn("ignoring corrupt parked result", "path", p)
+			continue
+		}
+		w.parked[shardKey{pk.Result.JobID, pk.Result.Shard}] = &pk
+		w.cfg.Logger.Info("reloaded parked result", "job", pk.Result.JobID,
+			"shard", pk.Result.Shard, "epoch", pk.Result.Epoch)
+	}
+}
+
+// Shutdown cancels every running shard (used by daemon drain; runs notice
+// via their contexts and exit without reporting).
+func (w *Worker) Shutdown() {
+	w.mu.Lock()
+	runs := make([]*shardRun, 0, len(w.running))
+	for _, r := range w.running {
+		r.cancel()
+		runs = append(runs, r)
+	}
+	w.mu.Unlock()
+	for _, r := range runs {
+		<-r.done
+	}
+}

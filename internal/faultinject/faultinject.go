@@ -57,6 +57,18 @@ const (
 	// TreeStream fires when a stand tree is about to be delivered to the
 	// consumer (stall site: simulates a slow subscriber).
 	TreeStream
+	// RPCSend fires when a fleet RPC (dispatch, result upload) is about to
+	// leave the caller — an Err here models the request never reaching the
+	// peer, a Stall models a slow network.
+	RPCSend
+	// RPCRecv fires when a fleet RPC response is about to be returned to
+	// the caller — an Err here models a reply lost after the peer already
+	// acted, the half that makes exactly-once merging interesting.
+	RPCRecv
+	// Heartbeat fires when a worker is about to send a shard heartbeat;
+	// dropping a run of these is how tests force lease expiry and
+	// re-dispatch without killing the worker.
+	Heartbeat
 
 	numSites
 )
@@ -68,6 +80,9 @@ var siteNames = [numSites]string{
 	SpoolWrite:      "spoolwrite",
 	JournalWrite:    "journalwrite",
 	TreeStream:      "treestream",
+	RPCSend:         "rpcsend",
+	RPCRecv:         "rpcrecv",
+	Heartbeat:       "heartbeat",
 }
 
 func (s Site) String() string {

@@ -56,6 +56,19 @@ const (
 	EvJobSubmit = "job-submit" // job accepted and enqueued
 	EvJobStart  = "job-begin"  // a pool worker started the job
 	EvJobEnd    = "job-end"    // the job reached a terminal state
+
+	// Fleet events (emitted by internal/dist, worker -1). Shard events
+	// carry the job id as a "job" tag plus "shard"/"epoch" numeric fields,
+	// so one trace reconstructs every shard's lease lineage: dispatch →
+	// (expire → re-dispatch)* → done, with fencing and parked-result
+	// adoption visible in between.
+	EvShardDispatch = "shard-dispatch" // shard leased to a peer (tags: peer, cause)
+	EvShardDone     = "shard-done"     // shard result merged into the job total
+	EvLeaseExpire   = "lease-expire"   // lease ran out of heartbeats
+	EvShardFenced   = "shard-fenced"   // stale-epoch heartbeat/result turned away
+	EvShardParked   = "shard-parked"   // orphaned worker parked a finished result
+	EvShardAdopted  = "shard-adopted"  // parked result adopted at re-dispatch
+	EvFleetLocal    = "fleet-local"    // coordinator fell back to local execution
 )
 
 // Field is one numeric key/value of a trace event. All scheduler payloads

@@ -449,6 +449,11 @@ func (g *globals) checkLimits() {
 // Run enumerates the stand with opt.Threads workers. With Threads <= 1 it
 // still exercises the full pool machinery with a single worker.
 func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
+	// However the run ends — exhaustion, stopping rule, worker failure —
+	// unblock any snapshot request that raced the checkpoint loop's exit
+	// (Finish is nil-safe and idempotent). Without this, a Request landing
+	// between the loop's last poll and poolDone would block forever.
+	defer opt.Trigger.Finish()
 	if opt.Threads <= 0 {
 		opt.Threads = 1
 	}

@@ -1,0 +1,145 @@
+// Package retry is the shared transient-failure policy of the gentrius
+// stack: capped exponential backoff with full-range jitter, usable from the
+// daemon's persistence paths (spool/journal/checkpoint writes) and from the
+// fleet's coordinator↔worker RPCs (internal/dist). It generalizes the
+// retryIO helper internal/service grew in PR 4.
+//
+// Jitter matters once more than one client retries against the same peer: a
+// fleet of workers whose heartbeats all fail at the same instant (their
+// coordinator restarted) would otherwise retry in lockstep and arrive as a
+// thundering herd every 2^k milliseconds. Each delay is therefore spread
+// uniformly over [delay/2, delay), which keeps the expected backoff shape
+// while decorrelating the retriers.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value is usable and maps
+// to the stack's historical defaults: 4 attempts, 1ms base, 100ms cap,
+// jittered.
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4; values below 1 mean one attempt, i.e. no retry).
+	Attempts int
+	// Base is the delay before the first retry (default 1ms). Each
+	// subsequent delay doubles, capped at Cap.
+	Base time.Duration
+	// Cap bounds the un-jittered delay (default 100ms).
+	Cap time.Duration
+	// NoJitter disables the uniform [delay/2, delay) spread — only
+	// deterministic tests should want this.
+	NoJitter bool
+
+	// OnRetry, if set, observes every failed attempt that will be retried
+	// (attempt is 1-based). This is where per-site retry counters hang.
+	OnRetry func(attempt int, err error)
+
+	// Sleep replaces time.Sleep between attempts (virtual-time tests).
+	Sleep func(d time.Duration)
+	// Rand replaces the jitter source with a deterministic one; it must
+	// return values in [0, 1).
+	Rand func() float64
+}
+
+// jitterRand is the default jitter source: the global math/rand stream is
+// fine here (no reproducibility contract), but it needs explicit locking on
+// pre-1.20 style custom sources, so keep a private locked source instead.
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterSrc.Float64()
+}
+
+func (p Policy) normalized() Policy {
+	if p.Attempts < 1 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = defaultRand
+	}
+	return p
+}
+
+// Delay returns the pause before retry number attempt (1-based), after
+// jitter. Exposed so tests can assert the envelope.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.normalized()
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.Cap {
+			d = p.Cap
+			break
+		}
+	}
+	if !p.NoJitter {
+		// Uniform over [d/2, d): half the width, full decorrelation.
+		d = d/2 + time.Duration(p.Rand()*float64(d/2))
+	}
+	return d
+}
+
+// Do runs op up to Attempts times, sleeping the jittered backoff between
+// tries. It returns nil on the first success, the last error otherwise, and
+// ctx.Err() if the context ends while waiting between attempts (op itself
+// is responsible for honouring ctx during an attempt). A nil ctx never
+// aborts the backoff.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	p = p.normalized()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		d := p.Delay(attempt)
+		if ctx == nil {
+			p.Sleep(d)
+			continue
+		}
+		if sleepCtx(ctx, d, p.Sleep) != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is done. With a custom Sleep (virtual
+// time), the context is only checked before and after the sleep — virtual
+// clocks cannot be selected on.
+func sleepCtx(ctx context.Context, d time.Duration, sleep func(time.Duration)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ch := make(chan struct{})
+	go func() { sleep(d); close(ch) }()
+	select {
+	case <-ch:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,113 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	p := Policy{Sleep: func(time.Duration) { t.Fatal("slept on immediate success") }}
+	if err := p.Do(context.Background(), func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestDoRetriesAndReturnsLastError(t *testing.T) {
+	want := errors.New("boom 3")
+	errs := []error{errors.New("boom 1"), errors.New("boom 2"), want}
+	calls := 0
+	var slept []time.Duration
+	var observed []int
+	p := Policy{
+		Attempts: 3,
+		Base:     time.Millisecond,
+		Cap:      100 * time.Millisecond,
+		NoJitter: true,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		OnRetry:  func(attempt int, err error) { observed = append(observed, attempt) },
+	}
+	err := p.Do(context.Background(), func() error { err := errs[calls]; calls++; return err })
+	if err != want {
+		t.Fatalf("Do = %v, want %v", err, want)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	wantSlept := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(wantSlept) {
+		t.Fatalf("slept %v, want %v", slept, wantSlept)
+	}
+	for i := range slept {
+		if slept[i] != wantSlept[i] {
+			t.Fatalf("slept %v, want %v", slept, wantSlept)
+		}
+	}
+	if len(observed) != 2 || observed[0] != 1 || observed[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", observed)
+	}
+}
+
+func TestDelayCapsAndDoubles(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 8 * time.Millisecond, NoJitter: true, Attempts: 10}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := p.Delay(i + 1); d != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+// Jitter must stay inside [d/2, d) and actually depend on the Rand stream.
+func TestDelayJitterEnvelope(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+		p := Policy{Base: 4 * time.Millisecond, Cap: time.Second, Rand: func() float64 { return r }}
+		d := p.Delay(1)
+		lo, hi := 2*time.Millisecond, 4*time.Millisecond
+		if d < lo || d >= hi {
+			t.Fatalf("jittered Delay(1) with r=%v = %v, want in [%v, %v)", r, d, lo, hi)
+		}
+		want := lo + time.Duration(r*float64(lo))
+		if d != want {
+			t.Fatalf("jittered Delay(1) with r=%v = %v, want %v (deterministic in Rand)", r, d, want)
+		}
+	}
+}
+
+func TestDoContextCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{
+		Attempts: 10,
+		NoJitter: true,
+		Sleep:    func(time.Duration) { cancel() },
+	}
+	err := p.Do(ctx, func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after cancel)", calls)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	var p Policy
+	calls := 0
+	p.Sleep = func(time.Duration) {}
+	err := p.Do(nil, func() error { calls++; return errors.New("always") })
+	if err == nil {
+		t.Fatal("Do = nil, want error")
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want default 4 attempts", calls)
+	}
+}

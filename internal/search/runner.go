@@ -211,6 +211,9 @@ func Run(constraints []*tree.Tree, opt Options) (*Result, error) {
 	if checkpointing && opt.DisableDynamicOrder {
 		return nil, fmt.Errorf("search: checkpointing requires the dynamic insertion order")
 	}
+	// However the run ends, unblock any trigger request that raced the
+	// final poll (Finish is nil-safe and idempotent).
+	defer opt.Trigger.Finish()
 	res := &Result{Stop: StopExhausted}
 	start := time.Now()
 

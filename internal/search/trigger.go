@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"errors"
+	"sync"
 )
 
 // ErrRunEnded is returned by CheckpointTrigger.Request when the run
@@ -16,13 +17,32 @@ var ErrRunEnded = errors.New("search: run ended before the checkpoint request wa
 // quiesce (parallel). A trigger is single-run: hand each enumeration its
 // own. All methods are nil-safe.
 type CheckpointTrigger struct {
-	req chan chan *Checkpoint
+	req  chan chan *Checkpoint
+	done chan struct{}
+	once sync.Once
 }
 
 // NewCheckpointTrigger returns a trigger ready to be placed in the run's
 // options and shared with the requesting side.
 func NewCheckpointTrigger() *CheckpointTrigger {
-	return &CheckpointTrigger{req: make(chan chan *Checkpoint)}
+	return &CheckpointTrigger{
+		req:  make(chan chan *Checkpoint),
+		done: make(chan struct{}),
+	}
+}
+
+// Finish marks the run over. Every Request blocked on the engine — and
+// every future Request — returns ErrRunEnded immediately instead of waiting
+// for a checkpoint loop that will never poll again. The run paths call this
+// on exit (deferred), closing the race where a trigger request lands in the
+// instant between the engine's last poll and its return: without Finish
+// such a request blocks forever on the unbuffered request channel.
+// Idempotent and nil-safe.
+func (t *CheckpointTrigger) Finish() {
+	if t == nil {
+		return
+	}
+	t.once.Do(func() { close(t.done) })
 }
 
 // Request asks the running enumeration for a snapshot and blocks until it
@@ -37,6 +57,8 @@ func (t *CheckpointTrigger) Request(ctx context.Context) (*Checkpoint, error) {
 	reply := make(chan *Checkpoint, 1)
 	select {
 	case t.req <- reply:
+	case <-t.done:
+		return nil, ErrRunEnded
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -46,6 +68,18 @@ func (t *CheckpointTrigger) Request(ctx context.Context) (*Checkpoint, error) {
 			return nil, ErrRunEnded
 		}
 		return cp, nil
+	case <-t.done:
+		// The engine accepted the request, so its (buffered) reply was
+		// sent before the run finished — but this select may pick the
+		// done branch when both are ready. Drain the reply if present.
+		select {
+		case cp := <-reply:
+			if cp != nil {
+				return cp, nil
+			}
+		default:
+		}
+		return nil, ErrRunEnded
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

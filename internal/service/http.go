@@ -101,6 +101,9 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		// The daemon is draining for shutdown; tell clients when another
+		// instance (or a restart) is worth trying.
+		w.Header().Set("Retry-After", "10")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.As(err, &le):

@@ -106,7 +106,7 @@ func (j *journal) append(rec journalRecord) {
 	if j.f == nil {
 		return
 	}
-	err = retryIO(4, time.Millisecond, func() error {
+	err = j.m.retryIO("journal", func() error {
 		if err := j.fault.Err(faultinject.JournalWrite, "write"); err != nil {
 			j.m.JournalRetries.Inc()
 			return err
@@ -135,25 +135,4 @@ func (j *journal) close() {
 		j.f.Close()
 		j.f = nil
 	}
-}
-
-// retryIO runs op up to attempts times with exponential backoff capped at
-// 100ms — the shared policy for transient spool/checkpoint/journal I/O
-// errors. The first failure retries after base.
-func retryIO(attempts int, base time.Duration, op func() error) error {
-	var err error
-	delay := base
-	for i := 0; i < attempts; i++ {
-		if err = op(); err == nil {
-			return nil
-		}
-		if i == attempts-1 {
-			break
-		}
-		time.Sleep(delay)
-		if delay < 100*time.Millisecond {
-			delay *= 2
-		}
-	}
-	return err
 }

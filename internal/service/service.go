@@ -30,8 +30,11 @@ import (
 
 	"gentrius"
 	"gentrius/internal/buildinfo"
+	"gentrius/internal/dist"
 	"gentrius/internal/faultinject"
 	"gentrius/internal/obs"
+	"gentrius/internal/retry"
+	"gentrius/internal/search"
 )
 
 // Config sizes the manager.
@@ -85,6 +88,14 @@ type Config struct {
 	// paths (spool, checkpoint, journal writes) and to the jobs' engines
 	// (nil: no faults).
 	Fault *faultinject.Injector
+	// Fleet, when non-nil, runs submitted jobs across a gentriusd fleet
+	// through this coordinator instead of the local engine: shard leases,
+	// heartbeats, retries and the exactly-once merge live in internal/dist.
+	// Merged trees still stream into the job spool. Jobs recovered with a
+	// resume checkpoint keep running locally (shard state lives in the
+	// coordinator, not in job checkpoints), and fleet jobs do not serve
+	// POST /jobs/{id}/checkpoint — the coordinator owns their frontiers.
+	Fleet *dist.Coordinator
 	// Metrics receives the service-level instruments (nil: discard).
 	Metrics *Metrics
 	// Sink is the engine observability sink shared by every job (the
@@ -130,6 +141,49 @@ type Metrics struct {
 	CheckpointWrites  *obs.Counter
 	CheckpointRetries *obs.Counter
 	CheckpointDropped *obs.Counter
+
+	// Per-site retry family gentriusd_retry_total{site=...}, registered
+	// lazily so new sites (dist RPCs, heartbeats) appear without touching
+	// this package.
+	retryMu   sync.Mutex
+	retrySite map[string]*obs.Counter
+}
+
+// RetrySite returns the gentriusd_retry_total{site=...} counter for site,
+// registering it on first use. Nil-safe: with no registry it returns nil,
+// and obs counters discard updates through nil receivers.
+func (m *Metrics) RetrySite(site string) *obs.Counter {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	m.retryMu.Lock()
+	defer m.retryMu.Unlock()
+	if c, ok := m.retrySite[site]; ok {
+		return c
+	}
+	if m.retrySite == nil {
+		m.retrySite = make(map[string]*obs.Counter)
+	}
+	c := m.reg.Counter(fmt.Sprintf("gentriusd_retry_total{site=%q}", site),
+		"transient failures retried, by site")
+	m.retrySite[site] = c
+	return c
+}
+
+// RetryPolicy is the daemon's shared transient-failure discipline —
+// internal/retry defaults (4 attempts, jittered 1ms→100ms capped backoff)
+// with every retried failure counted in gentriusd_retry_total{site}. It is
+// what spool/journal/checkpoint I/O uses, and what internal/dist borrows
+// for coordinator↔worker RPCs.
+func (m *Metrics) RetryPolicy(site string) retry.Policy {
+	c := m.RetrySite(site)
+	return retry.Policy{OnRetry: func(int, error) { c.Inc() }}
+}
+
+// retryIO runs op under RetryPolicy(site) with no context (persistence
+// paths must finish their backoff even mid-shutdown).
+func (m *Metrics) retryIO(site string, op func() error) error {
+	return m.RetryPolicy(site).Do(nil, op)
 }
 
 // NewMetrics registers the service instruments on reg under gentriusd_*.
@@ -465,7 +519,8 @@ type Manager struct {
 	order     []string // submission order, for stable listings
 	nextID    int
 	closed    bool
-	queued    int // Submit-accepted jobs currently in the queue channel (the QueueCap budget)
+	draining  bool // Shutdown began: submissions get 503 + Retry-After
+	queued    int  // Submit-accepted jobs currently in the queue channel (the QueueCap budget)
 	recovered RecoveryStats
 
 	queue   chan *Job
@@ -551,7 +606,7 @@ func New(cfg Config) (*Manager, error) {
 // may be incomplete or unresumable, and the operator should look at the
 // data directory.
 type Health struct {
-	Status            string        `json:"status"` // "ok" or "degraded"
+	Status            string        `json:"status"` // "ok", "degraded" or "draining"
 	Version           string        `json:"version"`
 	Commit            string        `json:"commit"`
 	UptimeSeconds     float64       `json:"uptime_seconds"`
@@ -581,7 +636,19 @@ func (m *Manager) Health() Health {
 	if h.JournalDropped > 0 || h.SpoolDropped > 0 || h.CheckpointDropped > 0 {
 		h.Status = "degraded"
 	}
+	if m.Draining() {
+		h.Status = "draining"
+	}
 	return h
+}
+
+// Draining reports whether Shutdown has begun. Submissions are rejected
+// with 503 + Retry-After while the daemon drains, and /healthz reports
+// status "draining" so load balancers stop routing new work here.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // Recovery reports what New recovered from the previous run's journal.
@@ -1009,6 +1076,11 @@ func (m *Manager) runJob(job *Job) {
 		sink.Trace = s.Trace
 	}
 
+	if m.cfg.Fleet != nil && resume == nil {
+		m.runFleetJob(job, req)
+		return
+	}
+
 	// Every job gets an on-demand checkpoint trigger (POST
 	// /jobs/{id}/checkpoint); the rest of the policy follows the daemon
 	// configuration. Parallel jobs use the same policy — their snapshots
@@ -1052,6 +1124,52 @@ func (m *Manager) runJob(job *Job) {
 	}
 	res, err := gentrius.EnumerateStandContext(job.ctx, job.cons, opt)
 	m.finish(job, res, err)
+}
+
+// runFleetJob executes a job across the fleet via the configured
+// coordinator. Limits follow the engine conventions (zero = paper
+// defaults, negative = unlimited) but are enforced coarsely at shard
+// merges; MaxTime is enforced here through the job context, since the
+// coordinator has no clock on the job as a whole.
+func (m *Manager) runFleetJob(job *Job, req JobRequest) {
+	start := time.Now()
+	lim := search.Limits{
+		MaxTrees:  req.MaxTrees,
+		MaxStates: req.MaxStates,
+		MaxTime:   m.clampTime(time.Duration(req.MaxTimeSeconds * float64(time.Second))),
+	}.Normalize()
+	ctx := job.ctx
+	if lim.MaxTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.MaxTime)
+		defer cancel()
+	}
+	dres, err := m.cfg.Fleet.Run(ctx, job.id, job.cons, dist.RunOptions{
+		CollectTrees: true,
+		OnTree: func(nw string) {
+			m.cfg.Fault.Stall(faultinject.TreeStream)
+			job.spool.Append(nw)
+			m.m.TreesStreamed.Inc()
+		},
+		InitialTree: gentrius.UseInitialTreeHeuristic,
+		Limits:      lim,
+	})
+	if err != nil {
+		m.finish(job, nil, err)
+		return
+	}
+	stop := dres.Stop
+	if stop == gentrius.StopCancelled && ctx.Err() != nil && job.ctx.Err() == nil {
+		stop = gentrius.StopTimeLimit // the MaxTime deadline fired, not a client cancel
+	}
+	m.finish(job, &gentrius.Result{
+		StandTrees:         dres.Counters.StandTrees,
+		IntermediateStates: dres.Counters.IntermediateStates,
+		DeadEnds:           dres.Counters.DeadEnds,
+		Stop:               stop,
+		Elapsed:            time.Since(start),
+		InitialIndex:       dres.InitialIndex,
+	}, nil)
 }
 
 // RequestCheckpoint asks a running job for an on-demand snapshot, persists
@@ -1100,7 +1218,7 @@ func (m *Manager) clampTime(d time.Duration) time.Duration {
 // retrying transient failures. It reports the checkpoint path on success.
 func (m *Manager) writeCheckpointRetry(id string, cp *gentrius.Checkpoint) (string, bool) {
 	path := filepath.Join(m.cfg.DataDir, id+".ckpt")
-	err := retryIO(4, time.Millisecond, func() error {
+	err := m.m.retryIO("checkpoint", func() error {
 		if err := m.cfg.Fault.Err(faultinject.CheckpointWrite, "write"); err != nil {
 			m.m.CheckpointRetries.Inc()
 			return err
@@ -1220,6 +1338,7 @@ func (m *Manager) finish(job *Job, res *gentrius.Result, err error) {
 // daemon — or the gentrius CLI with -resume — can pick the work back up.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
+	m.draining = true
 	if m.closed {
 		m.mu.Unlock()
 		return nil

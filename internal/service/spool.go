@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"sync"
-	"time"
 
 	"gentrius/internal/faultinject"
 )
@@ -107,7 +106,7 @@ func (s *spool) Append(line string) {
 		return
 	}
 	s.buf = append(append(s.buf[:0], line...), '\n')
-	err := retryIO(4, time.Millisecond, func() error {
+	err := s.m.retryIO("spool", func() error {
 		if err := s.fault.Err(faultinject.SpoolWrite, "write"); err != nil {
 			s.m.SpoolRetries.Inc()
 			return err

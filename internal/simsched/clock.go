@@ -1,0 +1,101 @@
+package simsched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a manually advanced clock for deterministic protocol
+// tests — the role the tick engine plays for the search schedulers, but in
+// time.Time/time.Duration units so lease TTLs, heartbeat cadences and retry
+// backoffs (internal/dist, internal/retry) run unmodified against it. Time
+// only moves when a test calls Advance, so "the worker missed three
+// heartbeats" is a statement the test makes, not something a loaded CI
+// machine decides.
+//
+// All methods are safe for concurrent use. Timers fire in deadline order;
+// timers sharing a deadline fire in registration order.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int64
+	timers []*vtimer
+}
+
+type vtimer struct {
+	at  time.Time
+	seq int64
+	ch  chan time.Time
+}
+
+// NewVirtualClock returns a clock stopped at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that receives the virtual time once Advance moves
+// the clock to (or past) now+d. A non-positive d fires immediately.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.seq++
+	c.timers = append(c.timers, &vtimer{at: c.now.Add(d), seq: c.seq, ch: ch})
+	return ch
+}
+
+// Sleep blocks the caller until the clock advances past d.
+func (c *VirtualClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// Waiters reports how many timers are pending. Tests use it to know a
+// background goroutine has registered its timer before advancing — the
+// virtual-clock analogue of "the worker is now waiting".
+func (c *VirtualClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order. Goroutines woken by a fired timer may
+// register new timers concurrently with the remainder of the advance; those
+// are honoured if they fall within the window, so nested waits (a retry
+// loop sleeping thrice) unwind within one sufficiently large Advance only
+// if the wakes keep up — tests advance in small steps instead (see
+// AdvanceStep idiom in internal/dist tests).
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		// Earliest pending timer within the window.
+		sort.SliceStable(c.timers, func(i, j int) bool {
+			if !c.timers[i].at.Equal(c.timers[j].at) {
+				return c.timers[i].at.Before(c.timers[j].at)
+			}
+			return c.timers[i].seq < c.timers[j].seq
+		})
+		if len(c.timers) == 0 || c.timers[0].at.After(target) {
+			break
+		}
+		t := c.timers[0]
+		c.timers = c.timers[1:]
+		if t.at.After(c.now) {
+			c.now = t.at
+		}
+		t.ch <- c.now
+	}
+	c.now = target
+	c.mu.Unlock()
+}

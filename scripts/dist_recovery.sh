@@ -1,0 +1,120 @@
+#!/bin/sh
+# Distributed-recovery smoke test for the gentriusd fleet, exercised by CI:
+# start two worker daemons (every gentriusd accepts shard leases on
+# /v1/shards) plus a coordinator with -fleet, submit a finite job, SIGKILL
+# one worker while it holds a shard mid-run, and require the fleet to
+# detect the loss by lease expiry, re-dispatch the shard from its last
+# durable checkpoint, and finish with counters EXACTLY equal to the
+# uninterrupted single-node run — the same 8989/5417/0 discipline as
+# scripts/crash_recovery.sh, but across processes.
+#
+# The workers run with a deterministic per-tree stall (GENTRIUS_FAULTS) so
+# their shards are slow enough to kill mid-flight; the coordinator runs
+# clean, so the merge accounting is what's under test, not luck.
+# Needs only a Go toolchain, curl and POSIX sh.
+set -eu
+
+P0="${GENTRIUSD_FLEET_PORT:-18085}"  # coordinator
+P1=$((P0 + 1))                       # worker a (the victim)
+P2=$((P0 + 2))                       # worker b
+COORD="http://127.0.0.1:$P0"
+WORK="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+say() { echo "dist-recovery: $*"; }
+fail() { echo "dist-recovery: FAIL: $*" >&2; exit 1; }
+
+# Poll until "$1" appears in the output of `curl $2`, up to ~60s.
+wait_for() {
+    i=0
+    while [ "$i" -lt 600 ]; do
+        if curl -sf "$2" 2>/dev/null | grep -q "$1"; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "timed out waiting for $1 at $2"
+}
+
+metric() { curl -sf "$1/metrics" | grep "^$2 " | awk '{print $2}'; }
+
+go build -o "$WORK/gentriusd" ./cmd/gentriusd
+
+# Two interleaved caterpillars: 8989 stand trees, 5417 intermediate states,
+# 0 dead ends in the uninterrupted run. At 1ms per streamed tree the
+# workers need ~9s of enumeration — plenty to kill one mid-shard.
+T1='(((((((((A,B),x0),x1),x2),x3),x4),x5),C),D);'
+T2=$(echo "$T1" | tr x y)
+STAND=8989
+STATES=5417
+
+# Reference run on a clean single node: the fleet totals must be byte-equal
+# to this (the counters are schedule- and distribution-independent).
+"$WORK/gentriusd" -addr "127.0.0.1:$P1" -data-dir "$WORK/ref" 2>"$WORK/ref.log" &
+REF=$!; PIDS="$PIDS $REF"
+wait_for '"ok"' "http://127.0.0.1:$P1/healthz"
+curl -sf "http://127.0.0.1:$P1/jobs" -d "{\"trees\": [\"$T1\", \"$T2\"]}" >/dev/null || fail "reference submit"
+wait_for '"state": *"done"' "http://127.0.0.1:$P1/jobs/j000001"
+REFSTAT=$(curl -sf "http://127.0.0.1:$P1/jobs/j000001")
+GOT=$(echo "$REFSTAT" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*$')
+GOTS=$(echo "$REFSTAT" | grep -o '"intermediate_states": *[0-9]*' | grep -o '[0-9]*$')
+[ "$GOT" = "$STAND" ] || fail "reference run found $GOT stand trees, want $STAND"
+[ "$GOTS" = "$STATES" ] || fail "reference run counted $GOTS states, want $STATES"
+kill -TERM "$REF"; wait "$REF" 2>/dev/null || true
+say "single-node reference: $STAND trees, $STATES states"
+
+# The fleet: two throttled workers, one clean coordinator. Short leases and
+# a quick heartbeat cadence keep the drill fast.
+GENTRIUS_FAULTS="seed=1;treestream.every=1;treestream.delay=1ms" \
+    "$WORK/gentriusd" -addr "127.0.0.1:$P1" -data-dir "$WORK/w1" 2>"$WORK/w1.log" &
+W1=$!; PIDS="$PIDS $W1"
+GENTRIUS_FAULTS="seed=1;treestream.every=1;treestream.delay=1ms" \
+    "$WORK/gentriusd" -addr "127.0.0.1:$P2" -data-dir "$WORK/w2" 2>"$WORK/w2.log" &
+W2=$!; PIDS="$PIDS $W2"
+"$WORK/gentriusd" -addr "127.0.0.1:$P0" -data-dir "$WORK/c0" \
+    -fleet "http://127.0.0.1:$P1,http://127.0.0.1:$P2" \
+    -lease-ttl 2s -heartbeat-every 400ms 2>"$WORK/c0.log" &
+C0=$!; PIDS="$PIDS $C0"
+wait_for '"ok"' "http://127.0.0.1:$P1/healthz"
+wait_for '"ok"' "http://127.0.0.1:$P2/healthz"
+wait_for '"ok"' "$COORD/healthz"
+
+curl -sf "$COORD/jobs" -d "{\"trees\": [\"$T1\", \"$T2\"]}" >/dev/null || fail "fleet submit"
+say "fleet job submitted (coordinator + 2 throttled workers)"
+
+# SIGKILL worker a once it holds at least one shard and has had time to get
+# genuinely mid-run (the stall makes every shard take seconds).
+wait_for 'gentriusd_fleet_worker_shards_accepted_total [1-9]' "http://127.0.0.1:$P1/metrics"
+sleep 1
+kill -9 "$W1"
+wait "$W1" 2>/dev/null || true
+say "worker a SIGKILLed mid-shard"
+
+wait_for '"state": *"done"' "$COORD/jobs/j000001"
+STATUS=$(curl -sf "$COORD/jobs/j000001")
+GOT=$(echo "$STATUS" | grep -o '"stand_trees": *[0-9]*' | grep -o '[0-9]*$')
+GOTS=$(echo "$STATUS" | grep -o '"intermediate_states": *[0-9]*' | grep -o '[0-9]*$')
+GOTD=$(echo "$STATUS" | grep -o '"dead_ends": *[0-9]*' | grep -o '[0-9]*$' || true)
+[ "$GOT" = "$STAND" ] || fail "fleet run found $GOT stand trees, want exactly $STAND"
+[ "$GOTS" = "$STATES" ] || fail "fleet run counted $GOTS states, want exactly $STATES"
+[ -z "$GOTD" ] || [ "$GOTD" = "0" ] || fail "fleet run counted $GOTD dead ends, want 0"
+
+# The recovery must be observable: at least one lease expired and at least
+# one shard was re-dispatched from its checkpoint.
+EXP=$(metric "$COORD" gentriusd_fleet_lease_expiries_total)
+RED=$(metric "$COORD" gentriusd_fleet_redispatches_total)
+[ "${EXP:-0}" -ge 1 ] || fail "no lease expiry despite the SIGKILL (expiries=$EXP)"
+[ "${RED:-0}" -ge 1 ] || fail "no re-dispatch despite the SIGKILL (redispatches=$RED)"
+LINES=$(curl -sf "$COORD/jobs/j000001/trees" | grep -c '"tree"')
+[ "$LINES" -ge "$STAND" ] || fail "spool replays $LINES trees, want >= $STAND"
+say "fleet finished exactly: $GOT trees, $GOTS states (expiries=$EXP redispatches=$RED)"
+
+# Graceful exits for the survivors.
+kill -TERM "$C0" "$W2"
+for p in "$C0" "$W2"; do
+    STATUS=0; wait "$p" || STATUS=$?
+    [ "$STATUS" = "0" ] || fail "daemon $p exited $STATUS after SIGTERM"
+done
+say "PASS"
