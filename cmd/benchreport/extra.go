@@ -1,9 +1,11 @@
 package main
 
 import (
+	"io"
 	"testing"
 
 	"gentrius/internal/gen"
+	"gentrius/internal/obs"
 	"gentrius/internal/terrace"
 )
 
@@ -51,6 +53,27 @@ func extraBenches(add func(name string, f func(b *testing.B)),
 		b.StopTimer()
 		for tr.Depth() > 0 {
 			tr.RemoveTaxon()
+		}
+	})
+
+	// Shard-tagged span emission (PR 10): a fleet worker's engine events
+	// flow through a With-derived recorder carrying {trace, job, node} tags
+	// and {shard, epoch} fields. The derived path must cost the same as the
+	// bare one — fixed context serialized from prebuilt slices, 0 allocs.
+	add("ShardTaggedEmit", func(b *testing.B) {
+		r := obs.NewRecorder(io.Discard, nil).With(
+			[]obs.SField{obs.S("trace", "eab773018dcb2347"),
+				obs.S("job", "bench"), obs.S("node", "w0")},
+			obs.F("shard", 1), obs.F("epoch", 2))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.EmitAtTagged(int64(i), obs.EvTaskSubmit, 3,
+				nil, obs.F("task", int64(i)), obs.F("parent", 7))
+		}
+		b.StopTimer()
+		if err := r.Flush(); err != nil {
+			b.Fatal(err)
 		}
 	})
 }

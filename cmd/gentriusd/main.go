@@ -20,6 +20,8 @@
 //	POST   /v1/shards        fleet protocol: lease a shard to this worker
 //	POST   /v1/shards/heartbeat  fleet protocol: renew a lease (coordinator only)
 //	POST   /v1/shards/result     fleet protocol: merge a shard result (coordinator only)
+//	GET    /v1/fleet/status  live fleet topology: per-peer liveness and
+//	                         per-shard lease/epoch/estimator state (coordinator only)
 //
 // Fleet mode: every gentriusd accepts shard leases on /v1/shards, so any
 // instance can serve as a fleet worker. Starting one with -fleet
@@ -46,6 +48,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -209,6 +212,7 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		Fault:              fault,
 		Fleet:              coord,
+		FleetWorker:        worker,
 		Metrics:            metrics,
 		Sink:               &gentrius.ObsSink{Metrics: sched, Trace: trace},
 		Logger:             logger,
@@ -228,6 +232,14 @@ func main() {
 	mux.Handle("/v1/shards", mgr.Middleware().Wrap("shards", dist.WorkerHandler(worker).ServeHTTP))
 	if coord != nil {
 		mux.Handle("/v1/shards/", mgr.Middleware().Wrap("shards_coord", dist.CoordinatorHandler(coord).ServeHTTP))
+		// Live fleet topology: the same picture obsreport -fleet
+		// reconstructs post-hoc, as one JSON snapshot.
+		mux.Handle("GET /v1/fleet/status", mgr.Middleware().Wrap("fleet_status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(coord.Status()) //nolint:errcheck // client gone is not actionable
+		}))
 	}
 	srv := &http.Server{
 		Handler:           mux,

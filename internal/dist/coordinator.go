@@ -59,9 +59,10 @@ type Config struct {
 type Coordinator struct {
 	cfg Config
 
-	mu    sync.Mutex
-	jobs  map[string]*fleetJob
-	alive []bool
+	mu     sync.Mutex
+	jobs   map[string]*fleetJob
+	alive  []bool
+	lastHB []time.Time // last accepted heartbeat per peer (zero: never)
 }
 
 // NewCoordinator validates and applies defaults.
@@ -91,7 +92,8 @@ func NewCoordinator(cfg Config) *Coordinator {
 		clk := cfg.Clock
 		cfg.Retry.Sleep = clk.Sleep
 	}
-	c := &Coordinator{cfg: cfg, jobs: map[string]*fleetJob{}, alive: make([]bool, len(cfg.Peers))}
+	c := &Coordinator{cfg: cfg, jobs: map[string]*fleetJob{},
+		alive: make([]bool, len(cfg.Peers)), lastHB: make([]time.Time, len(cfg.Peers))}
 	for i := range c.alive {
 		c.alive[i] = true
 	}
@@ -126,6 +128,9 @@ type Result struct {
 	Stop     search.StopReason
 	// InitialIndex is the constraint index used as the initial agile tree.
 	InitialIndex int
+	// TraceID is the fleet-run trace id every node stamped on this job's
+	// trace events (deterministic: fleetTraceID of job id + fingerprint).
+	TraceID string
 
 	// Fleet statistics for this job.
 	LeaseExpiries int64
@@ -156,6 +161,7 @@ type shardState struct {
 	latest      *search.Checkpoint
 	latestTrees []string
 	latestMass  float64
+	initialMass float64 // estimator mass at shard creation (fraction base)
 	progressAt  time.Time
 
 	// Per-epoch merge bases: counters and tree-log prefix length already
@@ -176,6 +182,12 @@ type fleetJob struct {
 	heuristic   search.OrderHeuristic
 	opt         RunOptions
 	prefix      search.Counters
+	// traceID is the fleet-run trace id; rec and log are the job-scoped
+	// recorder (fixed {trace, job} tags) and slog handle (trace attr) every
+	// coordinator-side emission for this job goes through.
+	traceID string
+	rec     *obs.Recorder
+	log     *slog.Logger
 
 	mu        sync.Mutex
 	shards    []*shardState
@@ -238,7 +250,11 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, constraints []*tree
 		wake:        make(chan struct{}, 1),
 		stop:        search.StopExhausted,
 	}
+	job.traceID = fleetTraceID(jobID, job.fingerprint)
+	job.rec = c.cfg.Trace.With([]obs.SField{obs.S("trace", job.traceID), obs.S("job", jobID)})
+	job.log = c.cfg.Logger.With("trace", job.traceID)
 	job.stats.InitialIndex = idx
+	job.stats.TraceID = job.traceID
 
 	// Deterministic prefix: walked once, counted once, by the coordinator.
 	t0, err := terrace.New(cons, idx)
@@ -269,6 +285,7 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, constraints []*tree
 	for _, b := range pre.SplitBranches {
 		root.Tasks = append(root.Tasks, search.NewSeedTask(nil, pre.SplitTaxon, []int32{b}, w))
 	}
+	var totalMass float64
 	for i, fr := range search.SplitFrontier(root, c.cfg.Shards) {
 		s := &shardState{
 			idx:          i,
@@ -280,9 +297,15 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, constraints []*tree
 			baseTreeLen:  map[int]int{1: 0},
 		}
 		s.latestMass = fr.RemainingMass()
+		s.initialMass = s.latestMass
+		totalMass += s.latestMass
 		s.progressAt = c.cfg.Clock.Now()
 		job.shards = append(job.shards, s)
 	}
+	job.rec.Emit(obs.EvFleetRun, -1,
+		obs.F("shards", int64(len(job.shards))), obs.F("mass_ppm", massPPM(totalMass)))
+	job.log.Info("fleet run started", "job", jobID,
+		"shards", len(job.shards), "peers", len(c.cfg.Peers))
 
 	c.mu.Lock()
 	if _, dup := c.jobs[jobID]; dup {
@@ -315,10 +338,10 @@ func (c *Coordinator) controlLoop(ctx context.Context, job *fleetJob) (*Result, 
 			if s.status == shardLeased && s.peer >= 0 && now.After(s.deadline) {
 				c.cfg.Metrics.LeaseExpiries.Inc()
 				job.stats.LeaseExpiries++
-				c.cfg.Trace.EmitTagged(obs.EvLeaseExpire, -1,
-					[]obs.SField{obs.S("job", job.id), obs.S("peer", c.peerName(s.peer))},
+				job.rec.EmitTagged(obs.EvLeaseExpire, -1,
+					[]obs.SField{obs.S("peer", c.peerName(s.peer))},
 					obs.F("shard", int64(s.idx)), obs.F("epoch", int64(s.epoch)))
-				c.cfg.Logger.Warn("shard lease expired", "job", job.id,
+				job.log.Warn("shard lease expired", "job", job.id,
 					"shard", s.idx, "epoch", s.epoch, "peer", c.peerName(s.peer))
 				// The peer is NOT marked dead here: a missed heartbeat may
 				// mean only its return path failed (it could be computing,
@@ -348,11 +371,11 @@ func (c *Coordinator) controlLoop(ctx context.Context, job *fleetJob) (*Result, 
 				}
 				c.cfg.Metrics.Speculative.Inc()
 				job.stats.Speculative++
-				c.cfg.Logger.Info("straggler shard re-dispatched speculatively",
+				job.log.Info("straggler shard re-dispatched speculatively",
 					"job", job.id, "shard", s.idx, "epoch", s.epoch,
 					"from", c.peerName(s.peer), "to", c.peerName(idle))
 				c.advanceEpoch(job, s)
-				c.leaseTo(ctx, job, s, idle)
+				c.leaseTo(ctx, job, s, idle, "straggler")
 			}
 		}
 
@@ -363,8 +386,12 @@ func (c *Coordinator) controlLoop(ctx context.Context, job *fleetJob) (*Result, 
 				if s.status != shardPending {
 					continue
 				}
+				cause := "initial"
+				if s.epoch > 1 {
+					cause = "redispatch"
+				}
 				if p := c.pickPeer(job); p >= 0 {
-					c.leaseTo(ctx, job, s, p)
+					c.leaseTo(ctx, job, s, p, cause)
 				} else {
 					c.runLocally(ctx, job, s)
 				}
@@ -461,14 +488,17 @@ func (c *Coordinator) advanceEpoch(job *fleetJob, s *shardState) {
 	s.latestTrees = nil
 	s.status = shardPending
 	s.peer = -1
+	c.cfg.Metrics.ShardEpoch(job.id, s.idx).Set(int64(s.epoch))
+	c.cfg.Metrics.ShardState(job.id, s.idx).Set(shardPending)
 }
 
 // leaseTo marks the shard leased to peer p and fires the dispatch RPC in
 // the background (caller holds job.mu). The lease deadline starts NOW, not
 // at RPC completion: a dispatch that never lands expires like any other
 // missed heartbeat, which unifies "worker died before accepting" with
-// "worker died after".
-func (c *Coordinator) leaseTo(ctx context.Context, job *fleetJob, s *shardState, p int) {
+// "worker died after". cause labels the dispatch in the trace (initial /
+// redispatch / straggler) so offline merges can draw the re-dispatch flow.
+func (c *Coordinator) leaseTo(ctx context.Context, job *fleetJob, s *shardState, p int, cause string) {
 	s.status = shardLeased
 	s.peer = p
 	s.deadline = c.cfg.Clock.Now().Add(c.cfg.LeaseTTL)
@@ -477,6 +507,7 @@ func (c *Coordinator) leaseTo(ctx context.Context, job *fleetJob, s *shardState,
 		JobID:           job.id,
 		Shard:           s.idx,
 		Epoch:           s.epoch,
+		TraceID:         job.traceID,
 		Fingerprint:     job.fingerprint,
 		Trees:           job.newicks,
 		Checkpoint:      s.dispatchCkpt,
@@ -487,9 +518,14 @@ func (c *Coordinator) leaseTo(ctx context.Context, job *fleetJob, s *shardState,
 		HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
 	}
 	c.cfg.Metrics.ShardsDispatched.Inc()
-	c.cfg.Trace.EmitTagged(obs.EvShardDispatch, -1,
-		[]obs.SField{obs.S("job", job.id), obs.S("peer", c.peerName(p))},
-		obs.F("shard", int64(s.idx)), obs.F("epoch", int64(s.epoch)))
+	c.cfg.Metrics.ShardDispatches(job.id, s.idx, s.epoch).Inc()
+	c.cfg.Metrics.ShardEpoch(job.id, s.idx).Set(int64(s.epoch))
+	c.cfg.Metrics.ShardState(job.id, s.idx).Set(shardLeased)
+	c.cfg.Metrics.ShardMass(job.id, s.idx).Set(massPPM(s.latestMass))
+	job.rec.EmitTagged(obs.EvShardDispatch, -1,
+		[]obs.SField{obs.S("peer", c.peerName(p)), obs.S("cause", cause)},
+		obs.F("shard", int64(s.idx)), obs.F("epoch", int64(s.epoch)),
+		obs.F("mass_ppm", massPPM(s.latestMass)))
 	go c.dispatch(ctx, job, s, p, req)
 }
 
@@ -518,7 +554,7 @@ func (c *Coordinator) dispatch(ctx context.Context, job *fleetJob, s *shardState
 		job.wakeUp()
 	}()
 	if err != nil {
-		c.cfg.Logger.Warn("dispatch failed", "job", job.id, "shard", s.idx,
+		job.log.Warn("dispatch failed", "job", job.id, "shard", s.idx,
 			"epoch", req.Epoch, "peer", c.peerName(p), "error", err.Error())
 		c.markDead(p)
 		// Only undo the lease if it is still ours — a lease expiry may
@@ -534,8 +570,8 @@ func (c *Coordinator) dispatch(ctx context.Context, job *fleetJob, s *shardState
 		// orphaned; adopt that result instead of the new lease.
 		c.cfg.Metrics.ParkedAdopted.Inc()
 		job.stats.Adopted++
-		c.cfg.Trace.EmitTagged(obs.EvShardAdopted, -1,
-			[]obs.SField{obs.S("job", job.id), obs.S("peer", c.peerName(p))},
+		job.rec.EmitTagged(obs.EvShardAdopted, -1,
+			[]obs.SField{obs.S("peer", c.peerName(p))},
 			obs.F("shard", int64(s.idx)), obs.F("epoch", int64(resp.Parked.Epoch)))
 		if !c.mergeResultLocked(job, resp.Parked) && s.status == shardLeased &&
 			s.epoch == req.Epoch && s.peer == p {
@@ -565,11 +601,12 @@ func (c *Coordinator) runLocally(ctx context.Context, job *fleetJob, s *shardSta
 	epoch := s.epoch
 	ckpt := s.dispatchCkpt
 	c.cfg.Metrics.LocalFallbacks.Inc()
+	c.cfg.Metrics.ShardEpoch(job.id, s.idx).Set(int64(epoch))
+	c.cfg.Metrics.ShardState(job.id, s.idx).Set(shardLeased)
 	job.stats.LocalShards++
-	c.cfg.Trace.EmitTagged(obs.EvFleetLocal, -1,
-		[]obs.SField{obs.S("job", job.id)},
+	job.rec.EmitTagged(obs.EvFleetLocal, -1, nil,
 		obs.F("shard", int64(s.idx)), obs.F("epoch", int64(epoch)))
-	c.cfg.Logger.Info("no live peers: running shard locally",
+	job.log.Info("no live peers: running shard locally",
 		"job", job.id, "shard", s.idx, "epoch", epoch)
 	go func() {
 		threads := c.cfg.Threads
@@ -595,10 +632,12 @@ func (c *Coordinator) runLocally(ctx context.Context, job *fleetJob, s *shardSta
 			return
 		}
 		c.HandleResult(&ShardResult{
-			JobID: job.id,
-			Shard: s.idx,
-			Epoch: epoch,
-			Stop:  res.Stop.String(),
+			JobID:   job.id,
+			Shard:   s.idx,
+			Epoch:   epoch,
+			TraceID: job.traceID,
+			Node:    "local",
+			Stop:    res.Stop.String(),
 			Counters: search.Counters{
 				StandTrees:         res.StandTrees,
 				IntermediateStates: res.IntermediateStates,
@@ -627,8 +666,8 @@ func (c *Coordinator) HandleHeartbeat(req *HeartbeatRequest) *HeartbeatResponse 
 	s := job.shards[req.Shard]
 	if job.stopping || s.status != shardLeased || req.Epoch != s.epoch {
 		c.cfg.Metrics.Fenced.Inc()
-		c.cfg.Trace.EmitTagged(obs.EvShardFenced, -1,
-			[]obs.SField{obs.S("job", job.id), obs.S("kind", "heartbeat")},
+		job.rec.EmitTagged(obs.EvShardFenced, -1,
+			[]obs.SField{obs.S("kind", "heartbeat"), obs.S("node", req.Node)},
 			obs.F("shard", int64(req.Shard)), obs.F("epoch", int64(req.Epoch)))
 		return &HeartbeatResponse{Fenced: true}
 	}
@@ -645,7 +684,25 @@ func (c *Coordinator) HandleHeartbeat(req *HeartbeatRequest) *HeartbeatResponse 
 		}
 	}
 	c.cfg.Metrics.HeartbeatsRecv.Inc()
+	c.cfg.Metrics.ShardMass(job.id, req.Shard).Set(massPPM(s.latestMass))
+	c.notePeerHeartbeat(s.peer)
+	// The recv side of the heartbeat pair: same seq as the worker's
+	// shard-hb-send event, which is what the offline merge aligns clocks on.
+	job.rec.EmitTagged(obs.EvHeartbeatRecv, -1,
+		[]obs.SField{obs.S("node", req.Node)},
+		obs.F("shard", int64(req.Shard)), obs.F("epoch", int64(req.Epoch)),
+		obs.F("seq", req.Seq), obs.F("mass_ppm", massPPM(req.RemainingMass)))
 	return &HeartbeatResponse{}
+}
+
+// notePeerHeartbeat records peer liveness for /healthz and /v1/fleet/status.
+func (c *Coordinator) notePeerHeartbeat(p int) {
+	if p < 0 || p >= len(c.lastHB) {
+		return
+	}
+	c.mu.Lock()
+	c.lastHB[p] = c.cfg.Clock.Now()
+	c.mu.Unlock()
 }
 
 // HandleResult merges a completed shard epoch. Any KNOWN epoch is
@@ -680,8 +737,8 @@ func (c *Coordinator) mergeResultLocked(job *fleetJob, req *ShardResult) bool {
 	base, known := s.baseCounters[req.Epoch]
 	if !known {
 		c.cfg.Metrics.Fenced.Inc()
-		c.cfg.Trace.EmitTagged(obs.EvShardFenced, -1,
-			[]obs.SField{obs.S("job", job.id), obs.S("kind", "result")},
+		job.rec.EmitTagged(obs.EvShardFenced, -1,
+			[]obs.SField{obs.S("kind", "result"), obs.S("node", req.Node)},
 			obs.F("shard", int64(req.Shard)), obs.F("epoch", int64(req.Epoch)))
 		return false
 	}
@@ -693,13 +750,16 @@ func (c *Coordinator) mergeResultLocked(job *fleetJob, req *ShardResult) bool {
 		job.trees = append(job.trees, req.Trees...)
 	}
 	s.status = shardDone
+	s.latestMass = 0
 	job.done++
 	c.cfg.Metrics.ShardsCompleted.Inc()
-	c.cfg.Trace.EmitTagged(obs.EvShardDone, -1,
-		[]obs.SField{obs.S("job", job.id), obs.S("stop", req.Stop)},
+	c.cfg.Metrics.ShardState(job.id, req.Shard).Set(shardDone)
+	c.cfg.Metrics.ShardMass(job.id, req.Shard).Set(0)
+	job.rec.EmitTagged(obs.EvShardDone, -1,
+		[]obs.SField{obs.S("stop", req.Stop), obs.S("node", req.Node)},
 		obs.F("shard", int64(req.Shard)), obs.F("epoch", int64(req.Epoch)),
 		obs.F("trees", total.StandTrees), obs.F("states", total.IntermediateStates))
-	c.cfg.Logger.Info("shard merged", "job", job.id, "shard", req.Shard,
+	job.log.Info("shard merged", "job", job.id, "shard", req.Shard,
 		"epoch", req.Epoch, "trees", total.StandTrees)
 	if req.Stop != "" && req.Stop != search.StopExhausted.String() &&
 		req.Stop != search.StopCancelled.String() && job.stop == search.StopExhausted {

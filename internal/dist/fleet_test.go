@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"gentrius"
+	"gentrius/internal/obs"
 	"gentrius/internal/retry"
 	"gentrius/internal/simsched"
 	"gentrius/internal/tree"
@@ -160,6 +162,88 @@ func TestFleetRPCFaults(t *testing.T) {
 	}, []string{spec, spec})
 	res := f.run(t, "rpcfaults", cons)
 	assertMatchesSerial(t, res, ref)
+}
+
+// TestFleetWorkerEngineEventsCarryShardTags: a tracing worker threads a
+// With-derived recorder into the engine, so every task-level event it emits
+// during a real shard run carries the fleet context — {trace, job, node}
+// tags plus {shard, epoch} fields — without the engine knowing the fleet
+// exists. This is the lineage obsreport -fleet joins on.
+func TestFleetWorkerEngineEventsCarryShardTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cons := canonicalize(t, randomScenario(rng, 9, 3, 4, 0.65))
+
+	clock := simsched.NewVirtualClock(time.Unix(0, 0))
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf, nil)
+	var coord *Coordinator
+	w := NewWorker(WorkerConfig{
+		Name:  "w",
+		Clock: clock,
+		Trace: rec,
+		Retry: retry.Policy{Attempts: 2, Base: time.Millisecond},
+		Dial:  func(string) CoordinatorClient { return &LocalCoordinatorClient{C: coord} },
+	})
+	coord = NewCoordinator(Config{
+		Peers:          []WorkerClient{&LocalWorkerClient{WorkerName: "w", W: w}},
+		Shards:         2,
+		LeaseTTL:       200 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		Clock:          clock,
+		Retry:          retry.Policy{Attempts: 2, Base: time.Millisecond},
+	})
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.Advance(2 * time.Millisecond)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := coord.Run(ctx, "tags", cons, RunOptions{InitialTree: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	taskEvents, tagged := 0, 0
+	seenShards := map[int64]bool{}
+	for _, e := range evs {
+		if e.Ev != obs.EvTaskStart && e.Ev != obs.EvTaskEnd {
+			continue
+		}
+		taskEvents++
+		if e.GetStr("trace") == res.TraceID && e.GetStr("job") == "tags" &&
+			e.GetStr("node") == "w" && e.Has("shard") && e.Has("epoch") {
+			tagged++
+			seenShards[e.Get("shard")] = true
+		}
+	}
+	if taskEvents == 0 {
+		t.Fatal("shard run emitted no engine task events")
+	}
+	if tagged != taskEvents {
+		t.Fatalf("%d of %d task events missing fleet context (trace=%s)",
+			taskEvents-tagged, taskEvents, res.TraceID)
+	}
+	if len(seenShards) != 2 {
+		t.Fatalf("task events cover shards %v, want both shards", seenShards)
+	}
 }
 
 // failingCoordClient simulates a worker that cannot reach its coordinator at

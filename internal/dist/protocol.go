@@ -21,6 +21,13 @@ import (
 type DispatchRequest struct {
 	JobID string `json:"job_id"`
 	Shard int    `json:"shard"`
+	// TraceID is the coordinator-minted fleet-run trace id, derived
+	// deterministically from (job id, fingerprint). Workers stamp it on
+	// every local trace event and echo it on heartbeats and results, so N
+	// per-node JSONL traces are joinable offline (obsreport -fleet). It
+	// also travels as the X-Fleet-Trace HTTP header so the serving
+	// middleware can correlate fleet RPCs with access logs.
+	TraceID string `json:"trace_id,omitempty"`
 	// Epoch is the shard's fencing token: it increments on every
 	// re-dispatch, and the worker echoes it on every heartbeat and on the
 	// final result so the coordinator can tell lineages apart.
@@ -65,6 +72,16 @@ type HeartbeatRequest struct {
 	JobID string `json:"job_id"`
 	Shard int    `json:"shard"`
 	Epoch int    `json:"epoch"`
+	// TraceID echoes the dispatch's fleet-run trace id; Node is the
+	// worker's self-reported name. Both are observability-only.
+	TraceID string `json:"trace_id,omitempty"`
+	Node    string `json:"node,omitempty"`
+	// Seq numbers this epoch's heartbeats from 1. The worker emits a
+	// shard-hb-send trace event and the coordinator a shard-hb-recv event
+	// carrying the same seq; each matched pair upper-bounds the worker's
+	// clock offset in the NTP-free fleet-trace alignment (the dispatch →
+	// shard-begin pair provides the lower bound).
+	Seq int64 `json:"seq,omitempty"`
 	// Counters is the work done since dispatch, as of Checkpoint's cut
 	// (zero until the first periodic checkpoint).
 	Counters search.Counters `json:"counters"`
@@ -91,9 +108,12 @@ type HeartbeatResponse struct {
 
 // ShardResult is the final outcome of one shard epoch.
 type ShardResult struct {
-	JobID    string          `json:"job_id"`
-	Shard    int             `json:"shard"`
-	Epoch    int             `json:"epoch"`
+	JobID string `json:"job_id"`
+	Shard int    `json:"shard"`
+	Epoch int    `json:"epoch"`
+	// TraceID/Node mirror the heartbeat fields (observability-only).
+	TraceID  string          `json:"trace_id,omitempty"`
+	Node     string          `json:"node,omitempty"`
 	Stop     string          `json:"stop"` // search.StopReason string
 	Counters search.Counters `json:"counters"`
 	// Trees are ALL stand trees found since dispatch (when CollectTrees).

@@ -41,7 +41,7 @@ func (c *HTTPWorkerClient) Name() string { return c.base }
 
 func (c *HTTPWorkerClient) Dispatch(ctx context.Context, req *DispatchRequest) (*DispatchResponse, error) {
 	var resp DispatchResponse
-	if err := postJSON(ctx, c.hc, c.base+"/v1/shards", req, &resp); err != nil {
+	if err := postJSON(ctx, c.hc, c.base+"/v1/shards", req.TraceID, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -64,7 +64,7 @@ func NewHTTPCoordinatorClient(base string, timeout time.Duration) *HTTPCoordinat
 
 func (c *HTTPCoordinatorClient) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error) {
 	var resp HeartbeatResponse
-	if err := postJSON(ctx, c.hc, c.base+"/v1/shards/heartbeat", req, &resp); err != nil {
+	if err := postJSON(ctx, c.hc, c.base+"/v1/shards/heartbeat", req.TraceID, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -72,14 +72,21 @@ func (c *HTTPCoordinatorClient) Heartbeat(ctx context.Context, req *HeartbeatReq
 
 func (c *HTTPCoordinatorClient) Result(ctx context.Context, req *ShardResult) (*ResultResponse, error) {
 	var resp ResultResponse
-	if err := postJSON(ctx, c.hc, c.base+"/v1/shards/result", req, &resp); err != nil {
+	if err := postJSON(ctx, c.hc, c.base+"/v1/shards/result", req.TraceID, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
+// FleetTraceHeader carries the fleet-run trace id on every fleet RPC, so
+// the serving middleware on the receiving node can stamp its http-begin/
+// http-end span events (and access log) with the same id the envelope
+// carries — joining the HTTP serving path to the fleet timeline.
+const FleetTraceHeader = "X-Fleet-Trace"
+
 // postJSON performs one JSON round trip; any non-2xx status is an error.
-func postJSON(ctx context.Context, hc *http.Client, url string, in, out any) error {
+// A non-empty trace id travels as the X-Fleet-Trace header.
+func postJSON(ctx context.Context, hc *http.Client, url, trace string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("dist: encoding %s request: %w", url, err)
@@ -89,6 +96,9 @@ func postJSON(ctx context.Context, hc *http.Client, url string, in, out any) err
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(FleetTraceHeader, trace)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return err

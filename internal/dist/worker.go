@@ -179,6 +179,16 @@ func (w *Worker) runShard(ctx context.Context, run *shardRun, key shardKey, req 
 	coord := w.cfg.Dial(req.CoordURL)
 	trigger := gentrius.NewCheckpointTrigger()
 
+	// Every event this shard emits — lifecycle markers here, task-lineage
+	// spans inside the engine — carries the fleet trace context, so this
+	// node's JSONL trace joins the coordinator's offline.
+	st := newShardTracer(w.cfg.Trace, w.cfg.Name, req)
+	st.Begin(checkpointMassPPM(req.Checkpoint))
+	var sink *gentrius.ObsSink
+	if st.Recorder() != nil {
+		sink = &gentrius.ObsSink{Trace: st.Recorder()}
+	}
+
 	var treeMu sync.Mutex
 	var trees []string
 	var onTree func(string)
@@ -225,6 +235,7 @@ func (w *Worker) runShard(ctx context.Context, run *shardRun, key shardKey, req 
 				Resume:  req.Checkpoint,
 				Trigger: trigger,
 			},
+			Obs:   sink,
 			Fault: w.cfg.Fault,
 		})
 		resCh <- outcome{res, err}
@@ -238,6 +249,7 @@ func (w *Worker) runShard(ctx context.Context, run *shardRun, key shardKey, req 
 	var out outcome
 	orphaned := false
 	fails := 0
+	var seq int64
 	lastMass := -1.0
 
 beat:
@@ -248,7 +260,9 @@ beat:
 		case <-w.cfg.Clock.After(interval):
 		}
 
-		hb := &HeartbeatRequest{JobID: req.JobID, Shard: req.Shard, Epoch: req.Epoch}
+		seq++
+		hb := &HeartbeatRequest{JobID: req.JobID, Shard: req.Shard, Epoch: req.Epoch,
+			TraceID: req.TraceID, Node: w.cfg.Name, Seq: seq}
 		// Durable progress rides on every heartbeat: an on-demand snapshot
 		// quiesces the run at this exact cut. If the run ended between the
 		// clock tick and the request, the completion path takes over.
@@ -262,10 +276,15 @@ beat:
 			if req.CollectTrees {
 				hb.Trees = copyTrees(int(cp.Counters.StandTrees))
 			}
+			st.Checkpoint(cp)
 		} else {
 			hb.RemainingMass = lastMass
 		}
 
+		// The send event fires for every attempt — including blackholed
+		// ones: the worker did send, the network lost it, and the merged
+		// timeline shows exactly that (a send with no matching recv).
+		st.HeartbeatSend(seq, massPPM(hb.RemainingMass))
 		if _, fire := w.cfg.Fault.Fire(faultinject.Heartbeat); fire {
 			// Simulated network blackhole: the heartbeat silently vanishes.
 			// The worker keeps computing; the coordinator's lease expires.
@@ -316,6 +335,7 @@ beat:
 	}
 
 	if run.fenced.Load() {
+		st.End("fenced", search.Counters{})
 		w.cfg.Logger.Info("shard run fenced away", "job", req.JobID,
 			"shard", req.Shard, "epoch", req.Epoch)
 		return
@@ -323,20 +343,24 @@ beat:
 	if out.err != nil {
 		// The run itself failed. Report nothing: the lease expires and the
 		// coordinator re-dispatches from the last durable checkpoint.
+		st.End("failed", search.Counters{})
 		w.cfg.Logger.Error("shard run failed", "job", req.JobID,
 			"shard", req.Shard, "epoch", req.Epoch, "error", out.err.Error())
 		return
 	}
 	if out.res.Stop == gentrius.StopCancelled {
 		// Cancelled without being fenced (worker shutdown): nothing to send.
+		st.End("cancelled", search.Counters{})
 		return
 	}
 
 	result := &ShardResult{
-		JobID: req.JobID,
-		Shard: req.Shard,
-		Epoch: req.Epoch,
-		Stop:  out.res.Stop.String(),
+		JobID:   req.JobID,
+		Shard:   req.Shard,
+		Epoch:   req.Epoch,
+		TraceID: req.TraceID,
+		Node:    w.cfg.Name,
+		Stop:    out.res.Stop.String(),
 		Counters: search.Counters{
 			StandTrees:         out.res.StandTrees,
 			IntermediateStates: out.res.IntermediateStates,
@@ -344,10 +368,15 @@ beat:
 		},
 		Trees: copyTrees(-1),
 	}
+	// The end event precedes result delivery on purpose: a worker-side end
+	// always happens-before the coordinator's shard-done for the same epoch,
+	// which keeps the merged timeline's span nesting honest.
 	if orphaned {
+		st.End("parked", result.Counters)
 		w.park(key, req.Fingerprint, result)
 		return
 	}
+	st.End("done", result.Counters)
 	var resp *ResultResponse
 	err = w.cfg.Retry.Do(nil, func() error {
 		if err := w.cfg.Fault.Err(faultinject.RPCSend, "result"); err != nil {

@@ -69,6 +69,21 @@ const (
 	EvShardParked   = "shard-parked"   // orphaned worker parked a finished result
 	EvShardAdopted  = "shard-adopted"  // parked result adopted at re-dispatch
 	EvFleetLocal    = "fleet-local"    // coordinator fell back to local execution
+
+	// Fleet-trace span events. The coordinator mints one trace id per fleet
+	// run ("fleet-run", tag "trace") and stamps it on every RPC; both sides
+	// emit the events below with {trace, job, node} tags and {shard, epoch}
+	// fields, so N per-node JSONL traces are joinable into one fleet
+	// timeline (see MergeFleet / cmd/obsreport -fleet). The heartbeat
+	// send/recv pairs double as the NTP-free clock-alignment signal: each
+	// dispatch→shard-begin pair lower-bounds a worker's clock offset, each
+	// hb-send→hb-recv pair upper-bounds it.
+	EvFleetRun        = "fleet-run"        // coordinator minted a fleet-run trace id
+	EvShardBegin      = "shard-begin"      // worker accepted a lease and started the shard
+	EvShardEnd        = "shard-end"        // worker finished the shard (tag "outcome")
+	EvShardHeartbeat  = "shard-hb-send"    // worker snapshotted + sent a heartbeat (field "seq")
+	EvHeartbeatRecv   = "shard-hb-recv"    // coordinator accepted a heartbeat (field "seq")
+	EvShardCheckpoint = "shard-checkpoint" // worker captured a durable frontier snapshot
 )
 
 // Field is one numeric key/value of a trace event. All scheduler payloads
@@ -93,27 +108,60 @@ type SField struct {
 // S is shorthand for constructing an SField.
 func S(k, v string) SField { return SField{K: k, V: v} }
 
-// Recorder writes JSONL trace events. All methods are safe on a nil
-// receiver (they no-op), and safe for concurrent use otherwise.
-type Recorder struct {
+// recorderOut is the shared output side of a Recorder: the buffered
+// writer, its mutex, and the event tallies. Derived recorders (see With)
+// are thin handles onto one recorderOut, so a per-shard recorder costs a
+// small struct, not a second stream, and all handles interleave safely on
+// the same JSONL file.
+type recorderOut struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	closer io.Closer
-	clock  Clock
 	events int64
 	counts map[string]int64
+}
+
+// Recorder writes JSONL trace events. All methods are safe on a nil
+// receiver (they no-op), and safe for concurrent use otherwise.
+type Recorder struct {
+	out   *recorderOut
+	clock Clock
+	// Fixed context stamped on every event this handle emits, after the
+	// per-call fields/tags. Populated by With; nil on a root recorder so
+	// the zero-cost path stays zero-cost.
+	tags  []SField
+	fixed []Field
 }
 
 // NewRecorder traces onto w using clock for timestamps (nil clock: all
 // zero — the caller stamps via EmitAt). If w is also an io.Closer, Close
 // closes it.
 func NewRecorder(w io.Writer, clock Clock) *Recorder {
-	r := &Recorder{w: bufio.NewWriterSize(w, 1<<16), clock: clock,
+	out := &recorderOut{w: bufio.NewWriterSize(w, 1<<16),
 		counts: map[string]int64{}}
 	if c, ok := w.(io.Closer); ok {
-		r.closer = c
+		out.closer = c
 	}
-	return r
+	return &Recorder{out: out, clock: clock}
+}
+
+// With returns a derived recorder that stamps the given string tags and
+// numeric fields onto every event it emits, sharing the parent's output
+// stream, clock and tallies. The fixed context is appended after each
+// call's own fields/tags, and a child's context extends its parent's — so
+// internal/dist hands the engine a recorder that adds {trace, job, node}
+// tags and {shard, epoch} fields to every task-begin/task-end without the
+// hot path knowing fleet context exists. Emission through a derived
+// recorder stays allocation-free (the fixed slices are built once, here).
+// Nil-safe: a nil parent yields a nil (no-op) child.
+func (r *Recorder) With(tags []SField, fields ...Field) *Recorder {
+	if r == nil {
+		return nil
+	}
+	nr := &Recorder{out: r.out, clock: r.clock}
+	nr.tags = append(append([]SField(nil), r.tags...), tags...)
+	nr.fixed = append(append([]Field(nil), r.fixed...), fields...)
+	return nr
 }
 
 // Emit records an event stamped by the recorder's clock.
@@ -172,16 +220,18 @@ func (r *Recorder) EmitAt(ts int64, ev string, worker int, fields ...Field) {
 }
 
 // EmitAtTagged records an event with an explicit timestamp, string tags
-// and numeric fields. Tags follow the numeric fields on the line; names,
-// keys and tag values all pass through the identifier sanitizer, so no
-// input can break the JSONL framing.
+// and numeric fields. Tags follow the numeric fields on the line (with a
+// derived recorder's fixed fields/tags after each group); names, keys and
+// tag values all pass through the identifier sanitizer, so no input can
+// break the JSONL framing.
 func (r *Recorder) EmitAtTagged(ts int64, ev string, worker int, tags []SField, fields ...Field) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	buf := r.w.AvailableBuffer()
+	o := r.out
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	buf := o.w.AvailableBuffer()
 	buf = append(buf, `{"ts":`...)
 	buf = strconv.AppendInt(buf, ts, 10)
 	buf = append(buf, `,"ev":"`...)
@@ -189,32 +239,49 @@ func (r *Recorder) EmitAtTagged(ts int64, ev string, worker int, tags []SField, 
 	buf = append(buf, `","w":`...)
 	buf = strconv.AppendInt(buf, int64(worker), 10)
 	for _, f := range fields {
-		buf = append(buf, ',', '"')
-		buf = appendKey(buf, f.K)
-		buf = append(buf, '"', ':')
-		buf = strconv.AppendInt(buf, f.V, 10)
+		buf = appendField(buf, f)
+	}
+	for _, f := range r.fixed {
+		buf = appendField(buf, f)
 	}
 	for _, f := range tags {
-		buf = append(buf, ',', '"')
-		buf = appendKey(buf, f.K)
-		buf = append(buf, '"', ':', '"')
-		buf = appendKey(buf, f.V)
-		buf = append(buf, '"')
+		buf = appendTag(buf, f)
+	}
+	for _, f := range r.tags {
+		buf = appendTag(buf, f)
 	}
 	buf = append(buf, '}', '\n')
-	r.w.Write(buf)
-	r.events++
-	r.counts[ev]++
+	o.w.Write(buf)
+	o.events++
+	o.counts[ev]++
 }
 
-// Events returns how many events were recorded (0 on nil).
+// appendField appends one ,"key":value numeric member.
+func appendField(buf []byte, f Field) []byte {
+	buf = append(buf, ',', '"')
+	buf = appendKey(buf, f.K)
+	buf = append(buf, '"', ':')
+	return strconv.AppendInt(buf, f.V, 10)
+}
+
+// appendTag appends one ,"key":"value" string member.
+func appendTag(buf []byte, f SField) []byte {
+	buf = append(buf, ',', '"')
+	buf = appendKey(buf, f.K)
+	buf = append(buf, '"', ':', '"')
+	buf = appendKey(buf, f.V)
+	return append(buf, '"')
+}
+
+// Events returns how many events were recorded (0 on nil). Derived
+// recorders share the tally with their parent.
 func (r *Recorder) Events() int64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.events
+	r.out.mu.Lock()
+	defer r.out.mu.Unlock()
+	return r.out.events
 }
 
 // CountOf returns how many events of the given type were recorded.
@@ -222,9 +289,9 @@ func (r *Recorder) CountOf(ev string) int64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counts[ev]
+	r.out.mu.Lock()
+	defer r.out.mu.Unlock()
+	return r.out.counts[ev]
 }
 
 // Flush drains the internal buffer to the underlying writer.
@@ -232,9 +299,9 @@ func (r *Recorder) Flush() error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.w.Flush()
+	r.out.mu.Lock()
+	defer r.out.mu.Unlock()
+	return r.out.w.Flush()
 }
 
 // Close flushes and, if the underlying writer is a Closer, closes it.
@@ -245,8 +312,8 @@ func (r *Recorder) Close() error {
 	if err := r.Flush(); err != nil {
 		return err
 	}
-	if r.closer != nil {
-		return r.closer.Close()
+	if r.out.closer != nil {
+		return r.out.closer.Close()
 	}
 	return nil
 }

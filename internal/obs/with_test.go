@@ -1,0 +1,101 @@
+// Tests of With-derived recorders: the fixed {trace, job, node} + {shard,
+// epoch} context internal/dist stamps onto engine events must land on every
+// emission in a stable order, share the parent's stream and tallies, and —
+// because the worker hot path emits through a derived recorder per task —
+// stay allocation-free.
+package obs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestRecorderWithOrdering: a derived recorder appends its fixed fields
+// after the call's fields and its fixed tags after the call's tags, chains
+// grandparent→parent→child context in order, and shares the parent's
+// output stream and event tallies.
+func TestRecorderWithOrdering(t *testing.T) {
+	var b bytes.Buffer
+	root := NewRecorder(&b, nil)
+	shard := root.With([]SField{S("job", "j1"), S("node", "w0")}, F("shard", 3))
+	epoch := shard.With([]SField{S("trace", "abcd")}, F("epoch", 2))
+
+	epoch.EmitAtTagged(11, EvTaskStart, 0, []SField{S("kind", "leaf")}, F("task", 9))
+	root.EmitAt(12, EvTaskEnd, 0, F("task", 9))
+	if err := root.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := bytes.Split(bytes.TrimSuffix(b.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("derived and root emissions must share one stream, got %d lines", len(lines))
+	}
+	// Byte-level order pin: ts/ev/worker, call fields, fixed fields
+	// (parent then child), call tags, fixed tags (parent then child).
+	want := `{"ts":11,"ev":"task-begin","w":0,"task":9,"shard":3,"epoch":2,"kind":"leaf","job":"j1","node":"w0","trace":"abcd"}`
+	if string(lines[0]) != want {
+		t.Fatalf("derived emission order:\n got %s\nwant %s", lines[0], want)
+	}
+	if string(lines[1]) != `{"ts":12,"ev":"task-end","w":0,"task":9}` {
+		t.Fatalf("root emission must carry no derived context: %s", lines[1])
+	}
+
+	// Tallies are shared: both emissions count on the root recorder.
+	if root.Events() != 2 || root.CountOf(EvTaskStart) != 1 || epoch.CountOf(EvTaskEnd) != 1 {
+		t.Fatalf("shared tallies broken: events=%d", root.Events())
+	}
+
+	// Deriving must not mutate the parent's context.
+	shard.EmitAtTagged(13, EvTaskEnd, 0, nil)
+	if err := root.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines = bytes.Split(bytes.TrimSuffix(b.Bytes(), []byte("\n")), []byte("\n"))
+	if got := string(lines[2]); got != `{"ts":13,"ev":"task-end","w":0,"shard":3,"job":"j1","node":"w0"}` {
+		t.Fatalf("parent context polluted by child With: %s", got)
+	}
+
+	// Nil safety through the chain.
+	var nilRec *Recorder
+	if nilRec.With([]SField{S("a", "b")}, F("c", 1)) != nil {
+		t.Fatal("With on nil recorder must return nil")
+	}
+}
+
+// TestShardTaggedEmitAllocFree pins the acceptance property that
+// shard-tagged span emission on the worker hot path allocates nothing:
+// the fleet context is fixed at With time, and EmitAtTagged serializes
+// it with AvailableBuffer + strconv.Append*.
+func TestShardTaggedEmitAllocFree(t *testing.T) {
+	root := NewRecorder(io.Discard, nil)
+	r := root.With(
+		[]SField{S("trace", "eab773018dcb2347"), S("job", "fleet-golden"), S("node", "a")},
+		F("shard", 0), F("epoch", 2))
+	fields := []Field{F("task", 9), F("parent", 7)}
+	tags := []SField{S("kind", "leaf")}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.EmitAtTagged(5, EvTaskStart, 1, tags, fields...)
+	})
+	if allocs > 0 {
+		t.Fatalf("shard-tagged EmitAtTagged allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkEmitShardTagged measures the derived-recorder emission the
+// fleet worker performs per engine task; tracked by cmd/benchreport.
+func BenchmarkEmitShardTagged(b *testing.B) {
+	root := NewRecorder(io.Discard, nil)
+	r := root.With(
+		[]SField{S("trace", "eab773018dcb2347"), S("job", "fleet-golden"), S("node", "a")},
+		F("shard", 0), F("epoch", 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.EmitAtTagged(int64(i), EvTaskSubmit, 3,
+			nil, F("task", int64(i)), F("parent", 7))
+	}
+	if err := r.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

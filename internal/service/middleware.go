@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gentrius/internal/dist"
 	"gentrius/internal/obs"
 )
 
@@ -266,6 +267,10 @@ func (mw *Middleware) Wrap(route string, next http.HandlerFunc) http.Handler {
 		}
 		ri := &requestInfo{id: id, serial: serial}
 		r = r.WithContext(contextWithInfo(r.Context(), ri))
+		// A fleet RPC announces its run's trace id; adopting it onto the
+		// serving spans (and access log) joins this node's HTTP timeline to
+		// the merged fleet timeline obsreport -fleet reconstructs.
+		fleetTrace := sanitizeRequestID(r.Header.Get(dist.FleetTraceHeader))
 
 		body := &countingBody{rc: r.Body}
 		r.Body = body
@@ -273,9 +278,11 @@ func (mw *Middleware) Wrap(route string, next http.HandlerFunc) http.Handler {
 		w.Header().Set("X-Request-Id", id)
 
 		mw.metrics.InFlight.Add(1)
-		mw.trace.EmitTagged(obs.EvHTTPStart, -1,
-			[]obs.SField{obs.S("req", id), obs.S("route", route)},
-			obs.F("reqn", serial))
+		beginTags := []obs.SField{obs.S("req", id), obs.S("route", route)}
+		if fleetTrace != "" {
+			beginTags = append(beginTags, obs.S("trace", fleetTrace))
+		}
+		mw.trace.EmitTagged(obs.EvHTTPStart, -1, beginTags, obs.F("reqn", serial))
 
 		next(sw, r)
 
@@ -290,8 +297,11 @@ func (mw *Middleware) Wrap(route string, next http.HandlerFunc) http.Handler {
 		reqB.Add(body.n)
 		respB.Add(sw.bytes)
 		mw.metrics.counted(route, status).Inc()
-		mw.trace.EmitTagged(obs.EvHTTPEnd, -1,
-			[]obs.SField{obs.S("req", id)},
+		endTags := []obs.SField{obs.S("req", id)}
+		if fleetTrace != "" {
+			endTags = append(endTags, obs.S("trace", fleetTrace))
+		}
+		mw.trace.EmitTagged(obs.EvHTTPEnd, -1, endTags,
 			obs.F("reqn", serial), obs.F("status", int64(status)),
 			obs.F("bytes_in", body.n), obs.F("bytes_out", sw.bytes))
 
@@ -305,6 +315,9 @@ func (mw *Middleware) Wrap(route string, next http.HandlerFunc) http.Handler {
 			}
 			if job := ri.job(); job != "" {
 				attrs = append(attrs, "job", job)
+			}
+			if fleetTrace != "" {
+				attrs = append(attrs, "trace", fleetTrace)
 			}
 			mw.log.Info("http request", attrs...)
 		}

@@ -96,6 +96,10 @@ type Config struct {
 	// coordinator, not in job checkpoints), and fleet jobs do not serve
 	// POST /jobs/{id}/checkpoint — the coordinator owns their frontiers.
 	Fleet *dist.Coordinator
+	// FleetWorker, when non-nil, is this node's shard-lease executor; its
+	// in-flight lease count (and, absent a coordinator, its role) appears
+	// in the /healthz fleet section.
+	FleetWorker *dist.Worker
 	// Metrics receives the service-level instruments (nil: discard).
 	Metrics *Metrics
 	// Sink is the engine observability sink shared by every job (the
@@ -614,6 +618,11 @@ type Health struct {
 	JournalDropped    int64         `json:"journal_records_dropped"`
 	SpoolDropped      int64         `json:"spool_lines_dropped"`
 	CheckpointDropped int64         `json:"checkpoint_writes_dropped"`
+	// Fleet reports this node's fleet role: a coordinator's peer count and
+	// per-peer last-heartbeat ages plus running fleet-run trace ids, or a
+	// plain worker's in-flight shard-lease count. Omitted when the node is
+	// not wired into a fleet.
+	Fleet *dist.FleetHealth `json:"fleet,omitempty"`
 }
 
 // Health snapshots the daemon's liveness view.
@@ -635,6 +644,16 @@ func (m *Manager) Health() Health {
 	}
 	if h.JournalDropped > 0 || h.SpoolDropped > 0 || h.CheckpointDropped > 0 {
 		h.Status = "degraded"
+	}
+	switch {
+	case m.cfg.Fleet != nil:
+		h.Fleet = m.cfg.Fleet.Health()
+		if m.cfg.FleetWorker != nil {
+			// A coordinator is also a lease-accepting worker: report both.
+			h.Fleet.ActiveShards = m.cfg.FleetWorker.ActiveShards()
+		}
+	case m.cfg.FleetWorker != nil:
+		h.Fleet = m.cfg.FleetWorker.Health()
 	}
 	if m.Draining() {
 		h.Status = "draining"

@@ -111,6 +111,20 @@ LINES=$(curl -sf "$COORD/jobs/j000001/trees" | grep -c '"tree"')
 [ "$LINES" -ge "$STAND" ] || fail "spool replays $LINES trees, want >= $STAND"
 say "fleet finished exactly: $GOT trees, $GOTS states (expiries=$EXP redispatches=$RED)"
 
+# The epoch fence must be observable per shard: the re-dispatched shard
+# leaves a dispatch-counter series labelled with its bumped epoch, and the
+# shard's epoch gauge agrees — so an operator can see from /metrics alone
+# which epoch is authoritative and that the zombie's results were fenced.
+EXPO=$(curl -sf "$COORD/metrics")
+echo "$EXPO" | grep -q 'gentriusd_fleet_shard_dispatches_total{job="j000001",shard="[0-9]*",epoch="1"}' \
+    || fail "no epoch=1 series in gentriusd_fleet_shard_dispatches_total"
+FENCE=$(echo "$EXPO" | grep -o 'gentriusd_fleet_shard_dispatches_total{job="j000001",shard="[0-9]*",epoch="[2-9][0-9]*"}' | head -1)
+[ -n "$FENCE" ] || fail "re-dispatch left no epoch>=2 series in gentriusd_fleet_shard_dispatches_total"
+SH=$(echo "$FENCE" | grep -o 'shard="[0-9]*"' | grep -o '[0-9]*')
+EPOCH=$(echo "$EXPO" | grep -o "gentriusd_fleet_shard_epoch{job=\"j000001\",shard=\"$SH\"} [0-9]*" | grep -o '[0-9]*$')
+[ "${EPOCH:-0}" -ge 2 ] || fail "shard $SH epoch gauge reads ${EPOCH:-nothing}, want >= 2 after re-dispatch"
+say "epoch fence visible in metrics: $FENCE (shard $SH epoch gauge $EPOCH)"
+
 # Graceful exits for the survivors.
 kill -TERM "$C0" "$W2"
 for p in "$C0" "$W2"; do

@@ -92,6 +92,56 @@ print("conservation ok:", ", ".join(f"{r}={n}" for r, n in sorted(report["route_
 EOF
 say "loadgen and middleware counters reconcile"
 
+# Exposition hygiene: every family the daemon emits must actually surface —
+# a TYPE-declared family with no samples (or a sample whose family was never
+# declared) means a lazily-registered instrument silently vanished from the
+# scrape. Families must also be contiguous and in the registry's sorted
+# order (main families, then the _window_* companions), which is what the
+# diff-based smoke checks and dashboards key on.
+python3 - "$WORK/metrics.txt" <<'EOF'
+import re, sys
+declared, samples = [], []
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if line.startswith("# TYPE "):
+        declared.append(line.split()[2])
+    elif line and not line.startswith("#"):
+        samples.append(line)
+declset = set(declared)
+
+def fam_of(name):
+    for suf in ("_bucket", "_sum", "_count"):
+        if name.endswith(suf) and name[: -len(suf)] in declset:
+            return name[: -len(suf)]
+    return name
+
+seen, sampled = [], set()
+for line in samples:
+    name = re.match(r"[A-Za-z_:][A-Za-z0-9_:]*", line).group(0)
+    fam = fam_of(name)
+    if fam not in declset:
+        sys.exit(f"family {fam} emitted without a TYPE declaration: {line}")
+    sampled.add(fam)
+    if not seen or seen[-1] != fam:
+        if fam in seen:
+            sys.exit(f"family {fam} is not contiguous in the exposition")
+        seen.append(fam)
+
+absent = [f for f in declared if f not in sampled]
+if absent:
+    sys.exit("declared families absent from the exposition: " + ", ".join(absent))
+
+is_comp = lambda f: re.search(r"_window_(rate|p50|p95|p99)$", f)
+main = [f for f in seen if not is_comp(f)]
+comp = [f for f in seen if is_comp(f)]
+if main != sorted(main) or comp != sorted(comp):
+    sys.exit("exposition families are not sorted")
+if comp and seen[-len(comp):] != comp:
+    sys.exit("window companion families must follow the main families")
+print(f"exposition hygiene ok: {len(declared)} families, all sampled, sorted")
+EOF
+say "metrics exposition sorted and complete"
+
 kill -TERM "$DAEMON_PID"
 STATUS=0
 wait "$DAEMON_PID" || STATUS=$?
